@@ -1,0 +1,61 @@
+"""E3 — spec-level client reasoning: what can each style exclude?
+
+Regenerates the paper's §1.1/§2.3 comparison with Cosmo as a table: the
+possible outcomes of the MP client's two dequeues under each spec style.
+The Cosmo-style ``LAT_so^abs`` cannot exclude the empty dequeue; the
+event-graph styles can.  Also the §3.2 SPSC derivation: FIFO transfer is
+forced by ``LAT_hb`` alone.
+"""
+
+from repro.core import (EMPTY, SpecStyle, mp_skeleton, possible_outcomes,
+                        spsc_skeleton)
+
+STYLES = (SpecStyle.LAT_SO_ABS, SpecStyle.LAT_HB_ABS, SpecStyle.LAT_HB)
+
+
+def fmt(outs):
+    def show(v):
+        return "ε" if v is EMPTY else str(v)
+    return "{" + ", ".join(
+        "(" + ", ".join(show(v) for v in o) + ")"
+        for o in sorted(outs, key=repr)) + "}"
+
+
+def test_mp_outcomes_per_style(benchmark, report):
+    skel = mp_skeleton()
+    results = benchmark.pedantic(
+        lambda: {s: possible_outcomes(skel, s) for s in STYLES},
+        rounds=1, iterations=1)
+    lines = []
+    for style, outs in results.items():
+        excl = ("cannot exclude ε for d3"
+                if any(d3 is EMPTY for _d2, d3 in outs)
+                else "EXCLUDES ε for d3")
+        lines.append(f"{str(style):<12} {fmt(outs):<50} {excl}")
+    report("E3: MP client outcomes (d2, d3) per spec style",
+           "\n".join(lines))
+    assert any(d3 is EMPTY for _d2, d3 in results[SpecStyle.LAT_SO_ABS])
+    assert all(d3 is not EMPTY
+               for _d2, d3 in results[SpecStyle.LAT_HB_ABS])
+    assert all(d3 is not EMPTY for _d2, d3 in results[SpecStyle.LAT_HB])
+
+
+def test_spsc_fifo_derivation(benchmark, report):
+    skel = spsc_skeleton(n=3)
+    outs = benchmark.pedantic(
+        lambda: possible_outcomes(skel, SpecStyle.LAT_HB),
+        rounds=1, iterations=1)
+    full = {o for o in outs if EMPTY not in o}
+    report("E3: SPSC consumer sequences admitted by LAT_hb (n=3)",
+           f"complete transfers: {fmt(full)}\n"
+           f"all admitted: {fmt(outs)}")
+    assert full == {(1, 2, 3)}, "FIFO must be derivable from LAT_hb"
+
+
+def test_mp_stack_outcomes(benchmark, report):
+    skel = mp_skeleton(kind="stack")
+    outs = benchmark.pedantic(
+        lambda: possible_outcomes(skel, SpecStyle.LAT_HB),
+        rounds=1, iterations=1)
+    report("E3: MP-with-stack outcomes under LAT_hb", fmt(outs))
+    assert all(d3 is not EMPTY for _d2, d3 in outs)

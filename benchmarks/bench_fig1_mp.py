@@ -1,0 +1,74 @@
+"""E1 — Figure 1 / Figure 3: the message-passing client of queues.
+
+Regenerates the paper's headline client result as a table: for each queue
+implementation, with and without the flag synchronization, the number of
+explored executions and how often the flag-synchronized dequeue returned
+empty.  The paper's claim: with the flag, *never* (and the spec styles
+``LAT_hb``/``LAT_hb^abs`` prove it); without, frequently.
+"""
+
+import pytest
+
+from repro.checking import (GAVE_UP, Scenario, check_mp_outcome,
+                            check_scenario, mp_queue, single_library)
+from repro.core import EMPTY, SpecStyle
+from repro.libs import HWQueue, LockedQueue, MSQueue, RELACQ, VyukovQueue
+from repro.rmc import explore_random
+
+QUEUES = {
+    "ms-queue/ra": lambda mem: MSQueue.setup(mem, "q", RELACQ),
+    "hw-queue/rlx": lambda mem: HWQueue.setup(mem, "q", capacity=4),
+    "locked-queue": lambda mem: LockedQueue.setup(mem, "q"),
+    "vyukov-queue/rlx": lambda mem: VyukovQueue.setup(mem, "q", capacity=4),
+}
+
+RUNS = 400
+
+
+def mp_row(name, use_flag, runs=RUNS):
+    # A generous flag wait keeps the completion rate high under random
+    # scheduling (threads that give up waiting are vacuous for E1).
+    factory = mp_queue(QUEUES[name], use_flag=use_flag, spin_bound=25)
+    empties = completed = 0
+    for r in explore_random(factory, runs=runs, seed=1):
+        if not r.ok or r.returns[2] is GAVE_UP:
+            continue
+        completed += 1
+        if r.returns[2] is EMPTY:
+            empties += 1
+    return completed, empties
+
+
+@pytest.mark.parametrize("name", sorted(QUEUES))
+def test_mp_with_flag(benchmark, report, name):
+    completed, empties = benchmark.pedantic(
+        mp_row, args=(name, True), rounds=1, iterations=1)
+    assert empties == 0
+    benchmark.extra_info["right_empty"] = empties
+    report(f"Fig.1 MP, {name}, WITH flag",
+           f"completed={completed}  right-thread-empty={empties}  "
+           f"(paper: never empty)")
+
+
+@pytest.mark.parametrize("name", sorted(QUEUES))
+def test_mp_without_flag(benchmark, report, name):
+    completed, empties = benchmark.pedantic(
+        mp_row, args=(name, False), rounds=1, iterations=1)
+    assert empties > 0
+    report(f"Fig.1 MP, {name}, WITHOUT flag (control)",
+           f"completed={completed}  right-thread-empty={empties}  "
+           f"(weak outcome exhibited)")
+
+
+@pytest.mark.parametrize("name", ["ms-queue/ra", "hw-queue/rlx"])
+def test_mp_spec_checked(benchmark, report, name):
+    """The full Fig.3-style verification: outcome + LAT_hb graph checks."""
+    def run():
+        scen = Scenario(f"mp-{name}", mp_queue(QUEUES[name]),
+                        single_library("q", "queue"),
+                        outcome_check=check_mp_outcome)
+        return check_scenario(scen, styles=(SpecStyle.LAT_HB,),
+                              runs=RUNS, seed=3)
+    rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rep.ok, rep.summary()
+    report(f"Fig.3 MP verification, {name}", rep.summary())

@@ -1,0 +1,39 @@
+"""E2 — Figure 2's spec ladder as a measured satisfaction matrix.
+
+Regenerates the paper's satisfiability claims: which implementation
+satisfies which spec style, over random workloads plus a tiny exhaustive
+pass.  Expected shape (§2–§3): strongly synchronized implementations pass
+everything; the relaxed Herlihy–Wing queue passes ``LAT_hb`` but fails the
+abstract-state styles; the broken all-relaxed mutant is caught (races).
+"""
+
+import pytest
+
+from repro.checking import run_matrix
+from repro.core import SpecStyle
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_matrix(runs=60)
+
+
+def test_matrix(benchmark, report, matrix):
+    rep = benchmark.pedantic(run_matrix, kwargs=dict(
+        runs=25, exhaustive_small=False), rounds=1, iterations=1)
+    assert rep.rows
+    report("Fig.2 spec-satisfaction matrix (impl x style)", matrix.render())
+
+    rows = matrix.rows
+    # The paper's shape assertions.
+    for name in ("locked-queue", "ms-queue/sc", "ms-queue/ra"):
+        assert all(c.ok for c in rows[name].values()), name
+    assert rows["hw-queue/rlx"][SpecStyle.LAT_HB].ok
+    assert not rows["hw-queue/rlx"][SpecStyle.LAT_HB_ABS].ok
+    assert not rows["hw-queue/rlx"][SpecStyle.LAT_SO_ABS].ok
+    # The Vyukov MPMC queue sits in the same §3.2 class as Herlihy–Wing.
+    assert rows["vyukov-queue/rlx"][SpecStyle.LAT_HB].ok
+    assert not rows["vyukov-queue/rlx"][SpecStyle.LAT_HB_ABS].ok
+    assert any(c.raced for c in rows["ms-queue/broken-rlx"].values())
+    assert all(c.ok for c in rows["treiber/rel-acq"].values())
+    assert all(c.ok for c in rows["elim-stack"].values())

@@ -1,0 +1,53 @@
+"""E8 — memory-model validation: the litmus catalogue, exhaustively.
+
+Regenerates the substrate-soundness table: for each litmus shape, the
+complete outcome set under exhaustive exploration, with the key
+allowed/forbidden verdicts the paper's §2.3 semantics implies.
+"""
+
+import pytest
+
+from repro.rmc import RLX, SC
+from repro.rmc.litmus import (CATALOGUE, load_buffering, message_passing,
+                              na_publication, outcomes, races,
+                              store_buffering)
+
+
+@pytest.mark.parametrize("name", sorted(CATALOGUE))
+def test_litmus_outcomes(benchmark, report, name):
+    factory = CATALOGUE[name]
+    outs = benchmark.pedantic(outcomes, args=(factory,), rounds=1,
+                              iterations=1)
+    report(f"E8 litmus {name}",
+           "\n".join(str(o) for o in sorted(outs, key=repr)))
+    assert outs
+
+
+def test_litmus_verdicts(benchmark, report):
+    def verdicts():
+        return {
+            "MP weak outcome (rel/acq)":
+                any(o[-1] == (1, 0) for o in outcomes(message_passing())),
+            "MP weak outcome (rlx)":
+                any(o[-1] == (1, 0)
+                    for o in outcomes(message_passing(RLX, RLX))),
+            "SB 0/0 (rlx)": (0, 0) in outcomes(store_buffering()),
+            "SB 0/0 (sc)": (0, 0) in outcomes(store_buffering(SC, SC)),
+            "LB 1/1": (1, 1) in outcomes(load_buffering()),
+            "NA-pub races (rel/acq)": races(na_publication()) > 0,
+            "NA-pub races (rlx)": races(na_publication(RLX, RLX)) > 0,
+        }
+    v = benchmark.pedantic(verdicts, rounds=1, iterations=1)
+    expected = {
+        "MP weak outcome (rel/acq)": False,
+        "MP weak outcome (rlx)": True,
+        "SB 0/0 (rlx)": True,
+        "SB 0/0 (sc)": False,
+        "LB 1/1": False,
+        "NA-pub races (rel/acq)": False,
+        "NA-pub races (rlx)": True,
+    }
+    lines = [f"{k:<28} observed={v[k]!s:<6} expected={expected[k]}"
+             for k in sorted(v)]
+    report("E8 litmus verdict summary", "\n".join(lines))
+    assert v == expected

@@ -1,0 +1,106 @@
+"""E9 — microbenchmarks and ablations of the framework itself.
+
+Measures the knobs DESIGN.md calls out: machine step throughput, the cost
+of race detection, the cost of event/ghost instrumentation, view-join
+cost, and exploration throughput.  These are true repeated-timing
+benchmarks (pytest-benchmark statistics apply).
+"""
+
+import pytest
+
+from repro.checking import mixed_stress
+from repro.libs import MSQueue, RELACQ
+from repro.rmc import (ACQ, REL, RLX, Load, Program, RandomDecider, Store,
+                       View, explore_all)
+
+
+def counter_program(ops=200):
+    def setup(mem):
+        return {"x": mem.alloc("x", 0), "f": mem.alloc("f", 0)}
+
+    def producer(env):
+        for i in range(ops):
+            yield Store(env["x"], i, RLX)
+            yield Store(env["f"], i, REL)
+
+    def consumer(env):
+        for _ in range(ops):
+            yield Load(env["f"], ACQ)
+            yield Load(env["x"], RLX)
+    return Program(setup, [producer, consumer])
+
+
+class TestMachineThroughput:
+    def test_steps_with_race_detection(self, benchmark):
+        def run():
+            r = counter_program().run(RandomDecider(1))
+            assert r.ok
+            return r.steps
+        steps = benchmark(run)
+        assert steps == 800
+
+    def test_steps_without_race_detection(self, benchmark):
+        def run():
+            r = counter_program().run(RandomDecider(1),
+                                      race_detection=False)
+            return r.steps
+        assert benchmark(run) == 800
+
+
+class TestInstrumentationCost:
+    def test_queue_workload_with_events(self, benchmark):
+        factory = mixed_stress(lambda m: MSQueue.setup(m, "q", RELACQ),
+                               "queue", threads=2, ops_per_thread=4, seed=1)
+
+        def run():
+            r = factory().run(RandomDecider(2))
+            assert r.ok
+            return len(r.env["lib"].registry.events)
+        events = benchmark(run)
+        assert events > 0
+
+    def test_graph_construction(self, benchmark):
+        factory = mixed_stress(lambda m: MSQueue.setup(m, "q", RELACQ),
+                               "queue", threads=3, ops_per_thread=4, seed=2)
+        result = factory().run(RandomDecider(3))
+        lib = result.env["lib"]
+        g = benchmark(lib.graph)
+        assert len(g.events) > 0
+
+
+class TestViewOps:
+    def test_join_disjoint(self, benchmark):
+        a = View({i: i for i in range(1, 40)})
+        b = View({i: i for i in range(40, 80)})
+        benchmark(a.join, b)
+
+    def test_join_subsumed(self, benchmark):
+        a = View({i: i for i in range(1, 80)})
+        b = View({i: i for i in range(1, 10)})
+        out = benchmark(a.join, b)
+        assert out is a
+
+    def test_leq(self, benchmark):
+        a = View({i: i for i in range(1, 60)})
+        b = View({i: i + 1 for i in range(1, 60)})
+        assert benchmark(a.leq, b)
+
+
+class TestExplorationThroughput:
+    def test_exhaustive_enumeration(self, benchmark):
+        def setup(mem):
+            return {"x": mem.alloc("x", 0)}
+
+        def w(env):
+            yield Store(env["x"], 1, RLX)
+            yield Store(env["x"], 2, RLX)
+
+        def r(env):
+            yield Load(env["x"], RLX)
+            yield Load(env["x"], RLX)
+
+        def run():
+            return sum(1 for _ in explore_all(
+                lambda: Program(setup, [w, r])))
+        count = benchmark(run)
+        assert count > 10

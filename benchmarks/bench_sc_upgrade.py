@@ -1,0 +1,101 @@
+"""E11 — the SC-upgrade ablation: memory-model vs algorithmic weakness.
+
+Running every atomic at seq-cst (`sc_upgrade=True`) removes all
+memory-model weakness.  Two findings:
+
+* every litmus weak outcome vanishes (the knob works);
+* the Herlihy–Wing queue **still** fails abstract-state construction at
+  its commit points — its dequeue commits (slot swaps) can order
+  non-FIFO even under sequential consistency.  The paper's observation
+  that verifying HW against abstract-state specs needs prophecy (§3.2)
+  is therefore *algorithmic*, not a relaxed-memory artifact — which
+  matches history: the SC Herlihy–Wing queue is the canonical
+  prophecy-variable example [Jung et al. 2020, cited by the paper].
+
+Note: the upgraded runs are checked with ``LAT_so^abs`` (abstract state +
+so only).  Our SC modeling synchronizes through a global SC view, which
+makes lhb denser than C11's SC semantics would; lhb-based conditions
+under the upgrade would over-report, so the lhb-free style is the honest
+probe here (see docs/memory_model.md, "Fidelity").
+"""
+
+from repro.core import SpecStyle, check_style
+from repro.libs import HWQueue, MSQueue, RELACQ
+from repro.rmc import Program, explore_all, explore_random
+from repro.rmc.litmus import load_buffering, message_passing, store_buffering
+from repro.rmc.modes import RLX
+
+
+def upgraded_outcomes(factory):
+    seen = set()
+    for r in explore_all(factory, sc_upgrade=True):
+        if r.ok:
+            seen.add(tuple(r.returns[tid] for tid in sorted(r.returns)))
+    return seen
+
+
+def test_litmus_weak_outcomes_vanish(benchmark, report):
+    def run():
+        mp = upgraded_outcomes(message_passing(RLX, RLX))
+        sb = upgraded_outcomes(store_buffering(RLX, RLX))
+        lb = upgraded_outcomes(load_buffering())
+        return mp, sb, lb
+    mp, sb, lb = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(o[-1] != (1, 0) for o in mp), "MP stale read must vanish"
+    assert (0, 0) not in sb, "SB 0/0 must vanish"
+    assert (1, 1) not in lb
+    report("E11 SC-upgrade: litmus weak outcomes",
+           f"MP stale-read: gone\nSB 0/0: gone\nLB 1/1: gone")
+
+
+def queue_factory(build):
+    def setup(mem):
+        return {"q": build(mem)}
+
+    def p1(env):
+        yield from env["q"].enqueue(1)
+
+    def p2(env):
+        yield from env["q"].enqueue(2)
+
+    def c(env):
+        out = []
+        for _ in range(2):
+            out.append((yield from env["q"].try_dequeue()))
+        return out
+    return lambda: Program(setup, [p1, p2, c, c])
+
+
+def abs_failures(build, sc_upgrade, runs=1200):
+    bad = n = 0
+    for r in explore_random(queue_factory(build), runs=runs, seed=3,
+                            sc_upgrade=sc_upgrade):
+        if not r.ok:
+            continue
+        n += 1
+        g = r.env["q"].graph()
+        bad += not check_style(g, "queue", SpecStyle.LAT_SO_ABS).ok
+    return bad, n
+
+
+def test_hw_prophecy_need_is_algorithmic(benchmark, report):
+    def run():
+        hw = lambda mem: HWQueue.setup(mem, "q", capacity=8)
+        ms = lambda mem: MSQueue.setup(mem, "q", RELACQ)
+        return {
+            "hw relaxed": abs_failures(hw, False),
+            "hw SC-upgraded": abs_failures(hw, True),
+            "ms relaxed": abs_failures(ms, False),
+            "ms SC-upgraded": abs_failures(ms, True),
+        }
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{k:<16} ABS-STATE failures: {bad}/{n}"
+             for k, (bad, n) in results.items()]
+    report("E11 SC-upgrade: abstract-state construction per config",
+           "\n".join(lines) +
+           "\n(HW fails even at seq-cst: the prophecy need is algorithmic)")
+    assert results["hw relaxed"][0] > 0
+    assert results["hw SC-upgraded"][0] > 0, \
+        "HW's non-FIFO commit order must survive the SC upgrade"
+    assert results["ms relaxed"][0] == 0
+    assert results["ms SC-upgraded"][0] == 0

@@ -1,0 +1,20 @@
+"""Benchmark helpers: uncaptured table reporting.
+
+Every bench regenerates one of the paper's artifacts (DESIGN.md's
+per-experiment index) and prints its rows through ``capsys.disabled()`` so
+they reach the terminal (and ``tee``) even under pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """``report(title, text)`` prints a bench's table uncaptured."""
+    def emit(title: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            print(text)
+    return emit

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Interactive-ish litmus explorer: enumerate outcome sets of the
+classic weak-memory shapes under the simulator's ORC11-style semantics.
+
+For each litmus in the catalogue the explorer enumerates *every*
+execution (all interleavings x all coherence-permitted read choices) and
+prints the complete outcome set, flagging the signature weak behaviour
+and whether the model allows it — a compact visualization of what
+"relaxed" buys and what release/acquire restores.
+"""
+
+from repro.rmc import RLX
+from repro.rmc.litmus import CATALOGUE, na_publication, outcomes, races
+
+SIGNATURES = {
+    "MP+rel+acq": ("consumer sees flag=1 but stale data",
+                   lambda outs: any(o[-1] == (1, 0) for o in outs), False),
+    "MP+rlx": ("consumer sees flag=1 but stale data",
+               lambda outs: any(o[-1] == (1, 0) for o in outs), True),
+    "MP+fences": ("consumer sees flag=1 but stale data",
+                  lambda outs: any(o[-1] == (1, 0) for o in outs), False),
+    "SB+rlx": ("both threads read 0",
+               lambda outs: (0, 0) in outs, True),
+    "SB+ra": ("both threads read 0",
+              lambda outs: (0, 0) in outs, True),
+    "SB+sc": ("both threads read 0",
+              lambda outs: (0, 0) in outs, False),
+    "LB": ("both loads read the other thread's future store",
+           lambda outs: (1, 1) in outs, False),
+    "CoRR": ("a thread reads modification order backwards",
+             lambda outs: any(o[-1] in {(1, 0), (2, 0), (2, 1)}
+                              for o in outs), False),
+    "CoWW-CoWR": ("a thread reads a write mo-older than its own",
+                  lambda outs: any(o[0] == 1 for o in outs), False),
+    "RelSeq-RMW": ("acquirer of the CAS'd value misses the data",
+                   lambda outs: any(o[-1] == (2, 0) for o in outs), False),
+    "IRIW+acq": ("readers disagree on the write order",
+                 lambda outs: (None, None, (1, 0), (1, 0)) in outs, True),
+    "IRIW+scfence": ("readers disagree on the write order",
+                     lambda outs: (None, None, (1, 0), (1, 0)) in outs,
+                     False),
+    "WRC": ("relayed write invisible to the third thread",
+            lambda outs: any(o[2] == (1, 0) for o in outs), False),
+    "S": ("(final-state shape; see tests for the mo assertion)",
+          lambda outs: False, False),
+}
+
+
+def main() -> None:
+    print(f"{'litmus':<14} {'#outcomes':>9}  weak behaviour"
+          f"{'':<40} allowed?")
+    print("-" * 92)
+    for name in sorted(CATALOGUE):
+        outs = outcomes(CATALOGUE[name])
+        desc, probe, expected = SIGNATURES[name]
+        observed = probe(outs)
+        verdict = "ALLOWED" if observed else "forbidden"
+        marker = "" if observed == expected else "  <-- UNEXPECTED"
+        print(f"{name:<14} {len(outs):>9}  {desc:<52} {verdict}{marker}")
+        assert observed == expected, name
+
+    print("\nnon-atomic publication (race detector):")
+    for label, pub, con in [("rel/acq", None, None),
+                            ("rlx/rlx", RLX, RLX)]:
+        if pub is None:
+            n = races(na_publication())
+        else:
+            n = races(na_publication(pub, con))
+        print(f"  {label:<10} racy executions: {n} "
+              f"({'UB detected' if n else 'race-free'})")
+
+    print("\nfull outcome sets:")
+    for name in sorted(CATALOGUE):
+        outs = sorted(outcomes(CATALOGUE[name]), key=repr)
+        print(f"  {name}: {outs}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,183 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Gives downstream users the paper's experiments without writing code:
+
+    python -m repro litmus            # E8: litmus outcome sets
+    python -m repro mp                # E1: Fig. 1 MP client
+    python -m repro matrix            # E2: spec-satisfaction matrix
+    python -m repro client-logic      # E3: spec-level outcome enumeration
+    python -m repro spsc              # E4: SPSC FIFO sweep
+    python -m repro elim              # E6: elimination-stack composition
+    python -m repro effort            # E7: mechanization-effort table
+    python -m repro loc               # source inventory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_litmus(_args) -> int:
+    from .rmc.litmus import CATALOGUE, outcomes
+    for name in sorted(CATALOGUE):
+        outs = sorted(outcomes(CATALOGUE[name]), key=repr)
+        print(f"{name}: {len(outs)} outcomes")
+        for o in outs:
+            print(f"    {o}")
+    return 0
+
+
+def cmd_mp(args) -> int:
+    from .checking import GAVE_UP, mp_queue
+    from .core import EMPTY
+    from .libs import HWQueue, MSQueue, RELACQ
+    from .rmc import explore_random
+    builds = {
+        "ms": lambda mem: MSQueue.setup(mem, "q", RELACQ),
+        "hw": lambda mem: HWQueue.setup(mem, "q", capacity=4),
+    }
+    for name, build in builds.items():
+        for use_flag in (True, False):
+            empties = done = 0
+            for r in explore_random(
+                    mp_queue(build, use_flag=use_flag, spin_bound=25),
+                    runs=args.runs, seed=1):
+                if not r.ok or r.returns[2] is GAVE_UP:
+                    continue
+                done += 1
+                empties += r.returns[2] is EMPTY
+            flag = "with flag" if use_flag else "WITHOUT flag"
+            print(f"{name} {flag}: {done} completed, "
+                  f"right-thread empty: {empties}")
+    return 0
+
+
+def cmd_matrix(args) -> int:
+    from .checking import run_matrix
+    print(run_matrix(runs=args.runs).render())
+    return 0
+
+
+def cmd_client_logic(_args) -> int:
+    from .core import (EMPTY, SpecStyle, mp_skeleton, possible_outcomes,
+                       spsc_skeleton)
+    skel = mp_skeleton()
+    for style in (SpecStyle.LAT_SO_ABS, SpecStyle.LAT_HB_ABS,
+                  SpecStyle.LAT_HB):
+        outs = possible_outcomes(skel, style)
+        shown = sorted(
+            "(" + ", ".join("ε" if v is EMPTY else str(v) for v in o) + ")"
+            for o in outs)
+        print(f"{style}: {shown}")
+    outs = possible_outcomes(spsc_skeleton(3), SpecStyle.LAT_HB)
+    full = sorted(str(o) for o in outs if EMPTY not in o)
+    print(f"SPSC(3) complete transfers under LAT_hb: {full}")
+    return 0
+
+
+def cmd_spsc(args) -> int:
+    from .checking import spsc
+    from .libs import HWQueue, MSQueue, RELACQ
+    from .rmc import explore_random
+    builds = {
+        "ms": lambda mem: MSQueue.setup(mem, "q", RELACQ),
+        "hw": lambda mem: HWQueue.setup(mem, "q", capacity=64),
+    }
+    for name, build in builds.items():
+        for n in (2, 4, 8):
+            bad = 0
+            for r in explore_random(spsc(build, n=n), runs=args.runs,
+                                    seed=n):
+                if r.ok:
+                    got = r.returns[1]
+                    bad += got != list(range(1, len(got) + 1))
+            print(f"{name} n={n}: FIFO violations {bad}/{args.runs}")
+    return 0
+
+
+def cmd_elim(args) -> int:
+    from .core import SpecStyle, check_style
+    from .libs import ElimStack
+    from .rmc import Program, explore_random
+
+    def setup(mem):
+        return {"s": ElimStack.setup(mem, "es", patience=4, attempts=2,
+                                     elim_only=True)}
+
+    def pusher(env):
+        yield from env["s"].try_push(1)
+        yield from env["s"].try_push(2)
+
+    def popper(env):
+        yield from env["s"].try_pop()
+        yield from env["s"].try_pop()
+    bad = elim = 0
+    for r in explore_random(lambda: Program(setup, [pusher, popper]),
+                            runs=args.runs, seed=1, max_steps=60_000):
+        if not r.ok:
+            continue
+        g = r.env["s"].graph()
+        bad += not check_style(g, "stack", SpecStyle.LAT_HB).ok
+        elim += len(r.env["s"].ex.registry.so) // 2
+    print(f"elim-only ES: violations={bad}, eliminated pairs={elim} "
+          f"over {args.runs} runs")
+    return 0
+
+
+def cmd_effort(_args) -> int:
+    import importlib.util
+    import os
+    bench = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "benchmarks",
+        "bench_effort_table.py")
+    if os.path.exists(bench):
+        spec = importlib.util.spec_from_file_location("bench_effort", bench)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        from .checking import render_table, effort_table
+        print(render_table(effort_table(mod.battery())))
+        return 0
+    print("bench_effort_table.py not found (installed package without "
+          "the benchmarks tree)")
+    return 1
+
+
+def cmd_loc(_args) -> int:
+    import os
+    from .tools.loc import count_tree, summarize
+    root = os.path.dirname(os.path.abspath(__file__))
+    counts = count_tree(root)
+    for path, c in sorted(counts.items()):
+        print(f"{path:<40} code={c.code:>5} doc={c.doc:>5} total={c.total:>5}")
+    total = summarize(counts)
+    print(f"{'TOTAL':<40} code={total.code:>5} doc={total.doc:>5} "
+          f"total={total.total:>5}")
+    return 0
+
+
+COMMANDS = {
+    "litmus": cmd_litmus,
+    "mp": cmd_mp,
+    "matrix": cmd_matrix,
+    "client-logic": cmd_client_logic,
+    "spsc": cmd_spsc,
+    "elim": cmd_elim,
+    "effort": cmd_effort,
+    "loc": cmd_loc,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the Compass-reproduction experiments.")
+    parser.add_argument("command", choices=sorted(COMMANDS))
+    parser.add_argument("--runs", type=int, default=200,
+                        help="randomized executions per configuration")
+    args = parser.parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""`repro.checking` — scenarios, explorers-with-checkers, and reports.
+
+* clients (`repro.checking.clients`): the paper's MP (Fig. 1), SPSC
+  (§3.2), MP-stack, and seeded stress workloads;
+* runner (`repro.checking.runner`): explore + check + aggregate;
+* matrix (`repro.checking.matrix`): implementations × spec styles (E2);
+* stats (`repro.checking.stats`): the mechanization-effort table (E7).
+"""
+
+from .clients import (GAVE_UP, check_mp_outcome, check_mp_stack_outcome,
+                      check_spsc_outcome, mixed_stress, mp_queue, mp_stack,
+                      spsc)
+from .matrix import (Implementation, MatrixReport, default_implementations,
+                     run_matrix)
+from .runner import (GraphCase, Scenario, ScenarioReport, StyleTally,
+                     check_scenario, elim_stack_cases, single_library)
+from .stats import (DD_TREIBER_KLOC, PAPER_KLOC, EffortRow, effort_table,
+                    render_table)
+
+__all__ = [
+    "mp_queue", "mp_stack", "spsc", "mixed_stress", "GAVE_UP",
+    "check_mp_outcome", "check_mp_stack_outcome", "check_spsc_outcome",
+    "Scenario", "GraphCase", "ScenarioReport", "StyleTally",
+    "check_scenario", "single_library", "elim_stack_cases",
+    "Implementation", "MatrixReport", "run_matrix",
+    "default_implementations",
+    "PAPER_KLOC", "DD_TREIBER_KLOC", "EffortRow", "effort_table",
+    "render_table",
+]

@@ -1,0 +1,221 @@
+"""Client scenarios from the paper, as program factories.
+
+Each scenario builder returns a zero-argument *program factory* (explorers
+re-run programs from scratch) parameterized by a *library builder*: a
+callable ``(mem) -> library object`` so the same client runs against any
+implementation — the executable face of "clients are verified against the
+spec, not the implementation".
+
+Scenarios:
+
+* :func:`mp_queue` — Figure 1's message-passing client: after acquiring
+  the flag, the right-hand thread's dequeue can never be empty (the
+  headline verification of the paper);
+* :func:`spsc` — §3.2's single-producer single-consumer pipeline: the
+  consumer's output equals the producer's input (FIFO end to end);
+* :func:`mp_stack` — the stack analogue of MP (used with the elimination
+  stack to exercise the composed specification);
+* :func:`mixed_stress` — seeded pseudo-random operation mixes for the
+  spec-satisfaction matrix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Optional
+
+from ..core.event import EMPTY
+from ..rmc.memory import Memory
+from ..rmc.modes import ACQ, REL
+from ..rmc.ops import Load, Store
+from ..rmc.program import Program
+
+LibBuilder = Callable[[Memory], Any]
+
+#: Returned by bounded waits that never saw the signal (execution is then
+#: vacuous for the property under test).
+GAVE_UP = "GAVE_UP"
+
+
+def mp_queue(build_queue: LibBuilder, use_flag: bool = True,
+             spin_bound: int = 6, values=(41, 42)) -> Callable[[], Program]:
+    """Figure 1: MP through a queue.
+
+    Thread 0 enqueues both values and raises the flag (release); thread 1
+    dequeues once; thread 2 spins on the flag (acquire) and then dequeues.
+    With ``use_flag=False`` the external synchronization is dropped — the
+    control condition under which the empty dequeue *is* observable.
+
+    Thread returns: t1 -> its dequeue result; t2 -> its dequeue result or
+    ``GAVE_UP`` if the bounded flag wait never saw 1.
+    """
+    v1, v2 = values
+
+    def factory() -> Program:
+        def setup(mem):
+            return {"q": build_queue(mem), "flag": mem.alloc("flag", 0)}
+
+        def producer(env):
+            yield from env["q"].enqueue(v1)
+            yield from env["q"].enqueue(v2)
+            if use_flag:
+                yield Store(env["flag"], 1, REL)
+
+        def middle(env):
+            return (yield from env["q"].try_dequeue())
+
+        def right(env):
+            if use_flag:
+                for _ in range(spin_bound):
+                    f = yield Load(env["flag"], ACQ)
+                    if f == 1:
+                        break
+                else:
+                    return GAVE_UP
+            return (yield from env["q"].try_dequeue())
+
+        return Program(setup, [producer, middle, right], "mp-queue")
+    return factory
+
+
+def check_mp_outcome(result) -> None:
+    """Figure 1's property: the flag-synchronized dequeue is never empty."""
+    right = result.returns[2]
+    if right is GAVE_UP:
+        return
+    assert right is not EMPTY, (
+        "MP violation: flag-synchronized dequeue returned empty "
+        f"(trace={result.trace})")
+
+
+def spsc(build_queue: LibBuilder, n: int = 4,
+         consume_bound: Optional[int] = None) -> Callable[[], Program]:
+    """§3.2: producer enqueues ``1..n``; consumer collects ``n`` values.
+
+    The consumer repeatedly dequeues (tolerating ``EMPTY``) until it has
+    ``n`` values or exhausts ``consume_bound`` attempts (then it returns
+    the partial list — the FIFO check applies to whatever was received).
+    """
+    bound = consume_bound if consume_bound is not None else 12 * n + 20
+
+    def factory() -> Program:
+        def setup(mem):
+            return {"q": build_queue(mem)}
+
+        def producer(env):
+            for i in range(n):
+                yield from env["q"].enqueue(i + 1)
+
+        def consumer(env):
+            got: List[Any] = []
+            for _ in range(bound):
+                if len(got) == n:
+                    break
+                v = yield from env["q"].try_dequeue()
+                if v is not EMPTY and v is not None:
+                    got.append(v)
+            return got
+
+        return Program(setup, [producer, consumer], f"spsc-{n}")
+    return factory
+
+
+def check_spsc_outcome(n: int):
+    """FIFO end to end: the consumer saw a prefix-respecting sequence."""
+    def check(result) -> None:
+        got = result.returns[1]
+        assert got == list(range(1, len(got) + 1)), (
+            f"SPSC FIFO violation: consumer got {got} (trace={result.trace})")
+    return check
+
+
+def mp_stack(build_stack: LibBuilder, use_flag: bool = True,
+             spin_bound: int = 6, values=(41, 42)) -> Callable[[], Program]:
+    """The stack analogue of Figure 1 (pushes + flag; pop after acquire)."""
+    v1, v2 = values
+
+    def factory() -> Program:
+        def setup(mem):
+            return {"s": build_stack(mem), "flag": mem.alloc("flag", 0)}
+
+        def producer(env):
+            yield from env["s"].push(v1)
+            yield from env["s"].push(v2)
+            if use_flag:
+                yield Store(env["flag"], 1, REL)
+
+        def middle(env):
+            return (yield from env["s"].pop())
+
+        def right(env):
+            if use_flag:
+                for _ in range(spin_bound):
+                    f = yield Load(env["flag"], ACQ)
+                    if f == 1:
+                        break
+                else:
+                    return GAVE_UP
+            return (yield from env["s"].pop())
+
+        return Program(setup, [producer, middle, right], "mp-stack")
+    return factory
+
+
+def check_mp_stack_outcome(result) -> None:
+    right = result.returns[2]
+    if right is GAVE_UP:
+        return
+    assert right is not EMPTY, (
+        "MP-stack violation: flag-synchronized pop returned empty "
+        f"(trace={result.trace})")
+
+
+def mixed_stress(build_lib: LibBuilder, kind: str, threads: int = 3,
+                 ops_per_thread: int = 4, seed: int = 0,
+                 value_base: int = 100) -> Callable[[], Program]:
+    """Seeded pseudo-random producer/consumer mixes (matrix workloads).
+
+    The op sequence per thread is fixed at build time (derived from
+    ``seed``), so the factory describes one *program*; nondeterminism
+    comes from the explorer's scheduling and read choices only.
+    """
+    rng = random.Random(seed)
+    scripts: List[List[Any]] = []
+    counter = [0]
+    for _t in range(threads):
+        script = []
+        for _i in range(ops_per_thread):
+            if rng.random() < 0.55:
+                counter[0] += 1
+                script.append(("insert", value_base + counter[0]))
+            else:
+                script.append(("remove", None))
+        scripts.append(script)
+
+    def factory() -> Program:
+        def setup(mem):
+            return {"lib": build_lib(mem)}
+
+        def make_thread(script):
+            def thread(env):
+                lib = env["lib"]
+                results = []
+                for action, val in script:
+                    if action == "insert":
+                        if kind == "queue":
+                            yield from lib.enqueue(val)
+                        else:
+                            yield from lib.push(val)
+                        results.append(("insert", val))
+                    else:
+                        if kind == "queue":
+                            r = yield from lib.try_dequeue()
+                        else:
+                            r = yield from lib.try_pop()
+                        results.append(("remove", r))
+                return results
+            return thread
+
+        return Program(setup, [make_thread(s) for s in scripts],
+                       f"stress-{kind}-{seed}")
+    return factory

@@ -1,0 +1,197 @@
+"""The checking harness: explore executions, check graphs, aggregate.
+
+This is the executable stand-in for the paper's per-library Coq proofs:
+a :class:`Scenario` bundles a program factory with *graph extractors*
+(which library graphs to pull out of a finished execution and which
+consistency kind / linearization applies), and :func:`check_scenario`
+explores the execution space — exhaustively for bounded scenarios,
+randomized for larger ones — checking every graph of every complete
+execution against the requested spec styles.
+
+A completed :class:`ScenarioReport` answers, per style, "does this
+implementation satisfy this spec on this workload?", with counterexample
+decision traces kept for replay when it does not.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core.graph import Graph
+from ..core.spec_styles import SpecStyle, check_style
+from ..rmc.explore import explore_all, explore_random
+from ..rmc.machine import ExecutionResult
+
+GraphExtractor = Callable[[ExecutionResult], List["GraphCase"]]
+
+
+@dataclass
+class GraphCase:
+    """One graph to check: its kind and an optional given linearization.
+
+    ``styles`` optionally restricts which of the requested spec styles
+    apply to this graph (e.g. an exchanger graph only supports ``LAT_hb``
+    consistency — there is no sequential interpretation to linearize
+    against).
+    """
+
+    kind: str
+    graph: Graph
+    to: Optional[Sequence[int]] = None
+    label: str = ""
+    styles: Optional[Sequence[SpecStyle]] = None
+
+
+@dataclass
+class Scenario:
+    """A checkable workload: program factory + what to check about it."""
+
+    name: str
+    factory: Callable[[], Any]
+    extract: GraphExtractor
+    #: Optional whole-execution property (e.g. Fig. 1's "never empty").
+    outcome_check: Optional[Callable[[ExecutionResult], None]] = None
+
+
+@dataclass
+class StyleTally:
+    """Per-style violation counts across an exploration."""
+
+    checked: int = 0
+    failed: int = 0
+    examples: List[str] = field(default_factory=list)
+    failing_traces: List[List] = field(default_factory=list)
+
+    def record(self, ok: bool, violations, trace) -> None:
+        self.checked += 1
+        if not ok:
+            self.failed += 1
+            if len(self.examples) < 3:
+                self.examples.extend(str(v) for v in violations[:3])
+                self.failing_traces.append(list(trace))
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+
+@dataclass
+class ScenarioReport:
+    """Aggregate result of checking one scenario."""
+
+    scenario: str
+    executions: int = 0
+    complete: int = 0
+    truncated: int = 0
+    raced: int = 0
+    steps: int = 0
+    seconds: float = 0.0
+    exhausted: bool = False
+    styles: Dict[SpecStyle, StyleTally] = field(default_factory=dict)
+    outcome_failures: int = 0
+    outcome_examples: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (self.raced == 0 and self.outcome_failures == 0
+                and all(t.ok for t in self.styles.values()))
+
+    def summary(self) -> str:
+        lines = [
+            f"scenario {self.scenario}: {self.executions} executions "
+            f"({self.complete} complete, {self.truncated} truncated, "
+            f"{self.raced} raced), {self.steps} steps, "
+            f"{self.seconds:.2f}s"
+            + (", exhausted" if self.exhausted else "")
+        ]
+        for style, tally in self.styles.items():
+            status = "OK" if tally.ok else f"FAILED x{tally.failed}"
+            lines.append(f"  {style}: {status} over {tally.checked} graphs")
+            for ex in tally.examples[:2]:
+                lines.append(f"    e.g. {ex}")
+        if self.outcome_failures:
+            lines.append(f"  outcome check FAILED x{self.outcome_failures}")
+        return "\n".join(lines)
+
+
+def check_scenario(
+    scenario: Scenario,
+    styles: Sequence[SpecStyle] = (SpecStyle.LAT_HB,),
+    exhaustive: bool = False,
+    runs: int = 300,
+    seed: int = 0,
+    max_steps: int = 20_000,
+    max_executions: int = 100_000,
+) -> ScenarioReport:
+    """Explore the scenario and check every complete execution."""
+    report = ScenarioReport(scenario=scenario.name)
+    report.styles = {s: StyleTally() for s in styles}
+    start = time.perf_counter()
+    if exhaustive:
+        source = explore_all(scenario.factory, max_steps=max_steps,
+                             max_executions=max_executions)
+    else:
+        source = explore_random(scenario.factory, runs=runs, seed=seed,
+                                max_steps=max_steps)
+    for result in source:
+        report.executions += 1
+        report.steps += result.steps
+        if result.race is not None:
+            report.raced += 1
+            continue
+        if result.truncated:
+            report.truncated += 1
+            continue
+        report.complete += 1
+        if scenario.outcome_check is not None:
+            try:
+                scenario.outcome_check(result)
+            except AssertionError as err:
+                report.outcome_failures += 1
+                if len(report.outcome_examples) < 3:
+                    report.outcome_examples.append(str(err))
+        for case in scenario.extract(result):
+            for style in styles:
+                if case.styles is not None and style not in case.styles:
+                    continue
+                res = check_style(case.graph, case.kind, style, to=case.to)
+                report.styles[style].record(res.ok, res.violations,
+                                            result.trace)
+        if report.executions >= max_executions:
+            break
+    report.exhausted = exhaustive and report.executions < max_executions
+    report.seconds = time.perf_counter() - start
+    return report
+
+
+# ----------------------------------------------------------------------
+# Common extractors
+# ----------------------------------------------------------------------
+
+def single_library(env_key: str, kind: Optional[str] = None,
+                   with_to: bool = False) -> GraphExtractor:
+    """Extract the graph of the library stored at ``result.env[env_key]``.
+
+    ``with_to`` additionally pulls the implementation's own linearization
+    (`TreiberStack.linearization`) for ``LAT_hb^hist`` checking.
+    """
+    def extract(result: ExecutionResult) -> List[GraphCase]:
+        lib = result.env[env_key]
+        to = lib.linearization() if with_to else None
+        return [GraphCase(kind=kind or lib.kind, graph=lib.graph(), to=to,
+                          label=env_key)]
+    return extract
+
+
+def elim_stack_cases(env_key: str = "s") -> GraphExtractor:
+    """Composed ES graph + the underlying exchanger graph."""
+    def extract(result: ExecutionResult) -> List[GraphCase]:
+        es = result.env[env_key]
+        return [
+            GraphCase(kind="stack", graph=es.graph(), label="elim-stack"),
+            GraphCase(kind="exchanger", graph=es.ex.graph(),
+                      label="exchanger", styles=(SpecStyle.LAT_HB,)),
+        ]
+    return extract

@@ -1,0 +1,50 @@
+"""`repro.core` — the Compass specification framework, executably.
+
+* events & kinds (`repro.core.event`): ``Enq/Deq/Push/Pop/Exchange``,
+  the ``EMPTY`` (ε) and ``FAILED`` (⊥) sentinels;
+* `EventRegistry` (`repro.core.registry`): per-object ghost state driven
+  from commit hooks — fresh events, logical views via ghost view
+  components, ``so`` edges, and the prepare/commit-prepared helping
+  protocol;
+* `Graph` (`repro.core.graph`): event-graph snapshots with derived
+  ``lhb``, commit-order prefixes, and structural well-formedness checks;
+* consistency conditions (`repro.core.consistency`):
+  QueueConsistent / StackConsistent / ExchangerConsistent;
+* linearizable histories (`repro.core.history`): ``interp``, the search
+  linearizer, and modification-order-derived total orders;
+* spec styles (`repro.core.spec_styles`): the
+  ``SEQ ⊑ LAT_so^abs ⊑ LAT_hb^abs ⊒ LAT_hb ⊑ LAT_hb^hist`` ladder and
+  per-style checkers;
+* client logic (`repro.core.client_logic`): spec-level outcome
+  enumeration for client protocols (MP, SPSC).
+"""
+
+from .client_logic import (AbstractOp, ClientSkeleton, mp_skeleton,
+                           possible_outcomes, spsc_skeleton)
+from .consistency import (Violation, check_exchanger_consistent,
+                          check_queue_consistent, check_stack_consistent,
+                          check_wsdeque_consistent)
+from .event import (EMPTY, FAILED, Deq, Enq, Event, Exchange, Pop, Push,
+                    Steal, Take)
+from .graph import Graph
+from .history import (QueueSpec, StackSpec, check_linearizable_history,
+                      interp, linearize, respects_lhb, to_from_keys)
+from .protocol import (check_prefix_invariant, consistency_invariant,
+                       exchanger_prefix_errors, max_successful_removals)
+from .registry import EventRegistry, PreparedEvent
+from .spec_styles import CheckResult, SpecStyle, check_style
+
+__all__ = [
+    "EMPTY", "FAILED", "Enq", "Deq", "Push", "Pop", "Exchange", "Event",
+    "EventRegistry", "PreparedEvent", "Graph", "Violation",
+    "check_queue_consistent", "check_stack_consistent",
+    "check_exchanger_consistent", "check_wsdeque_consistent",
+    "Take", "Steal",
+    "interp", "linearize", "respects_lhb", "to_from_keys",
+    "check_linearizable_history", "QueueSpec", "StackSpec",
+    "SpecStyle", "CheckResult", "check_style",
+    "AbstractOp", "ClientSkeleton", "mp_skeleton", "spsc_skeleton",
+    "check_prefix_invariant", "consistency_invariant",
+    "max_successful_removals", "exchanger_prefix_errors",
+    "possible_outcomes",
+]

@@ -1,0 +1,213 @@
+"""Spec-level client reasoning: what can a client conclude from a spec?
+
+The paper's central motivation (§1.1, Fig. 1, Fig. 3) is that a client
+combining a library spec with *external* synchronization should be able to
+exclude weak outcomes — and that Cosmo's ``so``-only spec cannot do this
+for the MP client, while the ``hb`` specs can.
+
+This module reproduces that argument *as an automated check*.  A
+:class:`ClientSkeleton` describes the client's abstract protocol: the
+library operations each thread performs (program order included) and the
+external happens-before edges the client creates (e.g. through its flag).
+:func:`possible_outcomes` then plays the adversary: it enumerates every
+abstract execution — outcome assignment, matching, commit order, and the
+*minimal* lhb the client is entitled to assume — and keeps those the given
+spec style accepts.  An outcome absent from the result is *excluded by the
+spec*: every execution producing it violates the style's conditions, which
+is exactly what a client verification establishes.
+
+Adversary minimality: all style conditions quantify universally over
+``lhb`` ("for all e' with e' lhb e ..."), so enlarging ``lhb`` only shrinks
+the permitted behaviours; the transitive closure of
+``po ∪ external ∪ so`` is therefore the adversary's optimal choice.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Set, Tuple
+
+from ..rmc.view import View
+from .event import Deq, Enq, EMPTY, Pop, Push
+from .graph import Graph
+from .event import Event
+from .spec_styles import SpecStyle, check_style
+
+
+@dataclass(frozen=True)
+class AbstractOp:
+    """One library call in a client skeleton."""
+
+    name: str
+    thread: int
+    action: str  # "enq" | "deq" | "push" | "pop"
+    val: Any = None  # for enq/push
+
+
+@dataclass
+class ClientSkeleton:
+    """A client protocol: operations + external synchronization."""
+
+    kind: str  # "queue" | "stack"
+    ops: List[AbstractOp]
+    #: (earlier_name, later_name): client-created hb, e.g. via a flag.
+    external_hb: List[Tuple[str, str]] = field(default_factory=list)
+    name: str = "client"
+
+    def producers(self) -> List[AbstractOp]:
+        return [o for o in self.ops if o.action in ("enq", "push")]
+
+    def consumers(self) -> List[AbstractOp]:
+        return [o for o in self.ops if o.action in ("deq", "pop")]
+
+
+def _transitive_closure(n: int, edges: Set[Tuple[int, int]]) -> Dict[int, Set[int]]:
+    preds: Dict[int, Set[int]] = {i: set() for i in range(n)}
+    for a, b in edges:
+        preds[b].add(a)
+    changed = True
+    while changed:
+        changed = False
+        for b in range(n):
+            extra = set()
+            for a in preds[b]:
+                extra |= preds[a]
+            if not extra <= preds[b]:
+                preds[b] |= extra
+                changed = True
+    return preds
+
+
+def possible_outcomes(
+    skeleton: ClientSkeleton,
+    style: SpecStyle,
+    max_orders_per_matching: int = 100_000,
+) -> Set[Tuple[Any, ...]]:
+    """All consumer-outcome tuples some spec-consistent execution yields.
+
+    The tuple lists, in skeleton order, each consumer operation's result
+    (``EMPTY`` or the matched producer's value).
+    """
+    ops = skeleton.ops
+    index = {op.name: i for i, op in enumerate(ops)}
+    n = len(ops)
+    producers = [i for i, op in enumerate(ops) if op.action in ("enq", "push")]
+    consumers = [i for i, op in enumerate(ops) if op.action in ("deq", "pop")]
+
+    base_edges: Set[Tuple[int, int]] = set()
+    by_thread: Dict[int, List[int]] = {}
+    for i, op in enumerate(ops):
+        by_thread.setdefault(op.thread, []).append(i)
+    for tids in by_thread.values():
+        base_edges.update(zip(tids, tids[1:]))
+    for a, b in skeleton.external_hb:
+        base_edges.add((index[a], index[b]))
+
+    outcomes: Set[Tuple[Any, ...]] = set()
+
+    # A matching assigns each consumer EMPTY (None) or a distinct producer.
+    for assignment in itertools.product([None] + producers,
+                                        repeat=len(consumers)):
+        chosen = [p for p in assignment if p is not None]
+        if len(chosen) != len(set(chosen)):
+            continue
+        outcome = tuple(
+            EMPTY if p is None else ops[p].val
+            for p in assignment)
+        if outcome in outcomes:
+            continue
+        so = {(p, c) for p, c in zip(assignment, consumers) if p is not None}
+        preds = _transitive_closure(n, base_edges | so)
+        if any(i in preds[i] for i in range(n)):
+            continue  # cyclic constraints: impossible matching
+        if _matching_admitted(skeleton, style, ops, preds, so, consumers,
+                              assignment, max_orders_per_matching):
+            outcomes.add(outcome)
+    return outcomes
+
+
+def _matching_admitted(skeleton, style, ops, preds, so, consumers,
+                       assignment, max_orders) -> bool:
+    """Is there a spec-consistent commit order for this matching?"""
+    n = len(ops)
+    tried = 0
+    for order in _topological_orders(n, preds):
+        tried += 1
+        if tried > max_orders:
+            break
+        graph = _build_graph(skeleton, ops, preds, so, consumers,
+                             assignment, order)
+        if check_style(graph, skeleton.kind, style).ok:
+            return True
+    return False
+
+
+def _topological_orders(n: int, preds: Dict[int, Set[int]]):
+    """All linear extensions of the precedence relation (backtracking)."""
+    def rec(done: Tuple[int, ...], remaining: FrozenSet[int]):
+        if not remaining:
+            yield list(done)
+            return
+        done_set = set(done)
+        for i in sorted(remaining):
+            if preds[i] <= done_set:
+                yield from rec(done + (i,), remaining - {i})
+    yield from rec((), frozenset(range(n)))
+
+
+def _build_graph(skeleton, ops, preds, so, consumers, assignment,
+                 order) -> Graph:
+    position = {i: pos for pos, i in enumerate(order)}
+    match_of = dict(zip(consumers, assignment))
+    events: Dict[int, Event] = {}
+    for i, op in enumerate(ops):
+        if op.action == "enq":
+            kind = Enq(op.val)
+        elif op.action == "push":
+            kind = Push(op.val)
+        else:
+            matched = match_of.get(i)
+            val = EMPTY if matched is None else ops[matched].val
+            kind = Deq(val) if op.action == "deq" else Pop(val)
+        logview = frozenset(preds[i] | {i})
+        view = View({100 + j: 1 for j in logview})
+        events[i] = Event(
+            eid=i,
+            kind=kind,
+            view=view,
+            logview=logview,
+            thread=op.thread,
+            commit_index=position[i],
+        )
+    return Graph(events=events, so=frozenset(so))
+
+
+# ----------------------------------------------------------------------
+# The paper's client skeletons
+# ----------------------------------------------------------------------
+
+def mp_skeleton(kind: str = "queue") -> ClientSkeleton:
+    """Figure 1: two enqueues + flag; one plain dequeue; one dequeue after
+    acquiring the flag (external hb from both enqueues)."""
+    prod, cons = ("enq", "deq") if kind == "queue" else ("push", "pop")
+    return ClientSkeleton(
+        kind=kind,
+        ops=[
+            AbstractOp("e1", 0, prod, 41),
+            AbstractOp("e2", 0, prod, 42),
+            AbstractOp("d2", 1, cons),
+            AbstractOp("d3", 2, cons),
+        ],
+        external_hb=[("e1", "d3"), ("e2", "d3")],
+        name=f"MP-{kind}",
+    )
+
+
+def spsc_skeleton(n: int = 3, kind: str = "queue") -> ClientSkeleton:
+    """Section 3.2: single producer enqueues 1..n in order; single consumer
+    performs n dequeues (no external synchronization)."""
+    prod, cons = ("enq", "deq") if kind == "queue" else ("push", "pop")
+    ops = [AbstractOp(f"e{i}", 0, prod, i + 1) for i in range(n)]
+    ops += [AbstractOp(f"d{i}", 1, cons) for i in range(n)]
+    return ClientSkeleton(kind=kind, ops=ops, name=f"SPSC-{kind}-{n}")

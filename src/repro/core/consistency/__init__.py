@@ -1,0 +1,17 @@
+"""Library-specific consistency conditions on event graphs."""
+
+from .base import Violation, check_so_in_lhb, matching
+from .deque import check_wsdeque_consistent
+from .exchanger import check_exchanger_consistent
+from .queue import check_queue_consistent
+from .stack import check_stack_consistent
+
+__all__ = [
+    "Violation",
+    "matching",
+    "check_so_in_lhb",
+    "check_queue_consistent",
+    "check_stack_consistent",
+    "check_exchanger_consistent",
+    "check_wsdeque_consistent",
+]

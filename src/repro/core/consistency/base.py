@@ -1,0 +1,61 @@
+"""Shared scaffolding for library consistency conditions.
+
+A consistency condition is a predicate over an event graph (paper
+Section 3.1: "library-specific consistency conditions on the partial
+orders").  Checkers return a list of :class:`Violation`; the empty list
+means the graph is consistent.  Each violation names the rule (using the
+paper's rule names where they exist) and a human-readable diagnosis that
+includes the offending event ids, so a failing check can be replayed and
+inspected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..graph import Graph
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed consistency rule instance."""
+
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.detail}"
+
+
+def matching(graph: Graph) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
+    """``so`` adjacency: (source -> targets, target -> sources)."""
+    out: Dict[int, List[int]] = {}
+    into: Dict[int, List[int]] = {}
+    for a, b in sorted(graph.so):
+        out.setdefault(a, []).append(b)
+        into.setdefault(b, []).append(a)
+    return out, into
+
+
+def check_so_in_lhb(graph: Graph, rule: str) -> List[Violation]:
+    """Every ``so`` edge must be an ``lhb`` edge with increasing commits.
+
+    (The view transfer at the matched pair's commits is what the paper's
+    specs express by handing the dequeuer the enqueuer's view.)
+    """
+    violations = []
+    for a, b in sorted(graph.so):
+        if a not in graph.events or b not in graph.events:
+            continue  # reported by well-formedness
+        if not graph.lhb(a, b):
+            violations.append(Violation(
+                rule, f"so edge e{a}→e{b} not in lhb"))
+        elif graph.events[a].commit_index >= graph.events[b].commit_index:
+            violations.append(Violation(
+                rule, f"so edge e{a}→e{b} commits out of order"))
+        if not graph.events[a].view.leq(graph.events[b].view):
+            violations.append(Violation(
+                rule,
+                f"so edge e{a}→e{b} does not transfer the physical view"))
+    return violations

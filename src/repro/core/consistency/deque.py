@@ -1,0 +1,147 @@
+"""``WSDequeConsistent``: consistency for work-stealing deques.
+
+The paper names work-stealing queues as future work for the Compass
+approach (§6); this instance applies the same recipe.  Events are the
+owner's ``Push``/``Take`` (young end) and thieves' ``Steal`` (old end).
+
+Rules:
+
+* WSD-TYPES / WSD-MATCHES / WSD-INJ / WSD-SO-HB — as for queues/stacks;
+* WSD-OWNER — pushes and takes are performed by a single owner thread
+  (and are therefore totally ordered by program order);
+* WSD-SHAPE — the abstract deque replay along the commit order holds:
+  a push appends at the young end, a take removes the young end's
+  element, a steal removes the old end's element.  (Steals commit at
+  seq-cst CASes on ``top`` and takes at owner instructions, which is why
+  — unlike the Herlihy–Wing queue — the natural commit points *do*
+  produce the abstract state here.)
+* WSD-EMPTY-TAKE — an empty *take* commits only if every push that
+  happens-before it is already removed in the graph at its commit (the
+  strict EMPDEQ analogue; sound because the owner program-order-knows all
+  pushes and observes every top advance before declaring empty);
+* WSD-EMPTY-STEAL — the *weak* form for thieves: a push that
+  happens-before an empty steal is never *lost* — it must be removed
+  somewhere in the (complete) graph, though possibly by a removal the
+  steal even happens-before.  The stricter forms are genuinely
+  unsatisfiable: the owner *reserves* the young element by decrementing
+  ``bottom`` before its take commits, so a synchronized thief can
+  correctly observe emptiness while the reserved element's removal is
+  still in flight — and that removal can even be hb-after the steal
+  (fence chains).  This is the owner-side analogue of the
+  future-dependence that bars the Herlihy–Wing queue from the
+  abstract-state styles (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..event import Push, Steal, Take
+from ..graph import Graph
+from .base import Violation, check_so_in_lhb, matching
+
+
+def check_wsdeque_consistent(graph: Graph) -> List[Violation]:
+    """All WSDequeConsistent violations (empty = consistent)."""
+    violations: List[Violation] = []
+    out, into = matching(graph)
+
+    owners = {ev.thread for ev in graph.events.values()
+              if isinstance(ev.kind, (Push, Take))}
+    if len(owners) > 1:
+        violations.append(Violation(
+            "WSD-OWNER", f"push/take events from threads {sorted(owners)}"))
+
+    for eid, ev in sorted(graph.events.items()):
+        if isinstance(ev.kind, Push):
+            if len(out.get(eid, [])) > 1:
+                violations.append(Violation(
+                    "WSD-INJ", f"push e{eid} removed more than once: "
+                    f"{out[eid]}"))
+            if into.get(eid):
+                violations.append(Violation(
+                    "WSD-INJ", f"push e{eid} is an so-target"))
+        elif isinstance(ev.kind, (Take, Steal)):
+            sources = into.get(eid, [])
+            if ev.kind.is_empty:
+                if sources or out.get(eid):
+                    violations.append(Violation(
+                        "WSD-INJ", f"empty removal e{eid} has so edges"))
+                continue
+            if len(sources) != 1:
+                violations.append(Violation(
+                    "WSD-INJ",
+                    f"removal e{eid} matched with {sources} pushes"))
+                continue
+            src_ev = graph.events.get(sources[0])
+            if src_ev is None or not isinstance(src_ev.kind, Push):
+                violations.append(Violation(
+                    "WSD-MATCHES",
+                    f"removal e{eid} matched with non-push e{sources[0]}"))
+            elif src_ev.kind.val != ev.kind.val:
+                violations.append(Violation(
+                    "WSD-MATCHES",
+                    f"removal e{eid} returned {ev.kind.val!r} but "
+                    f"e{sources[0]} pushed {src_ev.kind.val!r}"))
+        else:
+            violations.append(Violation(
+                "WSD-TYPES", f"e{eid} has foreign kind {ev.kind!r}"))
+
+    violations.extend(check_so_in_lhb(graph, "WSD-SO-HB"))
+
+    # WSD-SHAPE: abstract deque replay along the commit order.
+    state: List[int] = []
+    removed: set = set()
+    for ev in graph.sorted_events():
+        k = ev.kind
+        if isinstance(k, Push):
+            state.append(ev.eid)
+        elif isinstance(k, (Take, Steal)) and not k.is_empty:
+            sources = into.get(ev.eid, [])
+            if len(sources) != 1:
+                continue  # reported above
+            src = sources[0]
+            removed.add(src)
+            if not state:
+                violations.append(Violation(
+                    "WSD-SHAPE",
+                    f"e{ev.eid} removes from an empty abstract deque"))
+                continue
+            expected = state[-1] if isinstance(k, Take) else state[0]
+            if src != expected:
+                end = "young" if isinstance(k, Take) else "old"
+                violations.append(Violation(
+                    "WSD-SHAPE",
+                    f"e{ev.eid} removed e{src} but the {end} end holds "
+                    f"e{expected}"))
+            if src in state:
+                state.remove(src)
+            else:
+                state.pop(-1 if isinstance(k, Take) else 0)
+
+    # WSD-EMPTY-TAKE (strict) and WSD-EMPTY-STEAL (weak).
+    pushes = graph.of_kind(Push)
+    for ev in graph.sorted_events():
+        if not (isinstance(ev.kind, (Take, Steal)) and ev.kind.is_empty):
+            continue
+        strict = isinstance(ev.kind, Take)
+        for p in pushes:
+            if not graph.lhb(p.eid, ev.eid):
+                continue
+            removals = [d for d in out.get(p.eid, []) if d in graph.events]
+            if strict:
+                if not any(graph.events[d].commit_index < ev.commit_index
+                           for d in removals):
+                    violations.append(Violation(
+                        "WSD-EMPTY-TAKE",
+                        f"empty take e{ev.eid} but push e{p.eid} "
+                        f"happens-before it and is unremoved at its "
+                        f"commit"))
+            else:
+                if not removals:
+                    violations.append(Violation(
+                        "WSD-EMPTY-STEAL",
+                        f"empty steal e{ev.eid} but push e{p.eid} "
+                        f"happens-before it and is never removed "
+                        f"(lost element)"))
+    return violations

@@ -1,0 +1,120 @@
+"""``ExchangerConsistent``: consistency of exchange event graphs.
+
+Per the paper's Section 4.2 (Figure 5):
+
+* EX-TYPES    — events are exchanges only; the given value is never ⊥;
+* EX-MATCH    — a successful exchange ``Exchange(v1, v2)`` has exactly one
+  partner ``Exchange(v2, v1)``, with symmetric ``so`` edges in both
+  directions; a failed exchange (``v2 = ⊥``) has none;
+* EX-IRREFL   — nobody exchanges with themselves (distinct events and, in a
+  real execution, distinct threads);
+* EX-PAIR-ATOMIC — the two commits of a matching pair are adjacent in the
+  commit order (the helper performs the helpee's commit and then its own,
+  atomically, so no other commit of the same execution sits between them);
+* EX-HELPEE-FIRST — the helpee's commit index precedes the helper's, and
+  the helpee's physical view is included in the helper's (the helper read
+  the helpee's offer), but *not* vice versa — matching the paper's
+  observation that the two commits are not both in hb.
+
+Note that unlike queues/stacks, ``so`` here is deliberately **not**
+included in ``lhb`` in both directions (footnote 7 of the paper): only the
+helpee→helper direction is.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..event import Exchange
+from ..graph import Graph
+from .base import Violation, matching
+
+
+def check_exchanger_consistent(graph: Graph) -> List[Violation]:
+    """All ExchangerConsistent violations (empty = consistent)."""
+    violations: List[Violation] = []
+    out, into = matching(graph)
+
+    for eid, ev in sorted(graph.events.items()):
+        if not isinstance(ev.kind, Exchange):
+            violations.append(Violation(
+                "EX-TYPES", f"e{eid} has foreign kind {ev.kind!r}"))
+            continue
+        if ev.kind.gave is None:
+            violations.append(Violation(
+                "EX-TYPES", f"e{eid} gave ⊥"))
+
+        partners = out.get(eid, [])
+        sources = into.get(eid, [])
+        if ev.kind.failed:
+            if partners or sources:
+                violations.append(Violation(
+                    "EX-MATCH", f"failed exchange e{eid} has so edges"))
+            continue
+
+        if len(partners) != 1 or len(sources) != 1 or \
+                set(partners) != set(sources):
+            violations.append(Violation(
+                "EX-MATCH",
+                f"successful exchange e{eid} has asymmetric so: "
+                f"out={partners} in={sources}"))
+            continue
+        peer = partners[0]
+        if peer == eid:
+            violations.append(Violation(
+                "EX-IRREFL", f"e{eid} exchanges with itself"))
+            continue
+        peer_ev = graph.events.get(peer)
+        if peer_ev is None or not isinstance(peer_ev.kind, Exchange):
+            violations.append(Violation(
+                "EX-MATCH", f"e{eid} matched with non-exchange e{peer}"))
+            continue
+        if peer_ev.kind.failed:
+            violations.append(Violation(
+                "EX-MATCH", f"e{eid} matched with failed exchange e{peer}"))
+        if (ev.kind.gave != peer_ev.kind.recv or
+                ev.kind.recv != peer_ev.kind.gave):
+            violations.append(Violation(
+                "EX-MATCH",
+                f"values do not cross-match: e{eid}={ev.kind!r} vs "
+                f"e{peer}={peer_ev.kind!r}"))
+        if ev.thread == peer_ev.thread:
+            violations.append(Violation(
+                "EX-IRREFL",
+                f"e{eid} and e{peer} executed by the same thread"))
+
+    # Pair atomicity + helpee-first (check each pair once).
+    seen = set()
+    for eid, ev in sorted(graph.events.items()):
+        if not isinstance(ev.kind, Exchange) or ev.kind.failed:
+            continue
+        partners = out.get(eid, [])
+        if len(partners) != 1:
+            continue
+        peer = partners[0]
+        if peer not in graph.events or frozenset((eid, peer)) in seen:
+            continue
+        seen.add(frozenset((eid, peer)))
+        peer_ev = graph.events[peer]
+        first, second = sorted((ev, peer_ev), key=lambda x: x.commit_index)
+        if second.commit_index != first.commit_index + 1:
+            violations.append(Violation(
+                "EX-PAIR-ATOMIC",
+                f"pair (e{first.eid}, e{second.eid}) commits at "
+                f"{first.commit_index} and {second.commit_index}, "
+                f"not adjacent"))
+        # helpee (first) must be visible to helper (second), not vice versa.
+        if not graph.lhb(first.eid, second.eid):
+            violations.append(Violation(
+                "EX-HELPEE-FIRST",
+                f"helpee e{first.eid} not in lhb of helper e{second.eid}"))
+        if graph.lhb(second.eid, first.eid):
+            violations.append(Violation(
+                "EX-HELPEE-FIRST",
+                f"helper e{second.eid} in lhb of helpee e{first.eid}"))
+        if not first.view.leq(second.view):
+            violations.append(Violation(
+                "EX-HELPEE-FIRST",
+                f"helpee e{first.eid}'s view not included in helper "
+                f"e{second.eid}'s"))
+    return violations

@@ -1,0 +1,113 @@
+"""``QueueConsistent``: the paper's consistency conditions for queues.
+
+Rules (paper Figure 2, bottom-right, and Section 3.1):
+
+* QUEUE-TYPES    — events are enqueues and dequeues only;
+* QUEUE-MATCHES  — a successful dequeue returns the value of the enqueue
+  it is ``so``-matched with;
+* QUEUE-INJ      — an element is dequeued at most once, and a successful
+  dequeue consumes exactly one enqueue;
+* QUEUE-SO-HB    — a dequeue synchronizes with (happens-after) its
+  enqueue, transferring the physical view;
+* QUEUE-FIFO     — for matched pairs ``(e, d)`` and ``(e', d')`` with
+  ``e' lhb e``: ``(d, d') ∉ lhb`` — the dequeue of the earlier enqueue
+  cannot happen-after the dequeue of the later one.  This is the paper's
+  deliberately weak form (§3.1 "Weaker but flexible"): it does *not*
+  force ``e'`` to be dequeued at all, because a relaxed implementation
+  like the Herlihy–Wing queue may leave an hb-earlier element behind
+  while extracting a later one (its dequeuer synchronizes only with the
+  pair it matches).  Clients regain the strong FIFO by adding external
+  synchronization (then lhb is total on dequeues and the right-hand
+  disjunct is excluded), and the abstract-state styles
+  (``LAT_so^abs``/``LAT_hb^abs``) impose commit-point FIFO on top of
+  these conditions.
+* QUEUE-EMPDEQ   — an empty dequeue ``d`` can only commit if every enqueue
+  that happens-before ``d`` has already been dequeued in the graph at
+  ``d``'s commit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..event import Deq, Enq
+from ..graph import Graph
+from .base import Violation, check_so_in_lhb, matching
+
+
+def check_queue_consistent(graph: Graph) -> List[Violation]:
+    """All QueueConsistent violations of ``graph`` (empty = consistent)."""
+    violations: List[Violation] = []
+    out, into = matching(graph)
+
+    for eid, ev in sorted(graph.events.items()):
+        if not isinstance(ev.kind, (Enq, Deq)):
+            violations.append(Violation(
+                "QUEUE-TYPES", f"e{eid} has foreign kind {ev.kind!r}"))
+
+    # MATCHES + INJ.
+    for eid, ev in sorted(graph.events.items()):
+        if isinstance(ev.kind, Enq):
+            if len(out.get(eid, [])) > 1:
+                violations.append(Violation(
+                    "QUEUE-INJ", f"enqueue e{eid} dequeued more than once: "
+                    f"{out[eid]}"))
+            if into.get(eid):
+                violations.append(Violation(
+                    "QUEUE-INJ", f"enqueue e{eid} is an so-target"))
+        elif isinstance(ev.kind, Deq):
+            sources = into.get(eid, [])
+            if ev.kind.is_empty:
+                if sources or out.get(eid):
+                    violations.append(Violation(
+                        "QUEUE-INJ", f"empty dequeue e{eid} has so edges"))
+            else:
+                if len(sources) != 1:
+                    violations.append(Violation(
+                        "QUEUE-INJ",
+                        f"dequeue e{eid} matched with {sources} enqueues"))
+                for src in sources:
+                    src_ev = graph.events.get(src)
+                    if src_ev is None or not isinstance(src_ev.kind, Enq):
+                        violations.append(Violation(
+                            "QUEUE-MATCHES",
+                            f"dequeue e{eid} matched with non-enqueue e{src}"))
+                    elif src_ev.kind.val != ev.kind.val:
+                        violations.append(Violation(
+                            "QUEUE-MATCHES",
+                            f"dequeue e{eid} returned {ev.kind.val!r} but "
+                            f"e{src} enqueued {src_ev.kind.val!r}"))
+
+    violations.extend(check_so_in_lhb(graph, "QUEUE-SO-HB"))
+
+    # FIFO (weak ordering form; see module docstring).
+    enqueues = graph.of_kind(Enq)
+    for a, b in sorted(graph.so):
+        if a not in graph.events or b not in graph.events:
+            continue
+        for eprime in enqueues:
+            if eprime.eid == a or not graph.lhb(eprime.eid, a):
+                continue
+            for dp in out.get(eprime.eid, []):
+                if dp in graph.events and graph.lhb(b, dp):
+                    violations.append(Violation(
+                        "QUEUE-FIFO",
+                        f"dequeue e{b} (of e{a}) happens before e{dp}, the "
+                        f"dequeue of the earlier enqueue e{eprime.eid}"))
+
+    # EMPDEQ.
+    for ev in graph.of_kind(Deq):
+        if not ev.kind.is_empty:
+            continue
+        for eprime in enqueues:
+            if not graph.lhb(eprime.eid, ev.eid):
+                continue
+            witnesses = [dp for dp in out.get(eprime.eid, [])
+                         if dp in graph.events
+                         and graph.events[dp].commit_index < ev.commit_index]
+            if not witnesses:
+                violations.append(Violation(
+                    "QUEUE-EMPDEQ",
+                    f"empty dequeue e{ev.eid} but enqueue e{eprime.eid} "
+                    f"happens-before it and is undequeued at its commit"))
+    return violations

@@ -1,0 +1,108 @@
+"""``StackConsistent``: LIFO consistency conditions for stacks.
+
+The paper gives queue conditions in full and notes (Section 4.1) that the
+stack instance differs by replacing FIFO with LIFO.  The mirrored rules:
+
+* STACK-TYPES, STACK-MATCHES, STACK-INJ, STACK-SO-HB — as for queues;
+* STACK-LIFO — if a pop ``d'`` returns ``e'`` while some push ``e`` with
+  ``e' lhb e`` and ``e lhb d'`` (an element pushed *above* ``e'`` and
+  visible to the popper) is still unpopped in the graph at ``d'``'s commit,
+  LIFO is violated: the element on top must go first.
+* STACK-EMPPOP — an empty pop ``d`` can only commit if every push that
+  happens-before ``d`` has already been popped in the graph at ``d``'s
+  commit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..event import Pop, Push
+from ..graph import Graph
+from .base import Violation, check_so_in_lhb, matching
+
+
+def check_stack_consistent(graph: Graph) -> List[Violation]:
+    """All StackConsistent violations of ``graph`` (empty = consistent)."""
+    violations: List[Violation] = []
+    out, into = matching(graph)
+
+    for eid, ev in sorted(graph.events.items()):
+        if not isinstance(ev.kind, (Push, Pop)):
+            violations.append(Violation(
+                "STACK-TYPES", f"e{eid} has foreign kind {ev.kind!r}"))
+
+    for eid, ev in sorted(graph.events.items()):
+        if isinstance(ev.kind, Push):
+            if len(out.get(eid, [])) > 1:
+                violations.append(Violation(
+                    "STACK-INJ",
+                    f"push e{eid} popped more than once: {out[eid]}"))
+            if into.get(eid):
+                violations.append(Violation(
+                    "STACK-INJ", f"push e{eid} is an so-target"))
+        elif isinstance(ev.kind, Pop):
+            sources = into.get(eid, [])
+            if ev.kind.is_empty:
+                if sources or out.get(eid):
+                    violations.append(Violation(
+                        "STACK-INJ", f"empty pop e{eid} has so edges"))
+            else:
+                if len(sources) != 1:
+                    violations.append(Violation(
+                        "STACK-INJ",
+                        f"pop e{eid} matched with {sources} pushes"))
+                for src in sources:
+                    src_ev = graph.events.get(src)
+                    if src_ev is None or not isinstance(src_ev.kind, Push):
+                        violations.append(Violation(
+                            "STACK-MATCHES",
+                            f"pop e{eid} matched with non-push e{src}"))
+                    elif src_ev.kind.val != ev.kind.val:
+                        violations.append(Violation(
+                            "STACK-MATCHES",
+                            f"pop e{eid} returned {ev.kind.val!r} but "
+                            f"e{src} pushed {src_ev.kind.val!r}"))
+
+    violations.extend(check_so_in_lhb(graph, "STACK-SO-HB"))
+
+    pushes = graph.of_kind(Push)
+
+    # LIFO.
+    for a, b in sorted(graph.so):  # pop b returns push a
+        if a not in graph.events or b not in graph.events:
+            continue
+        dprime = graph.events[b]
+        for e in pushes:
+            if e.eid == a:
+                continue
+            if not (graph.lhb(a, e.eid) and graph.lhb(e.eid, b)):
+                continue
+            # e was pushed above a and is visible to the popper; it must
+            # already be popped when b commits.
+            witnesses = [dp for dp in out.get(e.eid, [])
+                         if dp in graph.events
+                         and graph.events[dp].commit_index
+                         < dprime.commit_index]
+            if not witnesses:
+                violations.append(Violation(
+                    "STACK-LIFO",
+                    f"pop e{b} returned e{a} while the later push e{e.eid} "
+                    f"(visible to it) is still unpopped"))
+
+    # EMPPOP.
+    for ev in graph.of_kind(Pop):
+        if not ev.kind.is_empty:
+            continue
+        for e in pushes:
+            if not graph.lhb(e.eid, ev.eid):
+                continue
+            witnesses = [dp for dp in out.get(e.eid, [])
+                         if dp in graph.events
+                         and graph.events[dp].commit_index < ev.commit_index]
+            if not witnesses:
+                violations.append(Violation(
+                    "STACK-EMPPOP",
+                    f"empty pop e{ev.eid} but push e{e.eid} happens-before "
+                    f"it and is unpopped at its commit"))
+    return violations

@@ -1,0 +1,183 @@
+"""Linearizable histories: the ``LAT_hb_hist`` machinery (paper §3.3).
+
+A history is an event graph plus a *linearization* ``to``: a total order
+(permutation) of the events that
+
+* **respects** ``lhb`` (``H.lhb ⊆ to`` — weaker than classical
+  linearizability, which would also require ``to ⊆ hb``), and
+* **interprets**: folding the events in ``to`` order through the
+  sequential semantics of the data type succeeds (``interp(to, vs)``) —
+  pushes/pops behave LIFO, enqueues/dequeues FIFO, and *empty* results
+  happen only on a truly empty abstract state.
+
+Two ways to obtain ``to``:
+
+* :func:`to_from_keys` — from a richer partial order the implementation
+  exposes, e.g. the modification order of the Treiber stack's head pointer
+  (the paper's §3.3 "beyond local-happens-before" trick).  This is
+  deterministic and search-free.
+* :func:`linearize` — a general backtracking search over ``lhb``-respecting
+  interleavings, memoized on (committed-set, abstract state).  Used to
+  validate the deterministic construction and for libraries that do not
+  expose a richer order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .consistency.base import Violation
+from .event import Deq, Enq, Pop, Push
+from .graph import Graph
+
+State = Tuple[int, ...]
+
+
+class SeqSpec:
+    """Sequential semantics used by ``interp``: a fold over abstract state.
+
+    The abstract state is a tuple of event ids of the elements currently in
+    the container (position 0 = next to be removed).
+    """
+
+    initial: State = ()
+
+    def step(self, graph: Graph, state: State, eid: int) -> Optional[State]:
+        """Next state, or ``None`` if the event is not enabled at ``state``."""
+        raise NotImplementedError
+
+
+class QueueSpec(SeqSpec):
+    """FIFO semantics: enqueue at the back, dequeue from the front."""
+
+    def step(self, graph: Graph, state: State, eid: int) -> Optional[State]:
+        kind = graph.events[eid].kind
+        if isinstance(kind, Enq):
+            return state + (eid,)
+        if isinstance(kind, Deq):
+            if kind.is_empty:
+                return state if not state else None
+            sources = graph.so_sources(eid)
+            if len(sources) != 1 or not state or state[0] != sources[0]:
+                return None
+            return state[1:]
+        return None
+
+
+class StackSpec(SeqSpec):
+    """LIFO semantics: push and pop at the front."""
+
+    def step(self, graph: Graph, state: State, eid: int) -> Optional[State]:
+        kind = graph.events[eid].kind
+        if isinstance(kind, Push):
+            return (eid,) + state
+        if isinstance(kind, Pop):
+            if kind.is_empty:
+                return state if not state else None
+            sources = graph.so_sources(eid)
+            if len(sources) != 1 or not state or state[0] != sources[0]:
+                return None
+            return state[1:]
+        return None
+
+
+SPECS: Dict[str, SeqSpec] = {"queue": QueueSpec(), "stack": StackSpec()}
+
+
+def interp(graph: Graph, to: Sequence[int], kind: str) -> Optional[State]:
+    """Fold ``to`` through the sequential semantics.
+
+    Returns the final abstract state, or ``None`` if some step is invalid
+    (the paper's ``interp(to, vs)`` failing to hold).
+    """
+    spec = SPECS[kind]
+    state = spec.initial
+    for eid in to:
+        state = spec.step(graph, state, eid)
+        if state is None:
+            return None
+    return state
+
+
+def respects_lhb(graph: Graph, to: Sequence[int]) -> bool:
+    """``H.lhb ⊆ to``: no event ordered before one of its lhb-predecessors."""
+    position = {eid: i for i, eid in enumerate(to)}
+    for d, ev in graph.events.items():
+        for e in ev.logview:
+            if e != d and position.get(e, -1) > position[d]:
+                return False
+    return True
+
+
+def to_from_keys(keys: Dict[int, tuple]) -> List[int]:
+    """Sort event ids by implementation-exposed keys (e.g. head-pointer
+    modification order), producing a candidate linearization."""
+    return sorted(keys, key=lambda eid: keys[eid])
+
+
+def linearize(graph: Graph, kind: str,
+              max_nodes: int = 2_000_000) -> Optional[List[int]]:
+    """Search for a linearization: an lhb-respecting, interp-valid total
+    order of all events.  Returns one, or ``None`` if none exists (or the
+    memoized search exceeds ``max_nodes`` states — treated as failure)."""
+    spec = SPECS[kind]
+    events = graph.sorted_events()
+    ids = [ev.eid for ev in events]
+    preds = {ev.eid: frozenset(x for x in ev.logview if x != ev.eid)
+             for ev in events}
+    total = len(ids)
+    seen = set()
+    budget = [max_nodes]
+
+    def dfs(done: frozenset, state: State, acc: List[int]) -> Optional[List[int]]:
+        if len(done) == total:
+            return acc
+        key = (done, state)
+        if key in seen:
+            return None
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+        seen.add(key)
+        for eid in ids:
+            if eid in done or not preds[eid] <= done:
+                continue
+            nxt = spec.step(graph, state, eid)
+            if nxt is None:
+                continue
+            res = dfs(done | {eid}, nxt, acc + [eid])
+            if res is not None:
+                return res
+        return None
+
+    return dfs(frozenset(), spec.initial, [])
+
+
+def check_linearizable_history(
+    graph: Graph,
+    kind: str,
+    to: Optional[Sequence[int]] = None,
+) -> List[Violation]:
+    """HIST-HB-*-LINEARIZABLE: a valid linearization exists.
+
+    With ``to`` given (e.g. from :func:`to_from_keys`) the specific order is
+    validated; otherwise the search is used as an existence check.
+    """
+    violations: List[Violation] = []
+    if to is not None:
+        if sorted(to) != sorted(graph.events):
+            violations.append(Violation(
+                "HIST-PERM", "to is not a permutation of the history"))
+            return violations
+        if not respects_lhb(graph, to):
+            violations.append(Violation(
+                "HIST-LHB", "to does not respect lhb"))
+        if interp(graph, to, kind) is None:
+            violations.append(Violation(
+                "HIST-INTERP", f"interp fails along to for {kind}"))
+        return violations
+    if linearize(graph, kind) is None:
+        violations.append(Violation(
+            "HIST-EXISTS", f"no lhb-respecting linearization exists "
+            f"({len(graph.events)} events, kind={kind})"))
+    return violations

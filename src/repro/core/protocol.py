@@ -1,0 +1,105 @@
+"""Client protocol invariants over evolving graphs (Fig. 3's machinery).
+
+The paper's client verifications put the library's ownership into an
+invariant together with client ghost state (Fig. 3: ``deqPerm(size(G.so))``
+with two permits in the whole system) and re-establish it at every commit.
+Executably: an invariant is a predicate over graph *prefixes*, and
+:func:`check_prefix_invariant` validates it after every commit of an
+execution — the runtime image of "the invariant holds invariantly".
+
+Two canned facts from the paper come with it:
+
+* :func:`consistency_invariant` — the library's consistency conditions
+  hold at *every* prefix, not just the final graph (this is what
+  ``Queue(q, vs, G) ⊢ QueueConsistent(vs, G)`` means as an invariant);
+* the **exception** that proves the rule: the exchanger's consistency is
+  deliberately *not* an every-prefix invariant — between a helpee's and
+  its helper's commits the graph is in an intermediate state
+  (§4.2 "Intermediate states"); :func:`exchanger_prefix_errors`
+  checks that inconsistency appears *only* inside those zero-width
+  helper windows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .consistency.base import Violation
+from .consistency.exchanger import check_exchanger_consistent
+from .event import Exchange
+from .graph import Graph
+
+PrefixInvariant = Callable[[Graph], Optional[str]]
+
+
+def check_prefix_invariant(graph: Graph,
+                           invariant: PrefixInvariant) -> List[Violation]:
+    """Evaluate ``invariant`` on the graph after every commit.
+
+    ``invariant`` returns ``None`` when satisfied or an error string.
+    The prefix after the k-th commit contains events with commit index
+    <= k, matching the paper's ``G ⊑ G'`` evolution step by step.
+    """
+    violations: List[Violation] = []
+    indices = sorted(ev.commit_index for ev in graph.events.values())
+    for idx in indices:
+        prefix = graph.prefix(idx + 1)
+        err = invariant(prefix)
+        if err is not None:
+            violations.append(Violation(
+                "PROTOCOL", f"after commit @{idx}: {err}"))
+    return violations
+
+
+def max_successful_removals(n: int) -> PrefixInvariant:
+    """Fig. 3's permit counting: at most ``n`` successful dequeues ever
+    (``deqPerm(size(G.so))`` with ``n`` permits in the system)."""
+    def invariant(prefix: Graph) -> Optional[str]:
+        if len(prefix.so) > n:
+            return (f"{len(prefix.so)} successful removals exceed the "
+                    f"{n} permits in the system")
+        return None
+    return invariant
+
+
+def consistency_invariant(check: Callable[[Graph], List[Violation]]
+                          ) -> PrefixInvariant:
+    """Lift a final-graph consistency checker to an every-prefix invariant."""
+    def invariant(prefix: Graph) -> Optional[str]:
+        violations = check(prefix)
+        if violations:
+            return str(violations[0])
+        return None
+    return invariant
+
+
+def exchanger_prefix_errors(graph: Graph) -> List[Violation]:
+    """Exchanger consistency as an invariant, modulo intermediate states.
+
+    A prefix is *intermediate* iff it cuts a matching pair between the
+    helpee's and the helper's commits; consistency is only required of
+    non-intermediate prefixes (the paper: clients need not maintain their
+    invariant between the two commits, and non-exchanger operations never
+    observe such states — the commits are adjacent).
+    """
+    helpee_indices = set()
+    pair_of = {a: b for a, b in graph.so}
+    for eid, ev in graph.events.items():
+        if not isinstance(ev.kind, Exchange) or ev.kind.failed:
+            continue
+        peer = pair_of.get(eid)
+        if peer in graph.events:
+            peer_ev = graph.events[peer]
+            if ev.commit_index < peer_ev.commit_index:
+                helpee_indices.add(ev.commit_index)
+
+    violations: List[Violation] = []
+    for idx in sorted(ev.commit_index for ev in graph.events.values()):
+        if idx in helpee_indices:
+            continue  # intermediate state: helpee committed, helper not
+        prefix = graph.prefix(idx + 1)
+        errs = check_exchanger_consistent(prefix)
+        if errs:
+            violations.append(Violation(
+                "EX-PREFIX", f"after commit @{idx}: {errs[0]}"))
+    return violations

@@ -1,0 +1,188 @@
+"""Event registries: the executable ghost state of Compass specs.
+
+A registry is attached to one library object (one queue, one stack, one
+exchanger) and is mutated exclusively from *commit hooks*
+(`repro.rmc.machine.CommitCtx`), i.e. atomically with the instruction that
+the implementation designates as the operation's commit point.
+
+Logical views via ghost components
+----------------------------------
+At commit, each event ``e`` is assigned a fresh *ghost view component*
+``g_e``, planted into the committing thread's view before the instruction's
+released message view is sealed.  Ghost components travel with physical
+views through release/acquire synchronization and only through it, so for
+any later commit ``d``::
+
+    e in logview(d)   iff   view_at_commit(d)[g_e] = 1
+                      iff   e's commit happens-before d's commit
+
+which is exactly the paper's local-happens-before ``lhb`` (Section 3.1).
+Because a view containing ``g_e`` is always a descendant of ``e``'s commit
+view, the induced ``lhb`` is transitive by construction (the graph layer
+checks this invariant).
+
+Helping (Section 4.2)
+---------------------
+``prepare`` / ``commit_prepared`` implement the exchanger's helping
+discipline: the *helpee* plants its event's ghost when publishing its offer
+(a release write), freezing the physical view of its future commit; the
+*helper* later commits the helpee's event and then its own, both inside a
+single commit hook — hence at adjacent commit indices with nothing in
+between, which is the paper's "matching exchanges commit atomically
+together".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from ..rmc.machine import CommitCtx
+from ..rmc.memory import Memory
+from ..rmc.view import View
+from .event import Event
+
+
+@dataclass
+class PreparedEvent:
+    """An event announced (ghost planted, view frozen) but not committed."""
+
+    eid: int
+    ghost: int
+    view: View
+    thread: int
+    #: The global commit sequence at preparation time.  Events committed
+    #: later than this cannot be in the prepared event's logical view even
+    #: if their ghost leaked into ``view`` through another prepared offer.
+    prepare_seq: int
+
+
+class EventRegistry:
+    """Ghost state of one library object: events, ``so``, logical views."""
+
+    def __init__(self, memory: Memory, name: str):
+        self.memory = memory
+        self.name = name
+        self.events: Dict[int, Event] = {}
+        self.so: Set[Tuple[int, int]] = set()
+        self.ghosts: Dict[int, int] = {}
+        self.prepared: Dict[int, PreparedEvent] = {}
+        self._next_eid = 0
+
+    # ------------------------------------------------------------------
+    # Committing
+    # ------------------------------------------------------------------
+    def _fresh(self, ctx: CommitCtx) -> int:
+        eid = self._next_eid
+        self._next_eid += 1
+        ghost = self.memory.alloc_ghost(f"{self.name}/e{eid}")
+        self.ghosts[eid] = ghost
+        ctx.add_ghost(ghost)
+        return eid
+
+    def commit(self, ctx: CommitCtx, kind: Any,
+               so_from: Iterable[int] = (),
+               at_view: Optional[View] = None) -> int:
+        """Commit a fresh event at this instruction; returns its event id.
+
+        ``so_from`` lists existing events synchronized-with this one (e.g.
+        the enqueue a dequeue consumed); edges ``(src, eid)`` are added to
+        ``so``.
+
+        ``at_view`` lets the implementation commit the event *at an
+        earlier view* of the same thread (e.g. the view at operation
+        start).  This is the executable form of the prover's freedom in
+        the paper's specs: the published logical view ``M'`` is only
+        required to include the caller's ``M0`` and the fresh event — it
+        need not include synchronization the operation picked up
+        incidentally.  The Herlihy–Wing empty dequeue uses it: its probing
+        swaps absorb views released through other dequeues' slot writes,
+        which must not count as happens-before for QUEUE-EMPDEQ.
+        """
+        eid = self._fresh(ctx)
+        view = at_view if at_view is not None else ctx.view
+        logview = self._logview(view, include=eid)
+        event = Event(
+            eid=eid,
+            kind=kind,
+            view=view,
+            logview=logview,
+            thread=ctx.thread.tid,
+            commit_index=self.memory.next_commit_index(),
+        )
+        self.events[eid] = event
+        for src in so_from:
+            self.so.add((src, eid))
+        return eid
+
+    def prepare(self, ctx: CommitCtx) -> int:
+        """Announce an event whose commit will be performed by a helper."""
+        eid = self._next_eid
+        self._next_eid += 1
+        ghost = self.memory.alloc_ghost(f"{self.name}/e{eid}")
+        self.ghosts[eid] = ghost
+        ctx.add_ghost(ghost)
+        self.prepared[eid] = PreparedEvent(
+            eid=eid,
+            ghost=ghost,
+            view=ctx.view,
+            thread=ctx.thread.tid,
+            prepare_seq=self.memory.commit_seq,
+        )
+        return eid
+
+    def commit_prepared(self, eid: int, kind: Any,
+                        so_from: Iterable[int] = ()) -> Event:
+        """Commit a prepared event (called from the *helper's* hook)."""
+        prep = self.prepared.pop(eid)
+        logview = self._logview(prep.view, include=eid,
+                                before_seq=prep.prepare_seq)
+        event = Event(
+            eid=eid,
+            kind=kind,
+            view=prep.view,
+            logview=logview,
+            thread=prep.thread,
+            commit_index=self.memory.next_commit_index(),
+        )
+        self.events[eid] = event
+        for src in so_from:
+            self.so.add((src, eid))
+        return event
+
+    def cancel_prepared(self, eid: int) -> None:
+        """Drop a prepared event that will never be helper-committed."""
+        self.prepared.pop(eid, None)
+
+    def add_so(self, src: int, dst: int) -> None:
+        self.so.add((src, dst))
+
+    # ------------------------------------------------------------------
+    # Logical views
+    # ------------------------------------------------------------------
+    def _logview(self, view: View, include: Optional[int] = None,
+                 before_seq: Optional[int] = None) -> FrozenSet[int]:
+        out = set()
+        for eid, event in self.events.items():
+            if before_seq is not None and event.commit_index >= before_seq:
+                continue
+            if view.get(self.ghosts[eid]) >= 1:
+                out.add(eid)
+        if include is not None:
+            out.add(include)
+        return frozenset(out)
+
+    def logview_of(self, view: View) -> FrozenSet[int]:
+        """The logical view encoded in a physical view — the runtime image
+        of the paper's ``SeenQueue(q, G0, M0)`` assertions."""
+        return self._logview(view)
+
+    def is_committed(self, eid: int) -> bool:
+        return eid in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EventRegistry({self.name!r}, {len(self.events)} events, "
+                f"{len(self.so)} so edges)")

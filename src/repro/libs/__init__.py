@@ -1,0 +1,40 @@
+"""`repro.libs` — the paper's data structures on the relaxed simulator.
+
+* `MSQueue` — Michael–Scott queue (release/acquire; also SC and
+  broken-relaxed mode profiles);
+* `HWQueue` — Herlihy–Wing queue (relaxed, array-based);
+* `TreiberStack` — Treiber stack (release-CAS push / acquire-CAS pop),
+  exposing the head-order linearization for ``LAT_hb^hist``;
+* `Exchanger` — slot exchanger with helping (prepared events,
+  helper-committed pairs);
+* `ElimStack` — elimination stack composing the two, plus the
+  simulation `compose_elim_graph`;
+* `LockedQueue` / `LockedStack` — coarse spinlock baselines;
+* `SeqQueue` / `SeqStack` — sequential references;
+* `Spinlock` — the lock primitive.
+"""
+
+from .base import LibraryObject, Payload
+from .chaselev import ChaseLevDeque
+from .elimstack import SENTINEL, ElimStack, compose_elim_graph
+from .exchanger import Exchanger, Token, WAITING
+from .hwqueue import HWQueue
+from .locked import LockedQueue, LockedStack
+from .msqueue import BROKEN_RLX, MSQueue, ModeProfile, RELACQ, SEQCST
+from .seqlock import Seqlock
+from .seqref import SeqQueue, SeqStack
+from .spinlock import PetersonLock, Spinlock, TicketLock
+from .spscring import SpscRingQueue
+from .treiber import FAIL_RACE, TreiberStack
+from .vyukov import VyukovQueue
+
+__all__ = [
+    "LibraryObject", "Payload",
+    "MSQueue", "ModeProfile", "RELACQ", "SEQCST", "BROKEN_RLX",
+    "ChaseLevDeque",
+    "HWQueue", "VyukovQueue", "TreiberStack", "FAIL_RACE",
+    "Exchanger", "Token", "WAITING",
+    "ElimStack", "SENTINEL", "compose_elim_graph",
+    "LockedQueue", "LockedStack", "SeqQueue", "SeqStack", "Spinlock",
+    "SpscRingQueue", "TicketLock", "PetersonLock", "Seqlock",
+]

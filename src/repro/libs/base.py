@@ -1,0 +1,58 @@
+"""Shared scaffolding for library implementations.
+
+Every library object follows the same pattern:
+
+* ``Lib.setup(mem, ...)`` allocates its locations and its
+  `repro.core.registry.EventRegistry` during the program's setup phase;
+* methods are generator functions yielding `repro.rmc.ops` operations, so
+  clients compose them with ``yield from``;
+* the instruction the paper identifies as an operation's commit point
+  carries a commit hook that extends the registry.
+
+Values stored in memory by libraries are either plain client values or
+small *payload* records pairing the client value with the event id of the
+operation that published it — the executable form of the ghost state the
+Coq proofs attach to nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.graph import Graph
+from ..core.registry import EventRegistry
+from ..rmc.memory import Memory
+
+
+class Payload:
+    """A value published by a library operation, tagged with its event id.
+
+    The event id is assigned at the publishing operation's commit point,
+    which runs atomically with (and just before sealing) the publishing
+    write, so consumers always observe a fully tagged payload.
+    """
+
+    __slots__ = ("val", "eid")
+
+    def __init__(self, val: Any, eid: Optional[int] = None):
+        self.val = val
+        self.eid = eid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Payload({self.val!r}, e{self.eid})"
+
+
+class LibraryObject:
+    """Base class: owns an event registry and exposes its graph."""
+
+    #: "queue" | "stack" | "exchanger" — selects consistency conditions.
+    kind: str = ""
+
+    def __init__(self, mem: Memory, name: str):
+        self.mem = mem
+        self.name = name
+        self.registry = EventRegistry(mem, name)
+
+    def graph(self) -> Graph:
+        """The object's event graph after (or during) an execution."""
+        return Graph.from_registry(self.registry)

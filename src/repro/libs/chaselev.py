@@ -1,0 +1,158 @@
+"""Chase–Lev work-stealing deque, weak-memory edition.
+
+The paper lists work-stealing queues [Chase–Lev; Lê et al.] as future
+work for the Compass approach (§6); this module builds the instance.
+
+A bounded circular buffer with two indices: ``bottom`` (young end, owned)
+and ``top`` (old end, contended).  The owner pushes and takes at
+``bottom``; thieves steal at ``top`` with a seq-cst CAS.  Synchronization
+follows Lê, Pop, Cohen & Zappa Nardelli (PPoPP'13, "Correct and efficient
+work-stealing for weak memory models"):
+
+* the buffer slot is published by a release store, acquired by the
+  thief's slot read (payload + ghost transfer);
+* ``bottom``'s publication store is release / thieves' reads acquire;
+* the owner's take interposes a **seq-cst fence** between decrementing
+  ``bottom`` and reading ``top``, thieves fence between reading ``top``
+  and ``bottom``, and both contested removals CAS ``top`` at seq-cst.
+  This store-buffering-shaped protocol is what excludes the classic
+  double-take: without it the owner can take an element a thief is
+  simultaneously stealing.  ``fenced=False`` builds exactly that broken
+  variant — `repro.core.consistency.deque.check_wsdeque_consistent`
+  catches the duplication (WSD-INJ/WSD-SHAPE) in exploration, the
+  executable form of why the fence is load-bearing.
+
+Commit points:
+
+* push — the release store to ``bottom`` publishing the element;
+* steal — the successful seq-cst CAS on ``top``;
+* take (uncontested, ``b > t``) — the buffer read of the young end;
+* take (last element, ``b == t``) — the successful seq-cst CAS;
+* empty take/steal — the read observing emptiness, committed at the
+  operation-start logical view (same discipline as the Herlihy–Wing
+  empty dequeue: probing must not strengthen lhb).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..core.event import EMPTY, Push, Steal, Take
+from ..rmc.memory import Memory
+from ..rmc.modes import ACQ, REL, RLX, SC
+from ..rmc.ops import Cas, Fence, GhostCommit, Load, Store
+from .base import LibraryObject, Payload
+from .treiber import FAIL_RACE
+
+
+class ChaseLevDeque(LibraryObject):
+    """A bounded Chase–Lev deque instance."""
+
+    kind = "wsdeque"
+
+    def __init__(self, mem: Memory, name: str, capacity: int,
+                 fenced: bool = True):
+        super().__init__(mem, name)
+        self.capacity = capacity
+        self.fenced = fenced
+        self.top = mem.alloc(f"{name}.top", 0)
+        self.bottom = mem.alloc(f"{name}.bottom", 0)
+        self.buf: List[int] = [
+            mem.alloc(f"{name}.buf[{i}]", None) for i in range(capacity)
+        ]
+
+    @classmethod
+    def setup(cls, mem: Memory, name: str = "wsd", capacity: int = 16,
+              fenced: bool = True) -> "ChaseLevDeque":
+        return cls(mem, name, capacity, fenced=fenced)
+
+    def _fence(self):
+        if self.fenced:
+            yield Fence(SC)
+
+    # ------------------------------------------------------------------
+    # Owner operations
+    # ------------------------------------------------------------------
+    def push(self, v: Any):
+        """Owner push at the young end; ``False`` when full."""
+        b = yield Load(self.bottom, RLX)
+        t = yield Load(self.top, ACQ)
+        if b - t >= self.capacity:
+            return False
+        payload = Payload(v)
+        yield Store(self.buf[b % self.capacity], payload, REL)
+
+        def commit_push(ctx):
+            payload.eid = self.registry.commit(ctx, Push(v))
+
+        yield Store(self.bottom, b + 1, REL, commit=commit_push)
+        return True
+
+    def take(self):
+        """Owner removal at the young end; a value or ``EMPTY``."""
+        snapshot = []
+        yield GhostCommit(commit=lambda ctx: snapshot.append(ctx.view))
+        b = (yield Load(self.bottom, RLX)) - 1
+        yield Store(self.bottom, b, REL)
+        yield from self._fence()
+
+        def commit_empty(ctx):
+            self.registry.commit(ctx, Take(EMPTY), at_view=snapshot[0])
+
+        t = yield Load(self.top, RLX)
+        if t > b:
+            # Deque empty: restore bottom.
+            yield Store(self.bottom, b + 1, RLX)
+            yield GhostCommit(commit=commit_empty)
+            return EMPTY
+        payload_cell = self.buf[b % self.capacity]
+        if t == b:
+            # Last element: the contested case, resolved on top.
+            x = yield Load(payload_cell, ACQ)
+
+            def commit_take_contested(ctx):
+                self.registry.commit(ctx, Take(x.val), so_from=[x.eid])
+
+            ok, _ = yield Cas(self.top, t, t + 1, SC,
+                              commit=commit_take_contested)
+            yield Store(self.bottom, b + 1, RLX)
+            if ok:
+                return x.val
+            yield GhostCommit(commit=commit_empty)
+            return EMPTY
+
+        # b > t: no thief can reach index b (they see bottom = b).
+        def commit_take(ctx):
+            x = ctx.value_read
+            self.registry.commit(ctx, Take(x.val), so_from=[x.eid])
+
+        x = yield Load(payload_cell, ACQ, commit=commit_take)
+        return x.val
+
+    # ------------------------------------------------------------------
+    # Thief operation
+    # ------------------------------------------------------------------
+    def steal(self):
+        """Thief removal at the old end; a value, ``EMPTY``, or
+        ``FAIL_RACE`` when the CAS was lost."""
+        snapshot = []
+        yield GhostCommit(commit=lambda ctx: snapshot.append(ctx.view))
+        t = yield Load(self.top, ACQ)
+        yield from self._fence()
+        b = yield Load(self.bottom, ACQ)
+        if t >= b:
+            def commit_empty(ctx):
+                self.registry.commit(ctx, Steal(EMPTY),
+                                     at_view=snapshot[0])
+
+            yield GhostCommit(commit=commit_empty)
+            return EMPTY
+        x = yield Load(self.buf[t % self.capacity], ACQ)
+
+        def commit_steal(ctx):
+            self.registry.commit(ctx, Steal(x.val), so_from=[x.eid])
+
+        ok, _ = yield Cas(self.top, t, t + 1, SC, commit=commit_steal)
+        if ok:
+            return x.val
+        return FAIL_RACE

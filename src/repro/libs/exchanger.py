@@ -1,0 +1,161 @@
+"""Exchanger with helping — the paper's §4.2, first RMC exchanger spec.
+
+A (bank of) exchange slot(s) in the style of Scherer–Lea–Scott: a thread
+either *installs an offer* (a token holding its value and a ``hole``
+location for the answer) or *takes* an existing offer.  The taker is the
+**helper**: at its single commit instruction — the release store answering
+the offer's hole — it commits the offeror's (the **helpee**'s) event and
+then its own.  The two events therefore occupy adjacent positions in the
+commit order with nothing in between: the paper's "matching exchanges are
+committed atomically together", which the elimination stack's LIFO proof
+relies on.
+
+The helpee's event is *prepared* when its offer is published (the
+release CAS installing the token seals the event's physical view and
+ghost component into the token's message), so the helper can commit it
+with exactly the view the helpee had — and the helpee itself only learns
+the outcome afterwards, through its acquire read of the hole (the paper's
+*local postcondition*, which holds at return rather than at commit).
+
+Failure: an offeror that retracts its untaken offer (CAS token→None)
+commits ``Exchange(v, ⊥)`` at the retraction; a thread that never manages
+to install or take commits its failure as a ghost commit at return.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..core.event import Exchange, FAILED
+from ..rmc.memory import Memory
+from ..rmc.modes import ACQ, ACQ_REL, REL, RLX
+from ..rmc.ops import Alloc, Cas, GhostCommit, Load, Store
+from .base import LibraryObject
+
+
+class _Waiting:
+    """Hole state before the helper answers."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "WAITING"
+
+
+WAITING = _Waiting()
+
+
+class Token:
+    """An offer: the offeror's value plus the hole awaiting the answer.
+
+    ``eid`` is the prepared event id, assigned by the registry inside the
+    installing CAS's commit hook (before the CAS message view is sealed,
+    so the event's ghost component is published with the offer).
+    """
+
+    __slots__ = ("hole", "val", "eid")
+
+    def __init__(self, hole: int, val: Any):
+        self.hole = hole
+        self.val = val
+        self.eid = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.val!r}, e{self.eid})"
+
+
+class Exchanger(LibraryObject):
+    """An exchanger object (optionally an array of slots, §4.1)."""
+
+    kind = "exchanger"
+
+    def __init__(self, mem: Memory, name: str, slots: int = 1):
+        super().__init__(mem, name)
+        self.slots: List[int] = [
+            mem.alloc(f"{name}.slot[{i}]", None) for i in range(slots)
+        ]
+
+    @classmethod
+    def setup(cls, mem: Memory, name: str = "xchg",
+              slots: int = 1) -> "Exchanger":
+        return cls(mem, name, slots)
+
+    # ------------------------------------------------------------------
+    # The one operation
+    # ------------------------------------------------------------------
+    def exchange(self, v: Any, patience: int = 2, attempts: int = 2):
+        """Try to exchange ``v``; returns the partner's value or ``FAILED``.
+
+        ``patience`` bounds how long an installed offer waits before being
+        retracted; ``attempts`` bounds install/take tries (slots are
+        visited round-robin).  All bounds keep executions finite for
+        exhaustive exploration.
+        """
+        for attempt in range(attempts):
+            slot = self.slots[attempt % len(self.slots)]
+            cur = yield Load(slot, ACQ)
+            if cur is None:
+                outcome = yield from self._offer(slot, v, patience)
+            else:
+                outcome = yield from self._take(slot, cur, v)
+            if outcome is not None:
+                return outcome
+        return (yield from self._fail(v))
+
+    # -- offeror (potential helpee) path --------------------------------
+    def _offer(self, slot: int, v: Any, patience: int):
+        (hole,) = yield Alloc([WAITING], "hole")
+        token = Token(hole, v)
+
+        def commit_offer(ctx):
+            token.eid = self.registry.prepare(ctx)
+
+        ok, _ = yield Cas(slot, None, token, ACQ_REL, commit=commit_offer)
+        if not ok:
+            return None  # lost the install race; caller retries
+        for _ in range(patience):
+            r = yield Load(hole, ACQ)
+            if r is not WAITING:
+                return r  # matched: helper already committed both events
+
+        def commit_retract(ctx):
+            self.registry.cancel_prepared(token.eid)
+            self.registry.commit(ctx, Exchange(v, FAILED))
+
+        ok, _ = yield Cas(slot, token, None, RLX, commit=commit_retract)
+        if ok:
+            return FAILED
+        # Retraction lost: a helper took the offer and will answer.
+        while True:
+            r = yield Load(hole, ACQ)
+            if r is not WAITING:
+                return r
+
+    # -- taker (helper) path ---------------------------------------------
+    def _take(self, slot: int, token: Token, v: Any):
+        ok, _ = yield Cas(slot, token, None, ACQ)
+        if not ok:
+            return None  # someone else took or retracted it; caller retries
+
+        def commit_match(ctx):
+            helpee = self.registry.commit_prepared(
+                token.eid, Exchange(token.val, v))
+            mine = self.registry.commit(ctx, Exchange(v, token.val))
+            self.registry.add_so(helpee.eid, mine)
+            self.registry.add_so(mine, helpee.eid)
+
+        yield Store(token.hole, v, REL, commit=commit_match)
+        return token.val
+
+    # -- giving up ---------------------------------------------------------
+    def _fail(self, v: Any):
+        def commit_fail(ctx):
+            self.registry.commit(ctx, Exchange(v, FAILED))
+
+        yield GhostCommit(commit=commit_fail)
+        return FAILED

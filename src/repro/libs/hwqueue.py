@@ -1,0 +1,134 @@
+"""Herlihy–Wing queue, the paper's weakly synchronized queue (§3.1–§3.2).
+
+Array-based: ``back`` is a fetch-and-add ticket counter; slot ``i`` holds
+the ``i``-th enqueued element.  A dequeue scans slots ``0..back-1``
+swapping each with ``None`` until it extracts an element.
+
+Synchronization follows the paper's relaxed variant ("enqueues use release
+operations, and dequeues use acquire ones"): the ticket FAA is relaxed,
+the slot publication is a release store, and the extracting swap is an
+acquire RMW.  Consequently lhb holds only between matched pairs — the
+implementation satisfies ``LAT_hb`` but *not* the abstract-state styles:
+the order in which dequeue commits (slot swaps) happen need not follow the
+enqueue commit (slot write) order, which is exactly why the paper says
+constructing the abstract state would need commit-point reordering and
+prophecy (§3.2).  Our spec-matrix experiment exhibits this as a genuine
+``ABS-STATE`` check failure.
+
+Commit points:
+
+* enqueue — the release store publishing the payload into its slot;
+* dequeue — the acquire swap extracting a payload;
+* empty dequeue — after one full unsuccessful scan of ``0..back-1`` (a
+  ghost commit immediately after the scan's last read; the scan itself
+  guarantees every happens-before enqueue was already extracted).
+
+``dequeue`` (spinning, as in Herlihy–Wing's original, which never returns
+empty) and ``try_dequeue`` (single scan, may return ``EMPTY``) are both
+provided; clients like Figure 1's MP use ``try_dequeue``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..core.event import Deq, EMPTY, Enq
+from ..rmc.memory import Memory
+from ..rmc.modes import ACQ, REL, RLX
+from ..rmc.ops import Faa, GhostCommit, Load, Store, Xchg
+from .base import LibraryObject, Payload
+
+
+class HWQueue(LibraryObject):
+    """A bounded Herlihy–Wing queue instance."""
+
+    kind = "queue"
+
+    def __init__(self, mem: Memory, name: str, capacity: int):
+        super().__init__(mem, name)
+        self.capacity = capacity
+        self.back = mem.alloc(f"{name}.back", 0)
+        self.slots: List[int] = [
+            mem.alloc(f"{name}.slot[{i}]", None) for i in range(capacity)
+        ]
+
+    @classmethod
+    def setup(cls, mem: Memory, name: str = "hwq",
+              capacity: int = 8) -> "HWQueue":
+        return cls(mem, name, capacity)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def enqueue(self, v: Any):
+        """Enqueue ``v``: take a ticket, publish into the slot (release)."""
+        i = yield Faa(self.back, 1, RLX)
+        if i >= self.capacity:
+            raise IndexError(f"{self.name}: capacity {self.capacity} exceeded")
+        payload = Payload(v)
+
+        def commit_enqueue(ctx):
+            payload.eid = self.registry.commit(ctx, Enq(v))
+
+        yield Store(self.slots[i], payload, REL, commit=commit_enqueue)
+        return payload.eid
+
+    def _scan_once(self):
+        """One scan of ``0..back-1``; returns a payload or ``None``.
+
+        As in the original algorithm, probing *swaps* ``None`` into each
+        slot (an acquire RMW): reading modification-order-maximally, a
+        probe cannot miss a token written before it in real time, which is
+        what keeps dequeues from skipping over elements enqueued earlier
+        by the same (or a synchronized) producer.
+        """
+        rng = yield Load(self.back, RLX)
+
+        def commit_dequeue(ctx):
+            if ctx.value_read is not None:
+                payload = ctx.value_read
+                self.registry.commit(ctx, Deq(payload.val),
+                                     so_from=[payload.eid])
+
+        for i in range(min(rng, self.capacity)):
+            x = yield Xchg(self.slots[i], None, ACQ, commit=commit_dequeue)
+            if x is not None:
+                return x
+        return None
+
+    def dequeue(self):
+        """Spin until an element is extracted (original HW semantics)."""
+        while True:
+            x = yield from self._scan_once()
+            if x is not None:
+                return x.val
+
+    def try_dequeue(self):
+        """One scan; commits an empty dequeue if nothing was found.
+
+        The empty dequeue's event is committed *at the logical view the
+        operation started with*: the probing swaps absorb views released
+        through other dequeues' ``None`` writes (release sequences through
+        RMW chains), and counting that incidental synchronization as
+        happens-before would let an enqueue the scan could not have seen
+        into the event's logical view, violating QUEUE-EMPDEQ's reading of
+        "every enqueue that happens-before the dequeue".  Committing at
+        the operation-start view is sound and lossless for clients: the
+        spec only promises ``M' ⊇ M0``, the caller's logical view at the
+        call.
+        """
+        snapshot = []
+
+        def capture(ctx):
+            snapshot.append(ctx.view)
+
+        yield GhostCommit(commit=capture)
+        x = yield from self._scan_once()
+        if x is not None:
+            return x.val
+
+        def commit_empty(ctx):
+            self.registry.commit(ctx, Deq(EMPTY), at_view=snapshot[0])
+
+        yield GhostCommit(commit=commit_empty)
+        return EMPTY

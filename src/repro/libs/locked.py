@@ -1,0 +1,99 @@
+"""Coarse-grained lock-based queue and stack: strong baselines.
+
+The entire container state lives in one location written non-atomically
+under a `repro.libs.spinlock.Spinlock`.  These are the "obviously correct"
+strongly synchronized implementations: they satisfy every spec style up to
+``LAT_hb^hist`` (and the race detector independently certifies that the
+locking protocol protects the non-atomic state).
+
+Commit points: the non-atomic store updating the state (enqueue/dequeue,
+push/pop) and a ghost commit while holding the lock for empty results.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.event import Deq, EMPTY, Enq, Pop, Push
+from ..rmc.memory import Memory
+from ..rmc.modes import NA
+from ..rmc.ops import GhostCommit, Load, Store
+from .base import LibraryObject, Payload
+from .spinlock import Spinlock
+
+
+class _LockedContainer(LibraryObject):
+    """Shared machinery: state tuple guarded by a spinlock."""
+
+    def __init__(self, mem: Memory, name: str):
+        super().__init__(mem, name)
+        self.lock = Spinlock(mem, f"{name}.lock")
+        self.state = mem.alloc(f"{name}.state", ())
+
+    @classmethod
+    def setup(cls, mem: Memory, name: str):
+        return cls(mem, name)
+
+    def _insert(self, v: Any, kind_cls, at_front: bool):
+        yield from self.lock.acquire()
+        state = yield Load(self.state, NA)
+        payload = Payload(v)
+
+        def commit(ctx):
+            payload.eid = self.registry.commit(ctx, kind_cls(v))
+
+        new_state = ((payload,) + state) if at_front else (state + (payload,))
+        yield Store(self.state, new_state, NA, commit=commit)
+        yield from self.lock.release()
+        return payload.eid
+
+    def _remove(self, kind_cls):
+        yield from self.lock.acquire()
+        state = yield Load(self.state, NA)
+        if not state:
+            def commit_empty(ctx):
+                self.registry.commit(ctx, kind_cls(EMPTY))
+
+            yield GhostCommit(commit=commit_empty)
+            yield from self.lock.release()
+            return EMPTY
+        payload = state[0]
+
+        def commit(ctx):
+            self.registry.commit(ctx, kind_cls(payload.val),
+                                 so_from=[payload.eid])
+
+        yield Store(self.state, state[1:], NA, commit=commit)
+        yield from self.lock.release()
+        return payload.val
+
+
+class LockedQueue(_LockedContainer):
+    """FIFO queue under a global lock."""
+
+    kind = "queue"
+
+    def enqueue(self, v: Any):
+        return (yield from self._insert(v, Enq, at_front=False))
+
+    def dequeue(self):
+        return (yield from self._remove(Deq))
+
+    # Uniform interface with the lock-free queues.
+    def try_dequeue(self):
+        return (yield from self._remove(Deq))
+
+
+class LockedStack(_LockedContainer):
+    """LIFO stack under a global lock."""
+
+    kind = "stack"
+
+    def push(self, v: Any):
+        return (yield from self._insert(v, Push, at_front=True))
+
+    def pop(self):
+        return (yield from self._remove(Pop))
+
+    def try_pop(self):
+        return (yield from self._remove(Pop))

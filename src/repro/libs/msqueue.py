@@ -1,0 +1,165 @@
+"""Michael–Scott queue on the relaxed memory simulator.
+
+The release/acquire variant the paper verifies against the strongest
+abstract-state specs (``LAT_hb^abs``, Section 3.2): release-acquire
+provides enough synchronization to construct the list of queue values at
+the natural commit points.
+
+Structure: a singly linked list with sentinel.  ``head`` points at the
+sentinel whose successor is the front element; ``tail`` points at (or
+near) the last node.  Node fields:
+
+* ``val``  — written non-atomically by the enqueuer before publication
+  (so the race detector independently certifies the publication safety the
+  paper's proofs establish);
+* ``next`` — atomic; ``None`` terminates the list.
+
+Commit points (as in the paper's proofs):
+
+* enqueue — the successful release CAS linking the node at ``tail.next``;
+* dequeue — the successful CAS advancing ``head``;
+* empty dequeue — the acquire read observing ``head.next == None``.
+
+Mode profiles enable the strong (SC) baseline and a deliberately broken
+all-relaxed mutant used to demonstrate that the checkers detect real
+weak-memory bugs (the mutant races on ``val`` and loses synchronization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from ..core.event import Deq, EMPTY, Enq
+from ..rmc.memory import Memory
+from ..rmc.modes import ACQ, ACQ_REL, NA, REL, RLX, SC, Mode
+from ..rmc.ops import Alloc, Cas, Load, Store
+from .base import LibraryObject, Payload
+
+Ptr = Tuple[int, int]  # (val_loc, next_loc); None is the null pointer
+
+
+@dataclass(frozen=True)
+class ModeProfile:
+    """Access modes used by the implementation (ablation knob)."""
+
+    name: str
+    load: Mode          # pointer loads
+    link: Mode          # the enqueue's linking CAS (its commit)
+    advance: Mode       # head/tail advancing CASes
+    value: Mode = NA    # node value accesses
+
+    @property
+    def empty_read(self) -> Mode:
+        """Mode of the read committing an empty dequeue."""
+        return self.load
+
+
+#: The paper's release/acquire implementation.
+RELACQ = ModeProfile("rel-acq", load=ACQ, link=REL, advance=ACQ_REL)
+#: Strongly synchronized baseline: every atomic is seq-cst.
+SEQCST = ModeProfile("sc", load=SC, link=SC, advance=SC)
+#: Deliberately broken mutant: all-relaxed atomics (racy publication).
+BROKEN_RLX = ModeProfile("broken-rlx", load=RLX, link=RLX, advance=RLX)
+
+
+class MSQueue(LibraryObject):
+    """A Michael–Scott queue instance living in simulator memory."""
+
+    kind = "queue"
+
+    def __init__(self, mem: Memory, name: str, profile: ModeProfile):
+        super().__init__(mem, name)
+        self.profile = profile
+        sentinel_val = mem.alloc(f"{name}.sentinel.val", 0)
+        sentinel_next = mem.alloc(f"{name}.sentinel.next", None)
+        sentinel: Ptr = (sentinel_val, sentinel_next)
+        self.head = mem.alloc(f"{name}.head", sentinel)
+        self.tail = mem.alloc(f"{name}.tail", sentinel)
+        #: node next_loc -> payload of the enqueue that published the node.
+        self.node_payload: Dict[int, Payload] = {}
+
+    @classmethod
+    def setup(cls, mem: Memory, name: str = "msq",
+              profile: ModeProfile = RELACQ) -> "MSQueue":
+        return cls(mem, name, profile)
+
+    # ------------------------------------------------------------------
+    # Operations (generator functions: drive with ``yield from``)
+    # ------------------------------------------------------------------
+    def enqueue(self, v: Any):
+        """Enqueue ``v``; loops until the linking CAS succeeds."""
+        p = self.profile
+        (val_loc, next_loc) = (yield Alloc([0, None], "node"))
+        payload = Payload(v)
+        yield Store(val_loc, payload, p.value)
+        node: Ptr = (val_loc, next_loc)
+
+        def commit_enqueue(ctx):
+            payload.eid = self.registry.commit(ctx, Enq(v))
+            self.node_payload[next_loc] = payload
+
+        while True:
+            tail = yield Load(self.tail, p.load)
+            nxt = yield Load(tail[1], p.load)
+            if nxt is not None:
+                # Tail is lagging: help advance it and retry.
+                yield Cas(self.tail, tail, nxt, p.advance)
+                continue
+            ok, _ = yield Cas(tail[1], None, node, p.link,
+                              commit=commit_enqueue)
+            if ok:
+                # Swing tail (may fail if someone else already advanced it).
+                yield Cas(self.tail, tail, node, p.advance)
+                return payload.eid
+
+    def dequeue(self):
+        """Dequeue; returns a value or ``EMPTY`` (the paper's ε)."""
+        p = self.profile
+
+        def commit_empty(ctx):
+            if ctx.value_read is None:
+                self.registry.commit(ctx, Deq(EMPTY))
+
+        while True:
+            head = yield Load(self.head, p.load)
+            nxt = yield Load(head[1], p.empty_read, commit=commit_empty)
+            if nxt is None:
+                return EMPTY
+            payload = self.node_payload.get(nxt[1])
+
+            def commit_dequeue(ctx, payload=payload):
+                self.registry.commit(ctx, Deq(payload.val),
+                                     so_from=[payload.eid])
+
+            ok, _ = yield Cas(self.head, head, nxt, p.advance,
+                              commit=commit_dequeue)
+            if ok:
+                out = yield Load(nxt[0], p.value)
+                return out.val
+
+    def try_dequeue(self):
+        """Single-attempt dequeue: value, ``EMPTY``, or ``None`` on a lost
+        race (no event committed in that case)."""
+        p = self.profile
+
+        def commit_empty(ctx):
+            if ctx.value_read is None:
+                self.registry.commit(ctx, Deq(EMPTY))
+
+        head = yield Load(self.head, p.load)
+        nxt = yield Load(head[1], p.empty_read, commit=commit_empty)
+        if nxt is None:
+            return EMPTY
+        payload = self.node_payload.get(nxt[1])
+
+        def commit_dequeue(ctx):
+            self.registry.commit(ctx, Deq(payload.val),
+                                 so_from=[payload.eid])
+
+        ok, _ = yield Cas(self.head, head, nxt, p.advance,
+                          commit=commit_dequeue)
+        if ok:
+            out = yield Load(nxt[0], p.value)
+            return out.val
+        return None

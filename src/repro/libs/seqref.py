@@ -1,0 +1,86 @@
+"""Plain sequential reference queue/stack (the SEQ spec row).
+
+No shared memory at all: state is a Python list, operations commit through
+ghost commits.  Meaningful only in single-threaded programs — they are the
+executable image of the paper's §2.1 sequential specifications and serve
+as the oracle the stronger implementations are differentially tested
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..core.event import Deq, EMPTY, Enq, Pop, Push
+from ..rmc.memory import Memory
+from ..rmc.ops import GhostCommit
+from .base import LibraryObject, Payload
+
+
+class _SeqContainer(LibraryObject):
+    def __init__(self, mem: Memory, name: str):
+        super().__init__(mem, name)
+        self.items: List[Payload] = []
+
+    @classmethod
+    def setup(cls, mem: Memory, name: str):
+        return cls(mem, name)
+
+    def _insert(self, v: Any, kind_cls, at_front: bool):
+        payload = Payload(v)
+
+        def commit(ctx):
+            payload.eid = self.registry.commit(ctx, kind_cls(v))
+            if at_front:
+                self.items.insert(0, payload)
+            else:
+                self.items.append(payload)
+
+        yield GhostCommit(commit=commit)
+        return payload.eid
+
+    def _remove(self, kind_cls):
+        out = []
+
+        def commit(ctx):
+            if not self.items:
+                self.registry.commit(ctx, kind_cls(EMPTY))
+                out.append(EMPTY)
+            else:
+                payload = self.items.pop(0)
+                self.registry.commit(ctx, kind_cls(payload.val),
+                                     so_from=[payload.eid])
+                out.append(payload.val)
+
+        yield GhostCommit(commit=commit)
+        return out[0]
+
+
+class SeqQueue(_SeqContainer):
+    """Sequential FIFO queue (SEQ-ENQ / SEQ-DEQ of Figure 2)."""
+
+    kind = "queue"
+
+    def enqueue(self, v: Any):
+        return (yield from self._insert(v, Enq, at_front=False))
+
+    def dequeue(self):
+        return (yield from self._remove(Deq))
+
+    def try_dequeue(self):
+        return (yield from self._remove(Deq))
+
+
+class SeqStack(_SeqContainer):
+    """Sequential LIFO stack."""
+
+    kind = "stack"
+
+    def push(self, v: Any):
+        return (yield from self._insert(v, Push, at_front=True))
+
+    def pop(self):
+        return (yield from self._remove(Pop))
+
+    def try_pop(self):
+        return (yield from self._remove(Pop))

@@ -1,0 +1,116 @@
+"""A test-and-set spinlock: the strongly synchronized baseline primitive.
+
+Acquire is an acq-rel CAS loop; release is a release store.  The RMW
+view-carrying of the machine gives the usual lock protocol: each acquirer
+synchronizes with every previous critical section, so non-atomic data
+guarded by the lock is race-free (the race detector certifies this in the
+tests).
+"""
+
+from __future__ import annotations
+
+from ..rmc.memory import Memory
+from ..rmc.modes import ACQ_REL, REL
+from ..rmc.ops import Cas, Store
+
+
+class Spinlock:
+    """A spinlock over one atomic location (0 = free, 1 = held)."""
+
+    def __init__(self, mem: Memory, name: str = "lock"):
+        self.flag = mem.alloc(name, 0)
+
+    @classmethod
+    def setup(cls, mem: Memory, name: str = "lock") -> "Spinlock":
+        return cls(mem, name)
+
+    def acquire(self):
+        """Spin until the lock is taken."""
+        while True:
+            ok, _ = yield Cas(self.flag, 0, 1, ACQ_REL)
+            if ok:
+                return
+
+    def try_acquire(self):
+        """One attempt; ``True`` iff the lock was taken."""
+        ok, _ = yield Cas(self.flag, 0, 1, ACQ_REL)
+        return ok
+
+    def release(self):
+        """Release the lock (release store)."""
+        yield Store(self.flag, 0, REL)
+
+
+class TicketLock:
+    """A FIFO ticket lock: FAA hands out tickets, ``owner`` calls them.
+
+    Fairness is structural — threads enter in ticket order — making it
+    the fair counterpart to the test-and-set :class:`Spinlock` (tests
+    check both mutual exclusion and FIFO admission).
+    """
+
+    def __init__(self, mem: Memory, name: str = "ticket"):
+        self.next_ticket = mem.alloc(f"{name}.next", 0)
+        self.owner = mem.alloc(f"{name}.owner", 0)
+
+    @classmethod
+    def setup(cls, mem: Memory, name: str = "ticket") -> "TicketLock":
+        return cls(mem, name)
+
+    def acquire(self):
+        """Take a ticket and spin until called; returns the ticket."""
+        from ..rmc.ops import Faa, Load
+        from ..rmc.modes import ACQ, RLX
+        ticket = yield Faa(self.next_ticket, 1, RLX)
+        while True:
+            o = yield Load(self.owner, ACQ)
+            if o == ticket:
+                return ticket
+
+    def release(self, ticket: int):
+        """Admit the next ticket (release store)."""
+        yield Store(self.owner, ticket + 1, REL)
+
+
+class PetersonLock:
+    """Peterson's 2-thread mutual-exclusion lock.
+
+    The textbook algorithm needs sequential consistency: each side sets
+    its flag and must then *see* the other's flag (a store-buffering
+    shape).  ``mode=SC`` (default) is correct; constructing it with
+    ``mode=REL``-style release/acquire is the classic broken variant —
+    both threads can enter, and the race detector catches the resulting
+    unprotected non-atomic accesses (tests demonstrate both).
+    """
+
+    def __init__(self, mem: Memory, name: str = "peterson", sc: bool = True):
+        self.flags = [mem.alloc(f"{name}.flag[0]", 0),
+                      mem.alloc(f"{name}.flag[1]", 0)]
+        self.turn = mem.alloc(f"{name}.turn", 0)
+        self.sc = sc
+
+    @classmethod
+    def setup(cls, mem: Memory, name: str = "peterson",
+              sc: bool = True) -> "PetersonLock":
+        return cls(mem, name, sc=sc)
+
+    def acquire(self, me: int):
+        """Enter the critical section as party ``me`` (0 or 1)."""
+        from ..rmc.ops import Load
+        from ..rmc.modes import ACQ, SC
+        other = 1 - me
+        wmode = SC if self.sc else REL
+        rmode = SC if self.sc else ACQ
+        yield Store(self.flags[me], 1, wmode)
+        yield Store(self.turn, other, wmode)
+        while True:
+            f = yield Load(self.flags[other], rmode)
+            if f == 0:
+                return
+            t = yield Load(self.turn, rmode)
+            if t == me:
+                return
+
+    def release(self, me: int):
+        from ..rmc.modes import SC
+        yield Store(self.flags[me], 0, SC if self.sc else REL)

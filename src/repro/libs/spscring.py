@@ -1,0 +1,107 @@
+"""Single-producer single-consumer ring buffer (Lamport queue).
+
+The §3.2 derivation in the paper goes from MPMC queue specs to stronger
+SPSC specs by a client protocol; this module provides the complementary
+artifact: a queue implementation that is *only* correct under the SPSC
+protocol, and notable for using **no RMW instructions at all** — just
+release/acquire stores and loads on two indices.
+
+* ``head`` — next slot to consume; written only by the consumer;
+* ``tail`` — next slot to fill; written only by the producer;
+* producer: check space (acquire-read ``head``), write the slot
+  (non-atomic — the indices' release/acquire handshake protects it),
+  release-store ``tail`` (the enqueue's commit: it publishes the slot);
+* consumer: acquire-read ``tail`` (empty-dequeue commit when
+  ``head == tail``), read the slot, release-store ``head`` (the dequeue's
+  commit: it returns the slot to the producer).
+
+The slot payloads being non-atomic makes the race detector an
+*independent certifier* of the protocol: any usage with two producers or
+two consumers — or any missing release/acquire — shows up as a data race
+(undefined behaviour), checked in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..core.event import Deq, EMPTY, Enq
+from ..rmc.memory import Memory
+from ..rmc.modes import ACQ, NA, REL, RLX
+from ..rmc.ops import Load, Store
+from .base import LibraryObject, Payload
+
+
+class SpscRingQueue(LibraryObject):
+    """A bounded SPSC ring queue instance."""
+
+    kind = "queue"
+
+    def __init__(self, mem: Memory, name: str, capacity: int):
+        super().__init__(mem, name)
+        self.capacity = capacity
+        self.head = mem.alloc(f"{name}.head", 0)
+        self.tail = mem.alloc(f"{name}.tail", 0)
+        self.slots: List[int] = [
+            mem.alloc(f"{name}.slot[{i}]", None) for i in range(capacity)
+        ]
+
+    @classmethod
+    def setup(cls, mem: Memory, name: str = "ring",
+              capacity: int = 8) -> "SpscRingQueue":
+        return cls(mem, name, capacity)
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def try_enqueue(self, v: Any):
+        """One attempt; ``False`` iff the ring is full."""
+        t = yield Load(self.tail, RLX)       # producer-owned index
+        h = yield Load(self.head, ACQ)       # consumer's progress
+        if t - h >= self.capacity:
+            return False
+        payload = Payload(v)
+        yield Store(self.slots[t % self.capacity], payload, NA)
+
+        def commit_enqueue(ctx):
+            payload.eid = self.registry.commit(ctx, Enq(v))
+
+        yield Store(self.tail, t + 1, REL, commit=commit_enqueue)
+        return True
+
+    def enqueue(self, v: Any):
+        """Spin until space is available."""
+        while True:
+            ok = yield from self.try_enqueue(v)
+            if ok:
+                return
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def try_dequeue(self):
+        """One attempt; a value or ``EMPTY``."""
+        h = yield Load(self.head, RLX)       # consumer-owned index
+
+        def commit_empty(ctx):
+            if ctx.value_read == h:
+                self.registry.commit(ctx, Deq(EMPTY))
+
+        t = yield Load(self.tail, ACQ, commit=commit_empty)
+        if t == h:
+            return EMPTY
+        payload = yield Load(self.slots[h % self.capacity], NA)
+
+        def commit_dequeue(ctx):
+            self.registry.commit(ctx, Deq(payload.val),
+                                 so_from=[payload.eid])
+
+        yield Store(self.head, h + 1, REL, commit=commit_dequeue)
+        return payload.val
+
+    def dequeue(self):
+        """Spin until an element arrives."""
+        while True:
+            v = yield from self.try_dequeue()
+            if v is not EMPTY:
+                return v

@@ -1,0 +1,152 @@
+"""Treiber stack, relaxed: release-CAS pushes, acquire-CAS pops (§3.3).
+
+A singly linked list hanging off an atomic ``head`` pointer.  Node payload
+and next pointer are written non-atomically before publication; the
+release CAS on ``head`` publishes them, and a pop's acquire CAS receives
+them (so the race detector certifies publication safety).
+
+Commit points:
+
+* push — the successful release CAS installing the node as head;
+* pop — the successful acquire CAS removing the head node;
+* empty pop — the read observing ``head == None``;
+* ``try_push`` / ``try_pop`` — single-attempt variants used by the
+  elimination stack; a lost CAS race commits *no* event and reports
+  ``FAIL_RACE``.
+
+Linearizable history (``LAT_hb^hist``): lhb alone is too sparse for a
+total order (only matched pairs synchronize), but — exactly as the paper
+observes — the modification order of ``head`` totally orders the commit
+CASes.  Every commit hook therefore records the event's position in
+``head``'s history (:attr:`TreiberStack.mo_keys`); empty pops sit at the
+timestamp of the head message they read.  ``linearization()`` sorts by
+these keys, yielding the ``to`` that ``interp`` validates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from ..core.event import EMPTY, Pop, Push
+from ..core.history import to_from_keys
+from ..rmc.memory import Memory
+from ..rmc.modes import ACQ, NA, REL, RLX
+from ..rmc.ops import Alloc, Cas, Load, Store
+from .base import LibraryObject, Payload
+
+
+class FailRace:
+    """Singleton returned by try-operations that lost their CAS race."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "FAIL_RACE"
+
+
+FAIL_RACE = FailRace()
+
+
+class TreiberStack(LibraryObject):
+    """A Treiber stack instance living in simulator memory."""
+
+    kind = "stack"
+
+    def __init__(self, mem: Memory, name: str):
+        super().__init__(mem, name)
+        self.head = mem.alloc(f"{name}.head", None)
+        #: eid -> sort key in head's modification order (see module doc).
+        self.mo_keys: Dict[int, Tuple] = {}
+        #: node next_loc -> payload of the push that published the node.
+        self._meta: Dict[int, Payload] = {}
+
+    @classmethod
+    def setup(cls, mem: Memory, name: str = "stk") -> "TreiberStack":
+        return cls(mem, name)
+
+    # ------------------------------------------------------------------
+    # Single-attempt operations (building blocks; used by the elim stack)
+    # ------------------------------------------------------------------
+    def _try_push(self, node, payload):
+        head = yield Load(self.head, RLX)
+        yield Store(node[1], head, NA)
+
+        def commit_push(ctx):
+            payload.eid = self.registry.commit(ctx, Push(payload.val))
+            self._meta[node[1]] = payload
+            self.mo_keys[payload.eid] = (ctx.ts_written, 0, 0)
+
+        ok, _ = yield Cas(self.head, head, node, REL, commit=commit_push)
+        return ok
+
+    def _try_pop(self, commit_empty):
+        head = yield Load(self.head, ACQ, commit=commit_empty)
+        if head is None:
+            return EMPTY
+        nxt = yield Load(head[1], NA)
+        payload = self._meta[head[1]]
+
+        def commit_pop(ctx):
+            eid = self.registry.commit(ctx, Pop(payload.val),
+                                       so_from=[payload.eid])
+            self.mo_keys[eid] = (ctx.ts_written, 0, 0)
+
+        ok, _ = yield Cas(self.head, head, nxt, ACQ, commit=commit_pop)
+        if ok:
+            out = yield Load(head[0], NA)
+            return out.val
+        return FAIL_RACE
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+    def push(self, v: Any):
+        """Push ``v``; retries the CAS until it succeeds."""
+        node, payload = yield from self._new_node(v)
+        while True:
+            ok = yield from self._try_push(node, payload)
+            if ok:
+                return payload.eid
+
+    def pop(self):
+        """Pop; returns a value or ``EMPTY``."""
+        while True:
+            r = yield from self._try_pop(self._commit_empty_hook())
+            if r is not FAIL_RACE:
+                return r
+
+    def try_push(self, v: Any):
+        """One attempt; ``True`` on success, ``False`` on a lost race."""
+        node, payload = yield from self._new_node(v)
+        ok = yield from self._try_push(node, payload)
+        return bool(ok)
+
+    def try_pop(self):
+        """One attempt; a value, ``EMPTY``, or ``FAIL_RACE``."""
+        return (yield from self._try_pop(self._commit_empty_hook()))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _new_node(self, v: Any):
+        (val_loc, next_loc) = yield Alloc([0, None], "node")
+        payload = Payload(v)
+        yield Store(val_loc, payload, NA)
+        return (val_loc, next_loc), payload
+
+    def _commit_empty_hook(self):
+        def commit_empty(ctx):
+            if ctx.value_read is None:
+                eid = self.registry.commit(ctx, Pop(EMPTY))
+                self.mo_keys[eid] = (ctx.msg_read.ts, 1,
+                                     self.registry.events[eid].commit_index)
+        return commit_empty
+
+    def linearization(self):
+        """The total order ``to`` derived from head's modification order."""
+        return to_from_keys(self.mo_keys)

@@ -1,0 +1,39 @@
+"""`repro.rmc` — the ORC11-style view-based relaxed memory simulator.
+
+Public surface:
+
+* modes: ``NA, RLX, ACQ, REL, ACQ_REL, SC`` (`repro.rmc.modes.Mode`)
+* operations yielded by thread coroutines: `Load`, `Store`, `Cas`,
+  `Faa`, `Xchg`, `Fence`, `Alloc`, `GhostCommit`
+* `Program` + `Machine.run` / `Program.run` for single executions
+* `explore_all` / `explore_random` / `check_all` / `replay` for
+  execution-space exploration
+* `View`, `Memory`, `Message` for the Compass layer and for tests
+* the litmus catalogue (`repro.rmc.litmus`) validating the model
+"""
+
+from .explore import (ExplorationStats, check_all, explore_all,
+                      explore_random, replay)
+from .machine import CommitCtx, ExecutionResult, Machine, ThreadState, run
+from .memory import Memory
+from .message import Location, Message
+from .modes import ACQ, ACQ_REL, NA, REL, RLX, SC, Mode
+from .ops import Alloc, Cas, Faa, Fence, GhostCommit, Load, Store, Xchg
+from .program import Program
+from .races import RaceError, RmcError, SteppingError
+from .scheduler import (Decider, FixedDecider, PrefixDecider, RandomDecider,
+                        RoundRobinDecider)
+from .view import EMPTY_VIEW, View, join_all
+
+__all__ = [
+    "ACQ", "ACQ_REL", "NA", "REL", "RLX", "SC", "Mode",
+    "Alloc", "Cas", "Faa", "Fence", "GhostCommit", "Load", "Store", "Xchg",
+    "Program", "Machine", "run", "CommitCtx", "ExecutionResult",
+    "ThreadState",
+    "Decider", "RandomDecider", "PrefixDecider", "FixedDecider",
+    "RoundRobinDecider",
+    "explore_all", "explore_random", "check_all", "replay",
+    "ExplorationStats",
+    "Memory", "Message", "Location", "View", "EMPTY_VIEW", "join_all",
+    "RaceError", "RmcError", "SteppingError",
+]

@@ -1,0 +1,138 @@
+"""Execution-space exploration: exhaustive (stateless DFS) and randomized.
+
+The exhaustive explorer enumerates the complete decision tree of a bounded
+program by *replay*: each execution is rerun from scratch under a
+`repro.rmc.scheduler.PrefixDecider`; the recorded trace of
+``(arity, chosen)`` pairs identifies the rightmost decision with an untried
+sibling, which becomes the next prefix.  This is classic stateless model
+checking (generators cannot be snapshotted, so replay is the honest way).
+
+It plays the role the Coq proofs play in the paper: instead of proving a
+consistency condition for *all* executions, we enumerate all executions of
+bounded scenarios and check the condition on each.  Randomized exploration
+scales the same checks to larger scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List
+
+from .machine import ExecutionResult
+from .program import Program
+from .scheduler import FixedDecider, PrefixDecider, RandomDecider
+
+ProgramFactory = Callable[[], Program]
+
+
+@dataclass
+class ExplorationStats:
+    """Aggregate statistics of one exploration run."""
+
+    executions: int = 0
+    complete: int = 0
+    truncated: int = 0
+    raced: int = 0
+    steps: int = 0
+    exhausted: bool = False  # True iff the whole tree was enumerated
+    race_traces: List[List] = field(default_factory=list)
+
+    def record(self, result: ExecutionResult) -> None:
+        self.executions += 1
+        self.steps += result.steps
+        if result.race is not None:
+            self.raced += 1
+            if len(self.race_traces) < 5:
+                self.race_traces.append(list(result.trace))
+        elif result.truncated:
+            self.truncated += 1
+        else:
+            self.complete += 1
+
+
+def explore_all(
+    factory: ProgramFactory,
+    max_steps: int = 2_000,
+    max_executions: int = 200_000,
+    race_detection: bool = True,
+    sc_upgrade: bool = False,
+) -> Iterator[ExecutionResult]:
+    """Enumerate every execution of the (bounded) program, by replay.
+
+    Programs with unbounded spin loops must be loop-bounded for exhaustive
+    mode; runs exceeding ``max_steps`` come back with ``truncated=True`` and
+    their subtree is still backtracked normally.
+    """
+    prefix: List[int] = []
+    executions = 0
+    while executions < max_executions:
+        decider = PrefixDecider(prefix)
+        result = factory().run(decider, max_steps=max_steps,
+                               race_detection=race_detection,
+                               sc_upgrade=sc_upgrade)
+        executions += 1
+        yield result
+        trace = decider.trace
+        j = len(trace) - 1
+        while j >= 0 and trace[j][1] + 1 >= trace[j][0]:
+            j -= 1
+        if j < 0:
+            return
+        prefix = [trace[i][1] for i in range(j)] + [trace[j][1] + 1]
+
+
+def explore_random(
+    factory: ProgramFactory,
+    runs: int,
+    seed: int = 0,
+    max_steps: int = 100_000,
+    race_detection: bool = True,
+    sc_upgrade: bool = False,
+) -> Iterator[ExecutionResult]:
+    """Run ``runs`` independent executions with seeded random decisions."""
+    for i in range(runs):
+        decider = RandomDecider(seed + i)
+        yield factory().run(decider, max_steps=max_steps,
+                            race_detection=race_detection,
+                            sc_upgrade=sc_upgrade)
+
+
+def check_all(
+    factory: ProgramFactory,
+    check: Callable[[ExecutionResult], None],
+    exhaustive: bool = True,
+    runs: int = 500,
+    seed: int = 0,
+    max_steps: int = 2_000,
+    max_executions: int = 200_000,
+) -> ExplorationStats:
+    """Explore and apply ``check`` to every non-raced complete execution.
+
+    ``check`` should raise (e.g. ``AssertionError``) on a violation; the
+    offending execution's decision trace is replayable with
+    :func:`replay`.
+    """
+    stats = ExplorationStats()
+    if exhaustive:
+        source = explore_all(factory, max_steps=max_steps,
+                             max_executions=max_executions)
+    else:
+        source = explore_random(factory, runs=runs, seed=seed,
+                                max_steps=max_steps)
+    exhausted = True
+    for result in source:
+        stats.record(result)
+        if result.ok:
+            check(result)
+        if stats.executions >= max_executions:
+            exhausted = False
+            break
+    stats.exhausted = exhaustive and exhausted
+    return stats
+
+
+def replay(factory: ProgramFactory, trace, max_steps: int = 100_000,
+           race_detection: bool = True) -> ExecutionResult:
+    """Re-execute a recorded decision trace (counterexample replay)."""
+    return factory().run(FixedDecider(trace), max_steps=max_steps,
+                         race_detection=race_detection)

@@ -1,0 +1,325 @@
+"""Litmus tests pinning the memory model's allowed/forbidden behaviours.
+
+Each litmus is a program factory plus the set of final observations the
+model must (or must not) produce.  They validate substrate soundness for
+everything built on top (DESIGN.md E8): message passing needs rel/acq,
+store buffering is weak for non-SC atomics, load buffering is forbidden,
+coherence is per-location total, fences promote relaxed accesses, and
+release sequences carry through RMWs.
+
+The helpers return *outcome sets*: frozensets of per-thread return values,
+computed by exhaustive exploration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Tuple
+
+from .explore import explore_all
+from .modes import ACQ, NA, REL, RLX, SC, Mode
+from .ops import Cas, Fence, Load, Store
+from .program import Program
+
+
+def outcomes(factory: Callable[[], Program], max_steps: int = 2_000,
+             max_executions: int = 200_000) -> FrozenSet[Tuple]:
+    """All complete-execution outcome tuples (ordered by thread id)."""
+    seen = set()
+    for result in explore_all(factory, max_steps=max_steps,
+                              max_executions=max_executions):
+        if result.ok:
+            seen.add(tuple(result.returns[tid]
+                           for tid in sorted(result.returns)))
+    return frozenset(seen)
+
+
+def races(factory: Callable[[], Program], max_steps: int = 2_000,
+          max_executions: int = 200_000) -> int:
+    """Number of explored executions aborted by the race detector."""
+    return sum(1 for r in explore_all(factory, max_steps=max_steps,
+                                      max_executions=max_executions)
+               if r.race is not None)
+
+
+# ----------------------------------------------------------------------
+# The litmus catalogue
+# ----------------------------------------------------------------------
+
+def message_passing(write_mode: Mode = REL, read_mode: Mode = ACQ,
+                    data_mode: Mode = RLX) -> Callable[[], Program]:
+    """MP: does reading flag=1 guarantee seeing the data write?
+
+    Returns for thread 1: (flag_seen, data_read).
+    """
+    def factory() -> Program:
+        def setup(mem):
+            return mem.alloc("data"), mem.alloc("flag")
+
+        def producer(env):
+            data, flag = env
+            yield Store(data, 42, data_mode)
+            yield Store(flag, 1, write_mode)
+
+        def consumer(env):
+            data, flag = env
+            f = yield Load(flag, read_mode)
+            d = yield Load(data, data_mode)
+            return (f, d)
+
+        return Program(setup, [producer, consumer], "MP")
+    return factory
+
+
+def message_passing_fenced() -> Callable[[], Program]:
+    """MP through relaxed accesses promoted by rel/acq fences."""
+    def factory() -> Program:
+        def setup(mem):
+            return mem.alloc("data"), mem.alloc("flag")
+
+        def producer(env):
+            data, flag = env
+            yield Store(data, 42, RLX)
+            yield Fence(REL)
+            yield Store(flag, 1, RLX)
+
+        def consumer(env):
+            data, flag = env
+            f = yield Load(flag, RLX)
+            yield Fence(ACQ)
+            d = yield Load(data, RLX)
+            return (f, d)
+
+        return Program(setup, [producer, consumer], "MP+fences")
+    return factory
+
+
+def store_buffering(write_mode: Mode = RLX,
+                    read_mode: Mode = RLX) -> Callable[[], Program]:
+    """SB: can both threads read 0?  Allowed below SC, forbidden at SC."""
+    def factory() -> Program:
+        def setup(mem):
+            return mem.alloc("x"), mem.alloc("y")
+
+        def left(env):
+            x, y = env
+            yield Store(x, 1, write_mode)
+            return (yield Load(y, read_mode))
+
+        def right(env):
+            x, y = env
+            yield Store(y, 1, write_mode)
+            return (yield Load(x, read_mode))
+
+        return Program(setup, [left, right], "SB")
+    return factory
+
+
+def coherence_rr() -> Callable[[], Program]:
+    """CoRR: two reads by one thread may not observe writes mo-backwards."""
+    def factory() -> Program:
+        def setup(mem):
+            return (mem.alloc("x"),)
+
+        def writer(env):
+            (x,) = env
+            yield Store(x, 1, RLX)
+            yield Store(x, 2, RLX)
+
+        def reader(env):
+            (x,) = env
+            a = yield Load(x, RLX)
+            b = yield Load(x, RLX)
+            return (a, b)
+
+        return Program(setup, [writer, reader], "CoRR")
+    return factory
+
+
+def load_buffering() -> Callable[[], Program]:
+    """LB: out-of-thin-air / load buffering must be impossible (ORC11)."""
+    def factory() -> Program:
+        def setup(mem):
+            return mem.alloc("x"), mem.alloc("y")
+
+        def left(env):
+            x, y = env
+            a = yield Load(x, RLX)
+            yield Store(y, 1, RLX)
+            return a
+
+        def right(env):
+            x, y = env
+            b = yield Load(y, RLX)
+            yield Store(x, 1, RLX)
+            return b
+
+        return Program(setup, [left, right], "LB")
+    return factory
+
+
+def release_sequence_rmw() -> Callable[[], Program]:
+    """An acquire read of an RMW'd value synchronizes with the original
+    release write (release sequences through RMW chains)."""
+    def factory() -> Program:
+        def setup(mem):
+            return mem.alloc("data"), mem.alloc("x")
+
+        def releaser(env):
+            data, x = env
+            yield Store(data, 7, NA)
+            yield Store(x, 1, REL)
+
+        def middle(env):
+            data, x = env
+            ok, _old = yield Cas(x, 1, 2, RLX)
+            return ok
+
+        def acquirer(env):
+            data, x = env
+            v = yield Load(x, ACQ)
+            if v == 2:
+                d = yield Load(data, NA)
+                return (v, d)
+            return (v, None)
+
+        return Program(setup, [releaser, middle, acquirer], "RelSeq-RMW")
+    return factory
+
+
+def na_publication(publish_mode: Mode = REL,
+                   consume_mode: Mode = ACQ) -> Callable[[], Program]:
+    """Publication of non-atomic data; racy iff the sync is dropped."""
+    def factory() -> Program:
+        def setup(mem):
+            return mem.alloc("data"), mem.alloc("flag")
+
+        def producer(env):
+            data, flag = env
+            yield Store(data, 9, NA)
+            yield Store(flag, 1, publish_mode)
+
+        def consumer(env):
+            data, flag = env
+            f = yield Load(flag, consume_mode)
+            if f == 1:
+                return (yield Load(data, NA))
+            return None
+
+        return Program(setup, [producer, consumer], "NA-pub")
+    return factory
+
+
+def iriw(read_mode: Mode = ACQ, fenced: bool = False) -> Callable[[], Program]:
+    """IRIW: two writers to different locations, two readers reading them
+    in opposite orders.  Readers disagreeing on the write order is allowed
+    under release/acquire (non-multi-copy-atomicity at the view level) and
+    forbidden when the readers' loads are separated by SC fences."""
+    def factory() -> Program:
+        def setup(mem):
+            return mem.alloc("x"), mem.alloc("y")
+
+        def wx(env):
+            yield Store(env[0], 1, REL)
+
+        def wy(env):
+            yield Store(env[1], 1, REL)
+
+        def reader(first, second):
+            def r(env):
+                a = yield Load(env[first], read_mode)
+                if fenced:
+                    yield Fence(SC)
+                b = yield Load(env[second], read_mode)
+                return (a, b)
+            return r
+
+        return Program(setup, [wx, wy, reader(0, 1), reader(1, 0)],
+                       "IRIW" + ("+scfence" if fenced else ""))
+    return factory
+
+
+def wrc(relay_write: Mode = REL, relay_read: Mode = ACQ) -> Callable[[], Program]:
+    """WRC (write-read causality): T2 relays T1's write through a second
+    location; T3 must see the original write — causality chains compose
+    through release/acquire."""
+    def factory() -> Program:
+        def setup(mem):
+            return mem.alloc("x"), mem.alloc("y")
+
+        def t1(env):
+            yield Store(env[0], 1, REL)
+
+        def t2(env):
+            a = yield Load(env[0], relay_read)
+            if a == 1:
+                yield Store(env[1], 1, relay_write)
+            return a
+
+        def t3(env):
+            b = yield Load(env[1], relay_read)
+            c = yield Load(env[0], RLX)
+            return (b, c)
+
+        return Program(setup, [t1, t2, t3], "WRC")
+    return factory
+
+
+def shape_s() -> Callable[[], Program]:
+    """S: Wx=2; Wy=1(rel) || Ry(acq); Wx=1.  Reading y=1 then writing x=1
+    means x=1 is mo-after x=2 — the final value of x must then be 1."""
+    def factory() -> Program:
+        def setup(mem):
+            return mem.alloc("x"), mem.alloc("y")
+
+        def t1(env):
+            yield Store(env[0], 2, RLX)
+            yield Store(env[1], 1, REL)
+
+        def t2(env):
+            a = yield Load(env[1], ACQ)
+            if a == 1:
+                yield Store(env[0], 1, RLX)
+            return a
+
+        return Program(setup, [t1, t2], "S")
+    return factory
+
+
+def coherence_ww_wr() -> Callable[[], Program]:
+    """CoWW/CoWR: a thread's own writes order in mo; its reads cannot see
+    writes that are mo-older than its own latest write."""
+    def factory() -> Program:
+        def setup(mem):
+            return (mem.alloc("x"),)
+
+        def writer(env):
+            (x,) = env
+            yield Store(x, 1, RLX)
+            yield Store(x, 2, RLX)
+            return (yield Load(x, RLX))
+
+        def other(env):
+            (x,) = env
+            yield Store(x, 3, RLX)
+
+        return Program(setup, [writer, other], "CoWW-CoWR")
+    return factory
+
+
+#: name -> (factory, allowed outcome set description) for bench reporting.
+CATALOGUE: Dict[str, Callable[[], Program]] = {
+    "MP+rel+acq": message_passing(REL, ACQ),
+    "MP+rlx": message_passing(RLX, RLX),
+    "MP+fences": message_passing_fenced(),
+    "SB+rlx": store_buffering(RLX, RLX),
+    "SB+ra": store_buffering(REL, ACQ),
+    "SB+sc": store_buffering(SC, SC),
+    "CoRR": coherence_rr(),
+    "CoWW-CoWR": coherence_ww_wr(),
+    "LB": load_buffering(),
+    "RelSeq-RMW": release_sequence_rmw(),
+    "IRIW+acq": iriw(ACQ),
+    "IRIW+scfence": iriw(ACQ, fenced=True),
+    "WRC": wrc(),
+    "S": shape_s(),
+}

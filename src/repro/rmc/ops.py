@@ -1,0 +1,135 @@
+"""Operations that thread coroutines yield to the machine.
+
+Threads are Python generator functions.  Each memory action is expressed by
+yielding one of the dataclasses below; the machine executes it against the
+shared memory and sends the result back into the generator:
+
+    value = yield Load(loc, ACQ)
+    yield Store(loc, 1, REL)
+    ok, old = yield Cas(loc, expected=0, desired=1, mode=ACQ_REL)
+
+Subroutines compose with ``yield from``; in particular every library method
+in `repro.libs` is a generator so that clients can write
+``v = yield from queue.dequeue()``.
+
+Commit hooks
+------------
+An operation may carry a *commit hook*: a callable invoked atomically with
+the operation's memory effect, at the point where the machine has updated
+the thread's view with the operation's own effect but has not yet sealed
+the released message view.  This is the executable analogue of the paper's
+commit (linearization) points: hooks extend the event graph and plant ghost
+view components, and — because they run before the message view is sealed —
+a release write *publishes* those components exactly as the logic's logical
+views piggyback on physical views.
+
+Hook signature: ``hook(ctx: CommitCtx) -> None``; see
+`repro.rmc.machine.CommitCtx`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from .modes import Mode
+
+CommitHook = Callable[["CommitCtx"], None]  # noqa: F821  (defined in machine)
+
+
+@dataclass
+class Load:
+    """Read ``loc`` at ``mode``; evaluates to the value read."""
+
+    loc: int
+    mode: Mode
+    #: Invoked when the read commits (e.g. an empty-dequeue commit point).
+    commit: Optional[CommitHook] = None
+
+
+@dataclass
+class Store:
+    """Write ``val`` to ``loc`` at ``mode``; evaluates to ``None``."""
+
+    loc: int
+    val: Any
+    mode: Mode
+    commit: Optional[CommitHook] = None
+
+
+@dataclass
+class Cas:
+    """Strong compare-and-swap; evaluates to ``(succeeded, value_read)``.
+
+    A successful CAS reads the modification-order-maximal message (so that
+    its write is mo-adjacent) and atomically appends ``desired``.  A failed
+    CAS is a plain read of any coherence-visible message whose value differs
+    from ``expected``; a strong CAS never fails spuriously.
+
+    ``mode`` applies to the success case; ``fail_mode`` to the read on
+    failure (defaults to relaxed, as in the common C11 idiom).
+    """
+
+    loc: int
+    expected: Any
+    desired: Any
+    mode: Mode
+    fail_mode: Mode = Mode.RLX
+    commit: Optional[CommitHook] = None
+    commit_fail: Optional[CommitHook] = None
+
+
+@dataclass
+class Faa:
+    """Fetch-and-add (value must be an int); evaluates to the old value."""
+
+    loc: int
+    delta: int
+    mode: Mode
+    commit: Optional[CommitHook] = None
+
+
+@dataclass
+class Xchg:
+    """Atomic exchange; evaluates to the old value."""
+
+    loc: int
+    val: Any
+    mode: Mode
+    commit: Optional[CommitHook] = None
+
+
+@dataclass
+class Fence:
+    """Memory fence at ``mode`` (ACQ, REL, ACQ_REL or SC)."""
+
+    mode: Mode
+
+
+@dataclass
+class Alloc:
+    """Allocate fresh locations, one per initial value in ``inits``.
+
+    Evaluates to a list of location ids.  The initialization writes are
+    non-atomic messages owned by the allocating thread; publication must
+    therefore go through release/acquire, exactly as for malloc'd nodes in
+    the paper's implementations.
+    """
+
+    inits: List[Any]
+    name: str = "cell"
+
+
+@dataclass
+class GhostCommit:
+    """A purely logical commit: run a hook without touching memory.
+
+    Used where the paper commits an event at a point with no memory effect
+    of its own (never by the shipped libraries, but available to clients and
+    tests building custom protocols).  Evaluates to ``None``.
+    """
+
+    commit: CommitHook = field(default=None)  # type: ignore[assignment]
+
+
+Op = Any  # union of the above, kept loose for speed

@@ -1,0 +1,50 @@
+"""Data-race errors.
+
+ORC11 (like C11) gives *undefined behaviour* to programs with races on
+non-atomic accesses.  The simulator therefore treats a detected race as a
+hard error: the execution is aborted and reported.  Library verifications in
+the paper imply race freedom of the implementations; our checkers assert
+that no explored execution raises :class:`RaceError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RmcError(Exception):
+    """Base class for errors raised by the memory-model simulator."""
+
+
+class RaceError(RmcError):
+    """A racy pair of accesses, at least one non-atomic, was detected.
+
+    Attributes:
+        loc: location id of the conflicting accesses.
+        loc_name: debug name of the location.
+        accessor: thread id performing the second (detecting) access.
+        other: thread id of the first access (if known).
+        kind: short description, e.g. ``"na-read vs unsynchronized write"``.
+    """
+
+    def __init__(
+        self,
+        loc: int,
+        loc_name: str,
+        accessor: int,
+        other: Optional[int],
+        kind: str,
+    ):
+        self.loc = loc
+        self.loc_name = loc_name
+        self.accessor = accessor
+        self.other = other
+        self.kind = kind
+        super().__init__(
+            f"data race on {loc_name}#{loc}: {kind} "
+            f"(thread {accessor} vs thread {other})"
+        )
+
+
+class SteppingError(RmcError):
+    """An ill-formed operation was issued (e.g. NA compare-and-swap)."""

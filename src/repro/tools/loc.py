@@ -1,0 +1,84 @@
+"""Source line counting for the mechanization-effort table (E7).
+
+The paper reports proof sizes (KLOC of Coq) per library and client; the
+reproduction's analogue is implementation + checking code size plus
+measured checking effort.  This module counts non-blank, non-comment
+source lines (docstrings included in the "doc" tally, not in "code").
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+
+@dataclass
+class LocCount:
+    code: int = 0
+    doc: int = 0
+    blank: int = 0
+    total: int = 0
+
+
+def count_file(path: str) -> LocCount:
+    """Count code/doc/blank lines of one Python file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    lines = source.splitlines()
+    out = LocCount(total=len(lines))
+    doc_or_comment_lines = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type in (tokenize.COMMENT, tokenize.STRING):
+                # Strings at statement level are docstrings; expression
+                # strings inside code are rare in this codebase, so
+                # attributing multi-line strings to "doc" is accurate
+                # enough for the effort table.
+                if tok.type == tokenize.COMMENT or "\n" in tok.string or \
+                        tok.string.startswith(('"""', "'''")):
+                    for ln in range(tok.start[0], tok.end[0] + 1):
+                        doc_or_comment_lines.add(ln)
+    except tokenize.TokenError:  # pragma: no cover - malformed source
+        pass
+    for i, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            out.blank += 1
+        elif i in doc_or_comment_lines and (
+                stripped.startswith(("#", '"""', "'''", '"', "'"))
+                or i not in _code_line_guess(lines, i)):
+            out.doc += 1
+        else:
+            out.code += 1
+    return out
+
+
+def _code_line_guess(_lines, i) -> Iterable[int]:
+    # A line inside a docstring region that *also* starts code is rare;
+    # keep the simple classification.
+    return ()
+
+
+def count_tree(root: str) -> Dict[str, LocCount]:
+    """Per-file counts for every ``.py`` under ``root``."""
+    out: Dict[str, LocCount] = {}
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for fn in sorted(filenames):
+            if fn.endswith(".py"):
+                path = os.path.join(dirpath, fn)
+                out[os.path.relpath(path, root)] = count_file(path)
+    return out
+
+
+def summarize(counts: Dict[str, LocCount]) -> LocCount:
+    total = LocCount()
+    for c in counts.values():
+        total.code += c.code
+        total.doc += c.doc
+        total.blank += c.blank
+        total.total += c.total
+    return total

@@ -1,0 +1,61 @@
+"""Execution introspection: human-readable dumps of runs and graphs.
+
+Downstream users debugging a failed check need to see what happened:
+:func:`format_execution` renders an `repro.rmc.machine.ExecutionResult`
+(thread returns, per-location histories with released views), and
+:func:`format_graph` renders an event graph (events in commit order with
+kinds, threads, lhb predecessors, and ``so`` edges).  Both are plain
+strings — print them, log them, diff them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.graph import Graph
+from ..rmc.machine import ExecutionResult
+
+
+def format_execution(result: ExecutionResult,
+                     max_history: int = 12) -> str:
+    """Render one execution: status, returns, and location histories."""
+    lines: List[str] = []
+    status = ("RACE: " + str(result.race) if result.race else
+              "TRUNCATED" if result.truncated else "complete")
+    lines.append(f"execution: {status}, {result.steps} steps")
+    for tid in sorted(result.returns):
+        lines.append(f"  thread {tid} returned {result.returns[tid]!r}")
+    for loc, cell in sorted(result.memory.locations.items()):
+        if len(cell.history) <= 1:
+            continue  # untouched location
+        lines.append(f"  {cell.name}#{loc}:")
+        shown = cell.history[:max_history]
+        for msg in shown:
+            writer = "init" if msg.writer is None else f"t{msg.writer}"
+            lines.append(f"    @{msg.ts} = {msg.val!r} by {writer}"
+                         f"{' (na)' if msg.is_na else ''}")
+        if len(cell.history) > max_history:
+            lines.append(f"    … {len(cell.history) - max_history} more")
+    return "\n".join(lines)
+
+
+def format_graph(graph: Graph, title: str = "graph") -> str:
+    """Render an event graph in commit order."""
+    lines = [f"{title}: {len(graph.events)} events, "
+             f"{len(graph.so)} so edges"]
+    for ev in graph.sorted_events():
+        preds = sorted(ev.logview - {ev.eid})
+        lines.append(f"  @{ev.commit_index:<4} e{ev.eid:<3} {ev.kind!r:<24}"
+                     f" t{ev.thread}  lhb-preds={preds}")
+    for a, b in sorted(graph.so):
+        lines.append(f"  so: e{a} -> e{b}")
+    return "\n".join(lines)
+
+
+def format_violations(violations, limit: Optional[int] = 10) -> str:
+    """Render a violation list (one rule+detail per line)."""
+    shown = violations if limit is None else violations[:limit]
+    lines = [str(v) for v in shown]
+    if limit is not None and len(violations) > limit:
+        lines.append(f"… {len(violations) - limit} more")
+    return "\n".join(lines) if lines else "(no violations)"

@@ -1,0 +1,176 @@
+"""Mutation sensitivity: the consistency checkers catch every class of
+corruption injected into known-good graphs.
+
+A checker that silently accepts broken graphs would make every green
+result in this repository meaningless; these tests corrupt real,
+consistent graphs (produced by actual library executions) along each
+axis the conditions are supposed to police and require a violation.
+"""
+
+import pytest
+
+from repro.core import (Deq, EMPTY, Enq, Event, SpecStyle,
+                        check_queue_consistent, check_stack_consistent,
+                        check_style)
+from repro.core.graph import Graph
+from repro.libs import MSQueue, RELACQ, TreiberStack
+from repro.rmc import Program, RandomDecider
+from repro.rmc.view import View
+
+
+def queue_graph():
+    """A consistent graph from a real MS-queue execution."""
+    def setup(mem):
+        return {"q": MSQueue.setup(mem, "q", RELACQ)}
+
+    def t(env):
+        yield from env["q"].enqueue(1)
+        yield from env["q"].enqueue(2)
+        yield from env["q"].dequeue()
+        yield from env["q"].dequeue()
+        yield from env["q"].try_dequeue()
+    r = Program(setup, [t]).run(RandomDecider(0))
+    assert r.ok
+    g = r.env["q"].graph()
+    assert check_queue_consistent(g) == []
+    return g
+
+
+def stack_graph():
+    def setup(mem):
+        return {"s": TreiberStack.setup(mem, "s")}
+
+    def t(env):
+        yield from env["s"].push(1)
+        yield from env["s"].push(2)
+        yield from env["s"].pop()
+        yield from env["s"].pop()
+    r = Program(setup, [t]).run(RandomDecider(0))
+    assert r.ok
+    g = r.env["s"].graph()
+    assert check_stack_consistent(g) == []
+    return g
+
+
+def replace_event(g, eid, **changes):
+    ev = g.events[eid]
+    fields = dict(eid=ev.eid, kind=ev.kind, view=ev.view,
+                  logview=ev.logview, thread=ev.thread,
+                  commit_index=ev.commit_index)
+    fields.update(changes)
+    events = dict(g.events)
+    events[eid] = Event(**fields)
+    return Graph(events=events, so=g.so)
+
+
+class TestQueueCheckerSensitivity:
+    def setup_method(self):
+        self.g = queue_graph()
+
+    def _deq(self, val=None):
+        for eid, ev in sorted(self.g.events.items()):
+            if isinstance(ev.kind, Deq) and not ev.kind.is_empty:
+                if val is None or ev.kind.val == val:
+                    return eid
+        raise AssertionError
+
+    def test_value_corruption_caught(self):
+        bad = replace_event(self.g, self._deq(), kind=Deq(999))
+        assert check_queue_consistent(bad)
+
+    def test_dropped_so_edge_caught(self):
+        d = self._deq()
+        bad = Graph(events=self.g.events,
+                    so=frozenset((a, b) for a, b in self.g.so if b != d))
+        assert check_queue_consistent(bad)
+
+    def test_duplicated_so_edge_caught(self):
+        enq = next(eid for eid, ev in self.g.events.items()
+                   if isinstance(ev.kind, Enq))
+        other_deq = self._deq(val=2)
+        bad = Graph(events=self.g.events,
+                    so=self.g.so | {(enq, other_deq)})
+        assert check_queue_consistent(bad)
+
+    def test_commit_reorder_caught(self):
+        """Swapping a dequeue before its enqueue breaks so-hb order."""
+        d = self._deq(val=1)
+        e = next(eid for eid, ev in self.g.events.items()
+                 if isinstance(ev.kind, Enq) and ev.kind.val == 1)
+        bad = replace_event(self.g, d,
+                            commit_index=self.g.events[e].commit_index - 1)
+        assert check_queue_consistent(bad) or bad.wellformedness_errors()
+
+    def test_logview_truncation_caught(self):
+        """Removing the matched enqueue from a dequeue's logical view
+        breaks so ⊆ lhb."""
+        d = self._deq(val=1)
+        e = self.g.so_sources(d)[0]
+        bad = replace_event(self.g, d,
+                            logview=self.g.events[d].logview - {e})
+        assert check_queue_consistent(bad) or bad.wellformedness_errors()
+
+    def test_fabricated_empty_dequeue_caught(self):
+        """An empty dequeue that 'saw' an unmatched enqueue violates
+        EMPDEQ."""
+        g = self.g
+        # Drop one deq's so edge AND keep the empty deq seeing everything.
+        d = self._deq(val=2)
+        so = frozenset((a, b) for a, b in g.so if b != d)
+        bad = Graph(events=g.events, so=so)
+        violations = check_queue_consistent(bad)
+        assert any(v.rule in ("QUEUE-EMPDEQ", "QUEUE-INJ")
+                   for v in violations)
+
+    def test_view_corruption_caught(self):
+        """Erasing a dequeue's physical view breaks the view-transfer
+        part of so-hb."""
+        d = self._deq(val=1)
+        bad = replace_event(self.g, d, view=View({}))
+        assert any(v.rule == "QUEUE-SO-HB"
+                   for v in check_queue_consistent(bad))
+
+
+class TestStackCheckerSensitivity:
+    def setup_method(self):
+        self.g = stack_graph()
+
+    def test_lifo_inversion_caught(self):
+        """Rewiring the pops to FIFO order must trip STACK-LIFO (pop of
+        the bottom element while the visible top is unpopped) or the
+        matches check."""
+        pops = [eid for eid, ev in sorted(self.g.events.items())
+                if ev.kind.__class__.__name__ == "Pop"]
+        pushes = [eid for eid, ev in sorted(self.g.events.items())
+                  if ev.kind.__class__.__name__ == "Push"]
+        bad_so = frozenset({(pushes[0], pops[0]), (pushes[1], pops[1])})
+        bad = Graph(events=self.g.events, so=bad_so)
+        assert check_stack_consistent(bad)
+
+    def test_styles_report_wellformedness(self):
+        bad = replace_event(self.g, next(iter(self.g.events)),
+                            logview=frozenset({998}))
+        for style in SpecStyle:
+            res = check_style(bad, "stack", style)
+            assert not res.ok
+
+
+class TestNoFalsePositives:
+    """The dual direction: checkers accept many independently generated
+    good graphs (guards against over-tightening)."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_consistent_queue_runs(self, seed):
+        def setup(mem):
+            return {"q": MSQueue.setup(mem, "q", RELACQ)}
+
+        def p(env):
+            yield from env["q"].enqueue(seed)
+            yield from env["q"].enqueue(seed + 1)
+
+        def c(env):
+            yield from env["q"].try_dequeue()
+            yield from env["q"].try_dequeue()
+        r = Program(setup, [p, c]).run(RandomDecider(seed))
+        assert r.ok
+        assert check_queue_consistent(r.env["q"].graph()) == []

@@ -1,0 +1,107 @@
+"""Spec-level client reasoning (E3): which outcomes can each style
+exclude?  This is the executable form of the paper's §1.1/§3.1 argument
+that Cosmo-style specs cannot verify the MP client while the hb styles
+can."""
+
+import pytest
+
+from repro.core import (EMPTY, SpecStyle, mp_skeleton, possible_outcomes,
+                        spsc_skeleton)
+from repro.core.client_logic import AbstractOp, ClientSkeleton
+
+
+@pytest.fixture(scope="module")
+def mp_outcomes():
+    skel = mp_skeleton()
+    return {style: possible_outcomes(skel, style)
+            for style in (SpecStyle.LAT_SO_ABS, SpecStyle.LAT_HB_ABS,
+                          SpecStyle.LAT_HB)}
+
+
+class TestMpQueue:
+    def test_so_abs_cannot_exclude_empty(self, mp_outcomes):
+        """Cosmo's spec admits the right thread's dequeue being empty."""
+        outs = mp_outcomes[SpecStyle.LAT_SO_ABS]
+        assert any(d3 is EMPTY for _d2, d3 in outs)
+
+    def test_hb_abs_excludes_empty(self, mp_outcomes):
+        outs = mp_outcomes[SpecStyle.LAT_HB_ABS]
+        assert all(d3 is not EMPTY for _d2, d3 in outs)
+
+    def test_hb_excludes_empty(self, mp_outcomes):
+        """Fig. 1's comment: 'return 41 or 42, not empty' — LAT_hb
+        suffices (§3.2)."""
+        outs = mp_outcomes[SpecStyle.LAT_HB]
+        assert all(d3 in (41, 42) for _d2, d3 in outs)
+
+    def test_positive_outcomes_not_over_excluded(self, mp_outcomes):
+        """The spec must still admit the behaviours that really happen."""
+        for style, outs in mp_outcomes.items():
+            assert (EMPTY, 41) in outs, style
+            assert (41, 42) in outs, style
+
+    def test_middle_dequeue_may_be_empty(self, mp_outcomes):
+        for outs in mp_outcomes.values():
+            assert any(d2 is EMPTY for d2, _d3 in outs)
+
+    def test_hb_abs_at_most_as_permissive_as_hb(self, mp_outcomes):
+        assert mp_outcomes[SpecStyle.LAT_HB_ABS] <= \
+            mp_outcomes[SpecStyle.LAT_HB] | mp_outcomes[SpecStyle.LAT_HB_ABS]
+
+    def test_no_double_dequeue_of_same_value(self, mp_outcomes):
+        for outs in mp_outcomes.values():
+            for d2, d3 in outs:
+                if d2 is not EMPTY:
+                    assert d2 != d3
+
+
+class TestMpWithoutFlag:
+    def test_dropping_external_hb_admits_empty_everywhere(self):
+        skel = mp_skeleton()
+        skel.external_hb = []
+        outs = possible_outcomes(skel, SpecStyle.LAT_HB)
+        assert any(d3 is EMPTY for _d2, d3 in outs)
+
+
+class TestSpsc:
+    @pytest.mark.parametrize("style", [SpecStyle.LAT_SO_ABS,
+                                       SpecStyle.LAT_HB])
+    def test_fifo_derivable(self, style):
+        """§3.2: SPSC FIFO follows from LAT_hb alone (and also from the
+        abstract-state styles)."""
+        skel = spsc_skeleton(n=3)
+        outs = possible_outcomes(skel, style)
+        full = [o for o in outs if EMPTY not in o]
+        assert full == [(1, 2, 3)] or set(full) == {(1, 2, 3)}
+
+    def test_partial_consumption_is_prefix_ordered(self):
+        skel = spsc_skeleton(n=2)
+        outs = possible_outcomes(skel, SpecStyle.LAT_HB)
+        for out in outs:
+            vals = [v for v in out if v is not EMPTY]
+            # Successful dequeues arrive in enqueue order.
+            assert vals == sorted(vals)
+
+
+class TestMpStack:
+    def test_stack_mp_excludes_empty(self):
+        skel = mp_skeleton(kind="stack")
+        outs = possible_outcomes(skel, SpecStyle.LAT_HB)
+        assert outs, "stack MP must admit some outcome"
+        assert all(d3 is not EMPTY for _d2, d3 in outs)
+
+
+class TestSkeletonApi:
+    def test_producers_consumers_split(self):
+        skel = mp_skeleton()
+        assert [o.name for o in skel.producers()] == ["e1", "e2"]
+        assert [o.name for o in skel.consumers()] == ["d2", "d3"]
+
+    def test_cyclic_external_hb_yields_nothing(self):
+        skel = ClientSkeleton(
+            kind="queue",
+            ops=[AbstractOp("a", 0, "enq", 1), AbstractOp("b", 1, "deq")],
+            external_hb=[("a", "b"), ("b", "a")],
+        )
+        # Every matching is cyclic -> no outcomes at all.
+        assert possible_outcomes(skel, SpecStyle.LAT_HB) == set()

@@ -1,0 +1,86 @@
+"""ExchangerConsistent rule-by-rule tests on handcrafted graphs."""
+
+from repro.core import Enq, Exchange, FAILED, check_exchanger_consistent
+
+from ..conftest import mk_event, mk_graph
+
+
+def pair(v1="a", v2="b", adjacent=True, helpee_sees_helper=False,
+         same_thread=False, cross_ok=True):
+    """A matching exchange pair; knobs introduce specific defects."""
+    helpee = mk_event(0, Exchange(v1, v2 if cross_ok else "zzz"), [], 0,
+                      thread=0)
+    helper_lv = [0]
+    helper_idx = 1 if adjacent else 3
+    helper = mk_event(1, Exchange(v2, v1), helper_lv, helper_idx,
+                      thread=0 if same_thread else 1)
+    if helpee_sees_helper:
+        helpee = mk_event(0, Exchange(v1, v2), [1], 0, thread=0)
+        # keep helper unchanged; helpee referencing a later commit also
+        # trips well-formedness, but the consistency rule fires too.
+    events = [helpee, helper]
+    if not adjacent:
+        events.append(mk_event(2, Exchange("x", FAILED), [], 1, thread=2))
+    return mk_graph(events, so=[(0, 1), (1, 0)])
+
+
+def rules(graph):
+    return {v.rule for v in check_exchanger_consistent(graph)}
+
+
+class TestHappyPath:
+    def test_matching_pair(self):
+        assert check_exchanger_consistent(pair()) == []
+
+    def test_failed_exchange_alone(self):
+        g = mk_graph([mk_event(0, Exchange("a", FAILED), [], 0)])
+        assert check_exchanger_consistent(g) == []
+
+    def test_two_pairs(self):
+        evs = [
+            mk_event(0, Exchange("a", "b"), [], 0, thread=0),
+            mk_event(1, Exchange("b", "a"), [0], 1, thread=1),
+            mk_event(2, Exchange("c", "d"), [], 2, thread=2),
+            mk_event(3, Exchange("d", "c"), [2], 3, thread=3),
+        ]
+        g = mk_graph(evs, so=[(0, 1), (1, 0), (2, 3), (3, 2)])
+        assert check_exchanger_consistent(g) == []
+
+
+class TestDefects:
+    def test_foreign_kind(self):
+        assert "EX-TYPES" in rules(mk_graph([mk_event(0, Enq(1), [], 0)]))
+
+    def test_failed_with_so(self):
+        evs = [mk_event(0, Exchange("a", FAILED), [], 0),
+               mk_event(1, Exchange("b", "a"), [0], 1, thread=1)]
+        g = mk_graph(evs, so=[(0, 1), (1, 0)])
+        assert "EX-MATCH" in rules(g)
+
+    def test_asymmetric_so(self):
+        evs = [mk_event(0, Exchange("a", "b"), [], 0),
+               mk_event(1, Exchange("b", "a"), [0], 1, thread=1)]
+        g = mk_graph(evs, so=[(0, 1)])
+        assert "EX-MATCH" in rules(g)
+
+    def test_values_do_not_cross(self):
+        assert "EX-MATCH" in rules(pair(cross_ok=False))
+
+    def test_same_thread_pair(self):
+        assert "EX-IRREFL" in rules(pair(same_thread=True))
+
+    def test_non_adjacent_commits(self):
+        assert "EX-PAIR-ATOMIC" in rules(pair(adjacent=False))
+
+    def test_helper_visible_to_helpee(self):
+        assert "EX-HELPEE-FIRST" in rules(pair(helpee_sees_helper=True))
+
+    def test_helpee_not_visible_to_helper(self):
+        evs = [mk_event(0, Exchange("a", "b"), [], 0, thread=0),
+               mk_event(1, Exchange("b", "a"), [], 1, thread=1)]
+        g = mk_graph(evs, so=[(0, 1), (1, 0)])
+        assert "EX-HELPEE-FIRST" in rules(g)
+
+    def test_successful_exchange_without_partner(self):
+        g = mk_graph([mk_event(0, Exchange("a", "b"), [], 0)])
+        assert "EX-MATCH" in rules(g)

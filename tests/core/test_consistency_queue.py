@@ -1,0 +1,141 @@
+"""QueueConsistent rule-by-rule tests on handcrafted graphs."""
+
+from repro.core import Deq, EMPTY, Enq, Push, check_queue_consistent
+
+from ..conftest import closed
+
+
+def rules(graph):
+    return {v.rule for v in check_queue_consistent(graph)}
+
+
+class TestHappyPaths:
+    def test_empty_graph(self):
+        assert check_queue_consistent(closed()) == []
+
+    def test_enqueue_only(self):
+        g = closed((0, Enq(1), []), (1, Enq(2), [0]))
+        assert check_queue_consistent(g) == []
+
+    def test_matched_pair(self):
+        g = closed((0, Enq(1), []), (1, Deq(1), [0]), so=[(0, 1)])
+        assert check_queue_consistent(g) == []
+
+    def test_fifo_two_pairs_in_order(self):
+        g = closed((0, Enq(1), []), (1, Enq(2), [0]),
+                   (2, Deq(1), [0, 1]), (3, Deq(2), [0, 1, 2]),
+                   so=[(0, 2), (1, 3)])
+        assert check_queue_consistent(g) == []
+
+    def test_unmatched_earlier_enqueue_is_allowed(self):
+        """The weak FIFO: a relaxed dequeuer may leave an hb-earlier
+        element behind (the Herlihy–Wing behaviour)."""
+        g = closed((0, Enq(1), []), (1, Enq(2), [0]), (2, Deq(2), [1]),
+                   so=[(1, 2)])
+        assert check_queue_consistent(g) == []
+
+    def test_empty_dequeue_with_all_matched(self):
+        g = closed((0, Enq(1), []), (1, Deq(1), [0]),
+                   (2, Deq(EMPTY), [0, 1]),
+                   so=[(0, 1)])
+        assert check_queue_consistent(g) == []
+
+    def test_empty_dequeue_blind(self):
+        """An empty dequeue that saw no enqueues is always fine."""
+        g = closed((0, Enq(1), []), (1, Deq(EMPTY), []))
+        assert check_queue_consistent(g) == []
+
+
+class TestTypes:
+    def test_foreign_kind(self):
+        g = closed((0, Push(1), []))
+        assert "QUEUE-TYPES" in rules(g)
+
+
+class TestMatches:
+    def test_value_mismatch(self):
+        g = closed((0, Enq(1), []), (1, Deq(2), [0]), so=[(0, 1)])
+        assert "QUEUE-MATCHES" in rules(g)
+
+    def test_match_with_non_enqueue(self):
+        g = closed((0, Deq(1), []), (1, Deq(1), [0]), so=[(0, 1)])
+        assert "QUEUE-MATCHES" in rules(g)
+
+
+class TestInjectivity:
+    def test_enqueue_dequeued_twice(self):
+        g = closed((0, Enq(1), []), (1, Deq(1), [0]), (2, Deq(1), [0]),
+                   so=[(0, 1), (0, 2)])
+        assert "QUEUE-INJ" in rules(g)
+
+    def test_dequeue_with_two_sources(self):
+        g = closed((0, Enq(1), []), (1, Enq(1), []), (2, Deq(1), [0, 1]),
+                   so=[(0, 2), (1, 2)])
+        assert "QUEUE-INJ" in rules(g)
+
+    def test_successful_dequeue_without_source(self):
+        g = closed((0, Deq(1), []))
+        assert "QUEUE-INJ" in rules(g)
+
+    def test_empty_dequeue_with_so_edge(self):
+        g = closed((0, Enq(1), []), (1, Deq(EMPTY), [0]), so=[(0, 1)])
+        assert "QUEUE-INJ" in rules(g)
+
+    def test_enqueue_as_so_target(self):
+        g = closed((0, Enq(1), []), (1, Enq(1), [0]), so=[(0, 1)])
+        assert "QUEUE-INJ" in rules(g)
+
+
+class TestSoHb:
+    def test_so_not_in_lhb(self):
+        # Dequeue does not have the enqueue in its logical view.
+        g = closed((0, Enq(1), []), (1, Deq(1), []), so=[(0, 1)])
+        assert "QUEUE-SO-HB" in rules(g)
+
+    def test_so_commit_out_of_order(self):
+        # The dequeue commits before its enqueue (impossible temporally).
+        from ..conftest import mk_event, mk_graph
+        e = mk_event(0, Enq(1), [], 5)
+        d = mk_event(1, Deq(1), [0], 2)
+        g = mk_graph([e, d], so=[(0, 1)])
+        assert "QUEUE-SO-HB" in rules(g)
+
+
+class TestFifo:
+    def test_inverted_dequeues_violate(self):
+        """e0 lhb e1 but the dequeue of e1 happens-before the dequeue of
+        e0: the forbidden hb inversion."""
+        g = closed((0, Enq(1), []), (1, Enq(2), [0]),
+                   (2, Deq(2), [0, 1]), (3, Deq(1), [0, 1, 2]),
+                   so=[(1, 2), (0, 3)])
+        assert "QUEUE-FIFO" in rules(g)
+
+    def test_unordered_dequeues_ok(self):
+        """Two unsynchronized dequeues taking elements out of enqueue
+        order are fine under the weak FIFO (no lhb between them)."""
+        g = closed((0, Enq(1), []), (1, Enq(2), [0]),
+                   (2, Deq(2), [1]), (3, Deq(1), [0]),
+                   so=[(1, 2), (0, 3)])
+        assert check_queue_consistent(g) == []
+
+
+class TestEmpDeq:
+    def test_visible_unmatched_enqueue_violates(self):
+        g = closed((0, Enq(1), []), (1, Deq(EMPTY), [0]))
+        assert "QUEUE-EMPDEQ" in rules(g)
+
+    def test_matched_after_commit_still_violates(self):
+        """The enqueue's dequeue must exist *before* the empty commit."""
+        g = closed((0, Enq(1), []), (1, Deq(EMPTY), [0]),
+                   (2, Deq(1), [0]), so=[(0, 2)])
+        assert "QUEUE-EMPDEQ" in rules(g)
+
+    def test_matched_before_commit_ok(self):
+        g = closed((0, Enq(1), []), (1, Deq(1), [0]),
+                   (2, Deq(EMPTY), [0]), so=[(0, 1)])
+        assert check_queue_consistent(g) == []
+
+    def test_invisible_unmatched_enqueue_ok(self):
+        """RMC: an enqueue not yet visible to the dequeuer excuses empty."""
+        g = closed((0, Enq(1), []), (1, Deq(EMPTY), []))
+        assert check_queue_consistent(g) == []

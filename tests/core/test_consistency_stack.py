@@ -1,0 +1,98 @@
+"""StackConsistent rule-by-rule tests on handcrafted graphs."""
+
+from repro.core import Deq, EMPTY, Pop, Push, check_stack_consistent
+
+from ..conftest import closed
+
+
+def rules(graph):
+    return {v.rule for v in check_stack_consistent(graph)}
+
+
+class TestHappyPaths:
+    def test_empty_graph(self):
+        assert check_stack_consistent(closed()) == []
+
+    def test_lifo_order(self):
+        g = closed((0, Push(1), []), (1, Push(2), [0]),
+                   (2, Pop(2), [0, 1]), (3, Pop(1), [0, 1, 2]),
+                   so=[(1, 2), (0, 3)])
+        assert check_stack_consistent(g) == []
+
+    def test_pop_below_invisible_later_push(self):
+        """Popping an element below a *not yet visible* later push is
+        allowed in RMC."""
+        g = closed((0, Push(1), []), (1, Push(2), [0]), (2, Pop(1), [0]),
+                   so=[(0, 2)])
+        assert check_stack_consistent(g) == []
+
+    def test_empty_pop_blind(self):
+        g = closed((0, Push(1), []), (1, Pop(EMPTY), []))
+        assert check_stack_consistent(g) == []
+
+
+class TestTypes:
+    def test_foreign_kind(self):
+        assert "STACK-TYPES" in rules(closed((0, Deq(1), [])))
+
+
+class TestMatchesAndInjectivity:
+    def test_value_mismatch(self):
+        g = closed((0, Push(1), []), (1, Pop(2), [0]), so=[(0, 1)])
+        assert "STACK-MATCHES" in rules(g)
+
+    def test_push_popped_twice(self):
+        g = closed((0, Push(1), []), (1, Pop(1), [0]), (2, Pop(1), [0]),
+                   so=[(0, 1), (0, 2)])
+        assert "STACK-INJ" in rules(g)
+
+    def test_pop_without_source(self):
+        assert "STACK-INJ" in rules(closed((0, Pop(1), [])))
+
+    def test_empty_pop_with_so(self):
+        g = closed((0, Push(1), []), (1, Pop(EMPTY), [0]), so=[(0, 1)])
+        assert "STACK-INJ" in rules(g)
+
+    def test_push_as_target(self):
+        g = closed((0, Push(1), []), (1, Push(2), [0]), so=[(0, 1)])
+        assert "STACK-INJ" in rules(g)
+
+
+class TestSoHb:
+    def test_so_not_in_lhb(self):
+        g = closed((0, Push(1), []), (1, Pop(1), []), so=[(0, 1)])
+        assert "STACK-SO-HB" in rules(g)
+
+
+class TestLifo:
+    def test_pop_below_visible_unpopped_later_push(self):
+        """Pop takes e0 while e1 (pushed above it, visible) is unpopped:
+        the canonical LIFO violation."""
+        g = closed((0, Push(1), []), (1, Push(2), [0]),
+                   (2, Pop(1), [0, 1]), so=[(0, 2)])
+        assert "STACK-LIFO" in rules(g)
+
+    def test_pop_below_after_top_was_popped(self):
+        g = closed((0, Push(1), []), (1, Push(2), [0]),
+                   (2, Pop(2), [0, 1]), (3, Pop(1), [0, 1, 2]),
+                   so=[(1, 2), (0, 3)])
+        assert check_stack_consistent(g) == []
+
+    def test_top_popped_later_still_violates(self):
+        """The later push's pop exists but commits after: the element on
+        top was still there when the lower one was taken."""
+        g = closed((0, Push(1), []), (1, Push(2), [0]),
+                   (2, Pop(1), [0, 1]), (3, Pop(2), [0, 1]),
+                   so=[(0, 2), (1, 3)])
+        assert "STACK-LIFO" in rules(g)
+
+
+class TestEmpPop:
+    def test_visible_unpopped_push_violates(self):
+        g = closed((0, Push(1), []), (1, Pop(EMPTY), [0]))
+        assert "STACK-EMPPOP" in rules(g)
+
+    def test_popped_before_commit_ok(self):
+        g = closed((0, Push(1), []), (1, Pop(1), [0]),
+                   (2, Pop(EMPTY), [0, 1]), so=[(0, 1)])
+        assert check_stack_consistent(g) == []

@@ -1,0 +1,102 @@
+"""Unit tests of the elimination-stack simulation function itself,
+on synthesized registries (independent of the scheduler)."""
+
+import pytest
+
+from repro.core import (Exchange, Pop, Push, check_stack_consistent)
+from repro.libs import ElimStack, compose_elim_graph
+from repro.libs.elimstack import SENTINEL
+from repro.rmc import GhostCommit, Program, RandomDecider
+
+
+def run_script(script):
+    """Drive an ES's internal registries directly through ghost commits.
+
+    ``script`` entries:
+      ("push", v)            — base-stack push commit
+      ("pop", v, push_idx)   — base-stack pop commit matched to a push
+      ("elim", v)            — a v↔SENTINEL exchange pair (helpee=pusher)
+      ("elim_rev", v)        — same but the popper is the helpee
+      ("fail", v)            — a failed exchange (ignored by composition)
+    Returns the ES instance after one single-threaded execution.
+    """
+    def setup(mem):
+        return {"s": ElimStack.setup(mem, "es")}
+
+    def driver(env):
+        es = env["s"]
+        base, ex = es.base.registry, es.ex.registry
+        pushes = []
+        for entry in script:
+            def hook(ctx, entry=entry):
+                kind = entry[0]
+                if kind == "push":
+                    pushes.append(base.commit(ctx, Push(entry[1])))
+                elif kind == "pop":
+                    base.commit(ctx, Pop(entry[1]),
+                                so_from=[pushes[entry[2]]])
+                elif kind in ("elim", "elim_rev"):
+                    v = entry[1]
+                    helpee_gave = v if kind == "elim" else SENTINEL
+                    helper_gave = SENTINEL if kind == "elim" else v
+                    prep = ex.prepare(ctx)
+                    helpee = ex.commit_prepared(
+                        prep, Exchange(helpee_gave, helper_gave))
+                    mine = ex.commit(ctx, Exchange(helper_gave, helpee_gave),
+                                     so_from=[helpee.eid])
+                    ex.add_so(mine, helpee.eid)
+                else:
+                    ex.commit(ctx, Exchange(entry[1], __import__(
+                        "repro.core.event", fromlist=["FAILED"]).FAILED))
+            yield GhostCommit(commit=hook)
+        return None
+
+    r = Program(setup, [driver]).run(RandomDecider(0))
+    assert r.ok
+    return r.env["s"]
+
+
+class TestComposition:
+    def test_base_only(self):
+        es = run_script([("push", 1), ("push", 2), ("pop", 2, 1)])
+        g = compose_elim_graph(es.base, es.ex)
+        assert len(g.events) == 3
+        assert check_stack_consistent(g) == []
+
+    def test_elim_pair_becomes_push_pop(self):
+        es = run_script([("elim", 9)])
+        g = compose_elim_graph(es.base, es.ex)
+        kinds = sorted(type(ev.kind).__name__ for ev in g.events.values())
+        assert kinds == ["Pop", "Push"]
+        (a, b), = g.so
+        assert isinstance(g.events[a].kind, Push)
+        assert g.events[b].commit_index == g.events[a].commit_index + 1
+        assert check_stack_consistent(g) == []
+
+    def test_elim_rev_pair_reordered_push_first(self):
+        """When the popper is the helpee (commits first), the simulation
+        still orders the ES push before the ES pop."""
+        es = run_script([("elim_rev", 5)])
+        g = compose_elim_graph(es.base, es.ex)
+        (a, b), = g.so
+        assert isinstance(g.events[a].kind, Push)
+        assert isinstance(g.events[b].kind, Pop)
+        assert g.events[a].commit_index < g.events[b].commit_index
+        assert check_stack_consistent(g) == []
+        assert g.wellformedness_errors() == []
+
+    def test_failed_exchanges_ignored(self):
+        es = run_script([("push", 1), ("fail", 3), ("pop", 1, 0),
+                         ("fail", SENTINEL)])
+        g = compose_elim_graph(es.base, es.ex)
+        assert len(g.events) == 2  # only the base events
+
+    def test_mixed_script(self):
+        es = run_script([("push", 1), ("elim", 7), ("pop", 1, 0),
+                         ("elim_rev", 8), ("push", 2)])
+        g = compose_elim_graph(es.base, es.ex)
+        assert len(g.events) == 3 + 4
+        assert check_stack_consistent(g) == []
+        # Commit indices are globally unique and cover both registries.
+        idx = [ev.commit_index for ev in g.events.values()]
+        assert len(idx) == len(set(idx))

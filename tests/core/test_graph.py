@@ -1,0 +1,120 @@
+"""Graph structure tests: lhb, prefixes, composition, well-formedness."""
+
+import pytest
+
+from repro.core import Deq, Enq, Graph, Push
+from repro.core.event import Event
+from repro.rmc.view import View
+
+from ..conftest import closed, mk_event, mk_graph
+
+
+class TestLhb:
+    def test_lhb_from_logview(self):
+        g = closed((0, Enq(1), []), (1, Enq(2), [0]))
+        assert g.lhb(0, 1)
+        assert not g.lhb(1, 0)
+        assert not g.lhb(0, 0), "lhb is irreflexive"
+
+    def test_lhb_pairs(self):
+        g = closed((0, Enq(1), []), (1, Enq(2), [0]), (2, Enq(3), [1]))
+        assert g.lhb_pairs() == {(0, 1), (0, 2), (1, 2)}
+
+    def test_so_adjacency(self):
+        g = closed((0, Enq(1), []), (1, Deq(1), [0]), so=[(0, 1)])
+        assert g.so_partners(0) == [1]
+        assert g.so_sources(1) == [0]
+        assert g.so_partners(1) == []
+
+
+class TestPrefix:
+    def test_prefix_cuts_by_commit_index(self):
+        g = closed((0, Enq(1), []), (1, Enq(2), []), (2, Deq(1), [0]),
+                   so=[(0, 2)])
+        p = g.prefix(2)
+        assert set(p.events) == {0, 1}
+        assert p.so == frozenset()
+
+    def test_prefix_keeps_internal_so(self):
+        g = closed((0, Enq(1), []), (1, Deq(1), [0]), (2, Enq(3), []),
+                   so=[(0, 1)])
+        p = g.prefix(2)
+        assert (0, 1) in p.so
+
+    def test_full_prefix_is_identity(self):
+        g = closed((0, Enq(1), []), (1, Deq(1), [0]), so=[(0, 1)])
+        p = g.prefix(10)
+        assert p.events.keys() == g.events.keys() and p.so == g.so
+
+
+class TestSortedAndKinds:
+    def test_sorted_events_by_commit(self):
+        evs = [mk_event(0, Enq(1), [], 2), mk_event(1, Enq(2), [], 0),
+               mk_event(2, Enq(3), [], 1)]
+        g = mk_graph(evs)
+        assert [e.eid for e in g.sorted_events()] == [1, 2, 0]
+
+    def test_of_kind(self):
+        g = closed((0, Enq(1), []), (1, Deq(1), []), (2, Enq(2), []))
+        assert [e.eid for e in g.of_kind(Enq)] == [0, 2]
+
+    def test_matched(self):
+        g = closed((0, Enq(1), []), (1, Deq(1), [0]), so=[(0, 1)])
+        assert g.matched() == {0: 1}
+
+
+class TestCompose:
+    def test_compose_disjoint(self):
+        a = closed((0, Enq(1), []))
+        b = mk_graph([mk_event(5, Push(2), [5], 1)])
+        c = Graph.compose([a, b])
+        assert set(c.events) == {0, 5}
+
+    def test_compose_overlap_rejected(self):
+        a = closed((0, Enq(1), []))
+        with pytest.raises(ValueError):
+            Graph.compose([a, a])
+
+    def test_compose_relabel(self):
+        a = closed((0, Enq(1), []), (1, Deq(1), [0]), so=[(0, 1)])
+        b = closed((0, Push(5), []))
+        c = Graph.compose([a, b], relabel=True)
+        assert len(c.events) == 3
+        assert len(c.so) == 1
+
+
+class TestWellformedness:
+    def test_clean_graph(self):
+        g = closed((0, Enq(1), []), (1, Deq(1), [0]), so=[(0, 1)])
+        assert g.wellformedness_errors() == []
+
+    def test_missing_self_in_logview(self):
+        ev = Event(eid=0, kind=Enq(1), view=View(), logview=frozenset(),
+                   thread=0, commit_index=0)
+        g = mk_graph([ev])
+        assert any("does not contain itself" in e
+                   for e in g.wellformedness_errors())
+
+    def test_logview_references_unknown_event(self):
+        ev = Event(eid=0, kind=Enq(1), view=View(),
+                   logview=frozenset({0, 9}), thread=0, commit_index=0)
+        g = mk_graph([ev])
+        assert any("unknown" in e for e in g.wellformedness_errors())
+
+    def test_logview_referencing_later_commit(self):
+        a = mk_event(0, Enq(1), [1], 0)
+        b = mk_event(1, Enq(2), [], 1)
+        g = mk_graph([a, b])
+        assert any("commits later" in e for e in g.wellformedness_errors())
+
+    def test_nontransitive_lhb_detected(self):
+        a = mk_event(0, Enq(1), [], 0)
+        b = mk_event(1, Enq(2), [0], 1)
+        c = mk_event(2, Enq(3), [1], 2)  # sees 1 but not 0
+        g = mk_graph([a, b, c])
+        errors = g.wellformedness_errors()
+        assert any("not transitive" in e for e in errors)
+
+    def test_so_referencing_unknown_event(self):
+        g = mk_graph([mk_event(0, Enq(1), [], 0)], so=[(0, 7)])
+        assert any("unknown event" in e for e in g.wellformedness_errors())

@@ -1,0 +1,179 @@
+"""Linearizable-history machinery: interp, respects_lhb, the linearizer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (Deq, EMPTY, Enq, Pop, Push, check_linearizable_history,
+                        interp, linearize, respects_lhb, to_from_keys)
+from repro.core.history import QueueSpec, StackSpec
+
+from ..conftest import closed
+
+
+class TestInterpQueue:
+    def test_fifo_order_accepted(self):
+        g = closed((0, Enq(1), []), (1, Enq(2), []),
+                   (2, Deq(1), [0]), (3, Deq(2), [1]),
+                   so=[(0, 2), (1, 3)])
+        assert interp(g, [0, 1, 2, 3], "queue") == ()
+
+    def test_non_fifo_rejected(self):
+        g = closed((0, Enq(1), []), (1, Enq(2), []),
+                   (2, Deq(2), [1]), (3, Deq(1), [0]),
+                   so=[(1, 2), (0, 3)])
+        assert interp(g, [0, 1, 2, 3], "queue") is None
+
+    def test_empty_deq_requires_truly_empty(self):
+        g = closed((0, Enq(1), []), (1, Deq(EMPTY), []))
+        assert interp(g, [0, 1], "queue") is None
+        assert interp(g, [1, 0], "queue") == (0,)
+
+    def test_deq_from_empty_rejected(self):
+        g = closed((0, Deq(1), []))
+        assert interp(g, [0], "queue") is None
+
+    def test_leftover_state_returned(self):
+        g = closed((0, Enq(1), []), (1, Enq(2), []))
+        assert interp(g, [0, 1], "queue") == (0, 1)
+
+
+class TestInterpStack:
+    def test_lifo_accepted(self):
+        g = closed((0, Push(1), []), (1, Push(2), []),
+                   (2, Pop(2), [1]), (3, Pop(1), [0]),
+                   so=[(1, 2), (0, 3)])
+        assert interp(g, [0, 1, 2, 3], "stack") == ()
+
+    def test_fifo_on_stack_rejected(self):
+        g = closed((0, Push(1), []), (1, Push(2), []),
+                   (2, Pop(1), [0]), (3, Pop(2), [1]),
+                   so=[(0, 2), (1, 3)])
+        assert interp(g, [0, 1, 2, 3], "stack") is None
+
+    def test_interleaved_push_pop(self):
+        g = closed((0, Push(1), []), (1, Pop(1), [0]), (2, Push(2), []),
+                   (3, Pop(2), [2]), so=[(0, 1), (2, 3)])
+        assert interp(g, [0, 1, 2, 3], "stack") == ()
+
+    def test_empty_pop_strict(self):
+        g = closed((0, Push(1), []), (1, Pop(EMPTY), []))
+        assert interp(g, [1, 0], "stack") == (0,)
+        assert interp(g, [0, 1], "stack") is None
+
+
+class TestRespectsLhb:
+    def test_respected(self):
+        g = closed((0, Enq(1), []), (1, Enq(2), [0]))
+        assert respects_lhb(g, [0, 1])
+
+    def test_violated(self):
+        g = closed((0, Enq(1), []), (1, Enq(2), [0]))
+        assert not respects_lhb(g, [1, 0])
+
+
+class TestToFromKeys:
+    def test_sorts_by_key(self):
+        assert to_from_keys({3: (5, 0), 1: (2, 0), 2: (2, 1)}) == [1, 2, 3]
+
+
+class TestLinearize:
+    def test_finds_reordering(self):
+        """Commit order is not FIFO but a valid linearization exists."""
+        g = closed((0, Enq(1), []), (1, Enq(2), []),
+                   (2, Deq(2), [1]), (3, Deq(1), [0]),
+                   so=[(1, 2), (0, 3)])
+        to = linearize(g, "queue")
+        assert to is not None
+        assert interp(g, to, "queue") is not None
+        assert respects_lhb(g, to)
+
+    def test_reports_impossible(self):
+        """e0 lhb e1 and both dequeued hb-inverted: no linearization."""
+        g = closed((0, Enq(1), []), (1, Enq(2), [0]),
+                   (2, Deq(2), [0, 1]), (3, Deq(1), [0, 1, 2]),
+                   so=[(1, 2), (0, 3)])
+        assert linearize(g, "queue") is None
+
+    def test_empty_graph(self):
+        assert linearize(closed(), "queue") == []
+
+    def test_stack_linearization(self):
+        g = closed((0, Push(1), []), (1, Push(2), []),
+                   (2, Pop(1), [0]), (3, Pop(2), [1]),
+                   so=[(0, 2), (1, 3)])
+        to = linearize(g, "stack")
+        assert to is not None and interp(g, to, "stack") is not None
+
+
+class TestCheckLinearizableHistory:
+    def test_given_valid_to(self):
+        g = closed((0, Push(1), []), (1, Pop(1), [0]), so=[(0, 1)])
+        assert check_linearizable_history(g, "stack", to=[0, 1]) == []
+
+    def test_given_non_permutation(self):
+        g = closed((0, Push(1), []), (1, Pop(1), [0]), so=[(0, 1)])
+        v = check_linearizable_history(g, "stack", to=[0])
+        assert any(x.rule == "HIST-PERM" for x in v)
+
+    def test_given_lhb_violating_to(self):
+        g = closed((0, Push(1), []), (1, Pop(1), [0]), so=[(0, 1)])
+        v = check_linearizable_history(g, "stack", to=[1, 0])
+        assert any(x.rule == "HIST-LHB" for x in v)
+
+    def test_given_interp_violating_to(self):
+        g = closed((0, Push(1), []), (1, Push(2), [0]),
+                   (2, Pop(1), [0, 1]), so=[(0, 2)])
+        v = check_linearizable_history(g, "stack", to=[0, 1, 2])
+        assert any(x.rule == "HIST-INTERP" for x in v)
+
+    def test_search_mode(self):
+        g = closed((0, Enq(1), []), (1, Deq(1), [0]), so=[(0, 1)])
+        assert check_linearizable_history(g, "queue") == []
+
+
+# ----------------------------------------------------------------------
+# Property tests: histories generated FROM a sequential run always
+# linearize; the generated to is accepted by interp.
+# ----------------------------------------------------------------------
+
+ops_strategy = st.lists(st.sampled_from(["push", "pop"]), min_size=1,
+                        max_size=8)
+
+
+@st.composite
+def sequential_stack_history(draw):
+    """Generate a graph whose commit order IS a valid LIFO history."""
+    ops = draw(ops_strategy)
+    specs = []
+    so = []
+    stack = []
+    eid = 0
+    for op in ops:
+        if op == "push":
+            specs.append((eid, Push(eid), []))
+            stack.append(eid)
+        else:
+            if stack:
+                src = stack.pop()
+                specs.append((eid, Pop(src), []))
+                so.append((src, eid))
+            else:
+                specs.append((eid, Pop(EMPTY), []))
+        eid += 1
+    return closed(*specs, so=so)
+
+
+@given(sequential_stack_history())
+@settings(max_examples=60, deadline=None)
+def test_sequential_stack_histories_linearize(g):
+    to = linearize(g, "stack")
+    assert to is not None
+    assert interp(g, to, "stack") is not None
+    assert respects_lhb(g, to)
+
+
+@given(sequential_stack_history())
+@settings(max_examples=60, deadline=None)
+def test_commit_order_itself_interprets(g):
+    order = [ev.eid for ev in g.sorted_events()]
+    assert interp(g, order, "stack") is not None

@@ -1,0 +1,141 @@
+"""Property-based mutation testing of the queue checker.
+
+hypothesis generates consistent queue graphs and a random corruption;
+the checker must flag every corrupted graph (no silent acceptance) while
+accepting every uncorrupted one (tested elsewhere).  This generalizes the
+hand-picked cases in ``test_checker_sensitivity.py``.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import Deq, EMPTY, Enq, Graph, check_queue_consistent
+from repro.core.event import Event
+
+from ..conftest import closed
+
+
+@st.composite
+def consistent_queue_graph(draw):
+    """A sequential FIFO run rendered as a graph (always consistent)."""
+    n_ops = draw(st.integers(2, 7))
+    specs, so, pending = [], [], []
+    eid = 0
+    for _ in range(n_ops):
+        if pending and draw(st.booleans()):
+            src = pending.pop(0)
+            specs.append((eid, Deq(src), [src]))
+            so.append((src, eid))
+        else:
+            specs.append((eid, Enq(eid), []))
+            pending.append(eid)
+        eid += 1
+    g = closed(*specs, so=so)
+    assume(g.so)  # need at least one matched pair to corrupt
+    return g
+
+
+def corrupt(draw, g: Graph) -> Graph:
+    """Apply one random corruption; returns the mutated graph."""
+    kind = draw(st.sampled_from(
+        ["value", "drop_so", "double_so", "retarget_so"]))
+    pairs = sorted(g.so)
+    a, b = draw(st.sampled_from(pairs))
+    if kind == "value":
+        ev = g.events[b]
+        events = dict(g.events)
+        events[b] = Event(eid=ev.eid, kind=Deq(99_999), view=ev.view,
+                          logview=ev.logview, thread=ev.thread,
+                          commit_index=ev.commit_index)
+        return Graph(events=events, so=g.so)
+    if kind == "drop_so":
+        return Graph(events=g.events, so=g.so - {(a, b)})
+    if kind == "double_so":
+        deqs = [eid for eid, ev in g.events.items()
+                if isinstance(ev.kind, Deq) and eid != b]
+        other_enqs = [eid for eid, ev in g.events.items()
+                      if isinstance(ev.kind, Enq) and eid != a]
+        if other_enqs:
+            return Graph(events=g.events, so=g.so | {(other_enqs[0], b)})
+        return Graph(events=g.events, so=g.so - {(a, b)})
+    # retarget_so: point the dequeue at a different (or phantom) enqueue.
+    return Graph(events=g.events,
+                 so=(g.so - {(a, b)}) | {(a + 1_000, b)})
+
+
+@st.composite
+def corrupted_graph(draw):
+    return corrupt(draw, draw(consistent_queue_graph()))
+
+
+@given(consistent_queue_graph())
+@settings(max_examples=80, deadline=None)
+def test_consistent_graphs_accepted(g):
+    assert check_queue_consistent(g) == []
+
+
+@given(corrupted_graph())
+@settings(max_examples=120, deadline=None)
+def test_every_corruption_flagged(g):
+    violations = check_queue_consistent(g) + g.wellformedness_errors()
+    assert violations, "a corrupted graph slipped past the checker"
+
+
+# ----------------------------------------------------------------------
+# Stack variant
+# ----------------------------------------------------------------------
+
+from repro.core import Pop, Push, check_stack_consistent  # noqa: E402
+
+
+@st.composite
+def consistent_stack_graph(draw):
+    n_ops = draw(st.integers(2, 7))
+    specs, so, stack = [], [], []
+    eid = 0
+    for _ in range(n_ops):
+        if stack and draw(st.booleans()):
+            src = stack.pop()
+            specs.append((eid, Pop(src), [src]))
+            so.append((src, eid))
+        else:
+            specs.append((eid, Push(eid), []))
+            stack.append(eid)
+        eid += 1
+    g = closed(*specs, so=so)
+    assume(g.so)
+    return g
+
+
+@given(consistent_stack_graph())
+@settings(max_examples=80, deadline=None)
+def test_consistent_stack_graphs_accepted(g):
+    assert check_stack_consistent(g) == []
+
+
+@st.composite
+def corrupted_stack_graph(draw):
+    g = draw(consistent_stack_graph())
+    kind = draw(st.sampled_from(["value", "drop_so", "double_so"]))
+    pairs = sorted(g.so)
+    a, b = draw(st.sampled_from(pairs))
+    if kind == "value":
+        ev = g.events[b]
+        events = dict(g.events)
+        events[b] = Event(eid=ev.eid, kind=Pop(88_888), view=ev.view,
+                          logview=ev.logview, thread=ev.thread,
+                          commit_index=ev.commit_index)
+        return Graph(events=events, so=g.so)
+    if kind == "drop_so":
+        return Graph(events=g.events, so=g.so - {(a, b)})
+    others = [eid for eid, ev in g.events.items()
+              if isinstance(ev.kind, Push) and eid != a]
+    if others:
+        return Graph(events=g.events, so=g.so | {(others[0], b)})
+    return Graph(events=g.events, so=g.so - {(a, b)})
+
+
+@given(corrupted_stack_graph())
+@settings(max_examples=120, deadline=None)
+def test_every_stack_corruption_flagged(g):
+    violations = check_stack_consistent(g) + g.wellformedness_errors()
+    assert violations, "a corrupted stack graph slipped past the checker"

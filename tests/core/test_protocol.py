@@ -1,0 +1,137 @@
+"""Protocol invariants over graph prefixes (the Fig. 3 machinery)."""
+
+import pytest
+
+from repro.core import (Deq, EMPTY, Enq, check_prefix_invariant,
+                        check_queue_consistent, check_stack_consistent,
+                        consistency_invariant, exchanger_prefix_errors,
+                        max_successful_removals)
+from repro.libs import ElimStack, Exchanger, HWQueue, MSQueue, RELACQ
+from repro.rmc import Program, explore_random
+
+from ..conftest import closed
+
+
+class TestPrefixInvariant:
+    def test_holds_on_every_prefix(self):
+        g = closed((0, Enq(1), []), (1, Deq(1), [0]), so=[(0, 1)])
+        assert check_prefix_invariant(g, lambda p: None) == []
+
+    def test_reports_the_failing_prefix(self):
+        g = closed((0, Enq(1), []), (1, Enq(2), [0]), (2, Enq(3), [1]))
+
+        def at_most_two(prefix):
+            return "too many" if len(prefix.events) > 2 else None
+        violations = check_prefix_invariant(g, at_most_two)
+        assert len(violations) == 1
+        assert "@2" in violations[0].detail
+
+    def test_max_successful_removals(self):
+        g = closed((0, Enq(1), []), (1, Enq(2), [0]),
+                   (2, Deq(1), [0, 1]), (3, Deq(2), [0, 1, 2]),
+                   so=[(0, 2), (1, 3)])
+        assert check_prefix_invariant(g, max_successful_removals(2)) == []
+        assert check_prefix_invariant(g, max_successful_removals(1)) != []
+
+
+class TestConsistencyAsInvariant:
+    @pytest.mark.parametrize("build,kind,check", [
+        (lambda mem: MSQueue.setup(mem, "q", RELACQ), "queue",
+         check_queue_consistent),
+        (lambda mem: HWQueue.setup(mem, "q", capacity=16), "queue",
+         check_queue_consistent),
+    ])
+    def test_queue_consistency_holds_at_every_prefix(self, build, kind,
+                                                     check):
+        """``Queue(q, G)`` implies consistency *invariantly*: not just the
+        final graph but the graph after every commit."""
+        def setup(mem):
+            return {"q": build(mem)}
+
+        def producer(env):
+            yield from env["q"].enqueue(1)
+            yield from env["q"].enqueue(2)
+
+        def consumer(env):
+            out = []
+            for _ in range(2):
+                out.append((yield from env["q"].try_dequeue()))
+            return out
+        inv = consistency_invariant(check)
+        for r in explore_random(lambda: Program(setup, [producer, consumer]),
+                                runs=120, seed=3):
+            assert r.ok
+            violations = check_prefix_invariant(r.env["q"].graph(), inv)
+            assert violations == [], [str(v) for v in violations]
+
+    def test_elim_stack_consistent_at_every_prefix(self):
+        """§4.2: no concurrent operation observes the intermediate state
+        of an elimination — executably, the composed ES graph is
+        consistent after *every* commit (pairs are adjacent)."""
+        def setup(mem):
+            return {"s": ElimStack.setup(mem, "es", patience=4, attempts=2,
+                                         elim_only=True)}
+
+        def pusher(env):
+            yield from env["s"].try_push(1)
+
+        def popper(env):
+            yield from env["s"].try_pop()
+        inv = consistency_invariant(check_stack_consistent)
+        checked_pairs = 0
+        for r in explore_random(lambda: Program(setup, [pusher, popper]),
+                                runs=200, seed=5):
+            assert r.ok
+            g = r.env["s"].graph()
+            checked_pairs += len(g.so)
+            violations = check_prefix_invariant(g, inv)
+            assert violations == [], [str(v) for v in violations]
+        assert checked_pairs > 30
+
+
+class TestExchangerIntermediateStates:
+    def test_inconsistency_only_inside_helper_windows(self):
+        """The exchanger's graph has genuinely inconsistent prefixes —
+        exactly the ones cutting a pair between helpee and helper commit
+        (the paper's intermediate states) — and nowhere else."""
+        def setup(mem):
+            return {"x": Exchanger.setup(mem, "x")}
+
+        def t(v):
+            def thread(env):
+                return (yield from env["x"].exchange(v, patience=3,
+                                                     attempts=2))
+            return thread
+        saw_intermediate = False
+        from repro.core import check_exchanger_consistent
+        for r in explore_random(lambda: Program(setup, [t("A"), t("B")]),
+                                runs=300, seed=7):
+            assert r.ok
+            g = r.env["x"].graph()
+            # Modulo intermediate states: always consistent.
+            assert exchanger_prefix_errors(g) == []
+            # And the raw every-prefix check does fail when a pair exists
+            # (the helpee-committed prefix lacks its partner).
+            if g.so:
+                raw = check_prefix_invariant(
+                    g, consistency_invariant(check_exchanger_consistent))
+                saw_intermediate = saw_intermediate or bool(raw)
+        assert saw_intermediate
+
+
+class TestFig3Protocol:
+    def test_mp_with_permit_counting(self):
+        """Fig. 3's invariant: deqPerm(size(G.so)) with two permits —
+        checked after every commit of the real MP client."""
+        from repro.checking import mp_queue
+        build = lambda mem: MSQueue.setup(mem, "q", RELACQ)
+        for r in explore_random(mp_queue(build), runs=150, seed=9):
+            if not r.ok:
+                continue
+            g = r.env["q"].graph()
+            violations = check_prefix_invariant(
+                g, max_successful_removals(2))
+            assert violations == []
+            deqs = [ev for ev in g.events.values()
+                    if isinstance(ev.kind, Deq) and not ev.kind.is_empty]
+            assert len(deqs) <= 2

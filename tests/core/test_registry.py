@@ -1,0 +1,184 @@
+"""Event registry tests: ghost logical views, helping, commit order."""
+
+from repro.core import EventRegistry, Enq, Deq, Exchange, EMPTY
+from repro.rmc import (ACQ, REL, RLX, GhostCommit, Load, Program,
+                       RandomDecider, Store)
+
+
+def run_with_registry(threads_of, name="lib"):
+    """Run a program whose setup creates one registry in env['reg']."""
+    def setup(mem):
+        return {"reg": EventRegistry(mem, name), "mem": mem}
+    prog = Program(setup, threads_of)
+    result = prog.run(RandomDecider(0))
+    assert result.ok
+    return result
+
+
+class TestCommit:
+    def test_commit_assigns_sequential_ids_and_indices(self):
+        def t(env):
+            ids = []
+            yield GhostCommit(lambda ctx: ids.append(
+                env["reg"].commit(ctx, Enq(1))))
+            yield GhostCommit(lambda ctx: ids.append(
+                env["reg"].commit(ctx, Enq(2))))
+            return ids
+        r = run_with_registry([t])
+        reg = r.env["reg"]
+        assert r.returns[0] == [0, 1]
+        assert reg.events[0].commit_index < reg.events[1].commit_index
+
+    def test_own_thread_events_are_in_logview(self):
+        """Program order is part of lhb."""
+        def t(env):
+            yield GhostCommit(lambda ctx: env["reg"].commit(ctx, Enq(1)))
+            yield GhostCommit(lambda ctx: env["reg"].commit(ctx, Enq(2)))
+        r = run_with_registry([t])
+        reg = r.env["reg"]
+        assert reg.events[1].logview == {0, 1}
+        assert reg.events[0].logview == {0}
+
+    def test_unsynchronized_threads_have_disjoint_logviews(self):
+        def t(env):
+            yield GhostCommit(lambda ctx: env["reg"].commit(ctx, Enq(1)))
+        r = run_with_registry([t, t])
+        reg = r.env["reg"]
+        assert reg.events[0].logview == {0}
+        assert reg.events[1].logview == {1}
+
+    def test_release_acquire_transfers_logview(self):
+        def setup(mem):
+            return {"reg": EventRegistry(mem, "lib"),
+                    "f": mem.alloc("f", 0)}
+
+        def producer(env):
+            yield Store(env["f"], 1, REL,
+                        commit=lambda ctx: env["reg"].commit(ctx, Enq(1)))
+
+        def consumer(env):
+            f = yield Load(env["f"], ACQ)
+            if f == 1:
+                yield GhostCommit(
+                    lambda ctx: env["reg"].commit(ctx, Deq(1), so_from=[0]))
+        prog = Program(setup, [producer, consumer])
+        # Drive until the consumer actually observed the flag.
+        for seed in range(50):
+            result = prog.run(RandomDecider(seed))
+            reg = result.env["reg"]
+            if len(reg.events) == 2:
+                assert 0 in reg.events[1].logview
+                assert (0, 1) in reg.so
+                return
+            prog = Program(setup, [producer, consumer])
+        raise AssertionError("never saw the synchronized schedule")
+
+    def test_relaxed_write_does_not_transfer_logview(self):
+        def setup(mem):
+            return {"reg": EventRegistry(mem, "lib"),
+                    "f": mem.alloc("f", 0)}
+
+        def producer(env):
+            yield Store(env["f"], 1, RLX,
+                        commit=lambda ctx: env["reg"].commit(ctx, Enq(1)))
+
+        def consumer(env):
+            f = yield Load(env["f"], ACQ)
+            if f == 1:
+                yield GhostCommit(
+                    lambda ctx: env["reg"].commit(ctx, Deq(1)))
+        for seed in range(50):
+            result = Program(setup, [producer, consumer]).run(
+                RandomDecider(seed))
+            reg = result.env["reg"]
+            if len(reg.events) == 2:
+                assert 0 not in reg.events[1].logview
+                return
+        raise AssertionError("never saw the synchronized schedule")
+
+    def test_at_view_commits_at_earlier_view(self):
+        def t(env):
+            snap = []
+            yield GhostCommit(lambda ctx: snap.append(ctx.view))
+            yield GhostCommit(lambda ctx: env["reg"].commit(ctx, Enq(1)))
+            # Commit the second event at the snapshot: it must not see e0.
+            yield GhostCommit(lambda ctx: env["reg"].commit(
+                ctx, Deq(EMPTY), at_view=snap[0]))
+        r = run_with_registry([t])
+        reg = r.env["reg"]
+        assert reg.events[1].logview == {1}
+
+    def test_logview_of_arbitrary_view(self):
+        def t(env):
+            yield GhostCommit(lambda ctx: env["reg"].commit(ctx, Enq(1)))
+            views = []
+            yield GhostCommit(lambda ctx: views.append(ctx.view))
+            return views
+        r = run_with_registry([t])
+        reg = r.env["reg"]
+        assert reg.logview_of(r.returns[0][0]) == {0}
+
+
+class TestHelping:
+    def test_prepare_commit_prepared_roundtrip(self):
+        def helpee(env):
+            eids = []
+            yield GhostCommit(lambda ctx: eids.append(
+                env["reg"].prepare(ctx)))
+            return eids
+
+        def helper(env):
+            # Wait until the helpee prepared, then commit both.
+            while not env["reg"].prepared:
+                yield GhostCommit(lambda ctx: None)
+            def hook(ctx):
+                prep_id = next(iter(env["reg"].prepared))
+                ev = env["reg"].commit_prepared(prep_id, Exchange("a", "b"))
+                mine = env["reg"].commit(ctx, Exchange("b", "a"),
+                                         so_from=[ev.eid])
+                env["reg"].add_so(mine, ev.eid)
+            yield GhostCommit(hook)
+        r = run_with_registry([helpee, helper])
+        reg = r.env["reg"]
+        assert len(reg.events) == 2 and not reg.prepared
+        helpee_ev, helper_ev = reg.events[0], reg.events[1]
+        assert helper_ev.commit_index == helpee_ev.commit_index + 1
+        assert len(reg.so) == 2
+
+    def test_prepared_events_are_not_in_logviews(self):
+        """An event that is only prepared is not yet in the graph."""
+        def t(env):
+            yield GhostCommit(lambda ctx: env["reg"].prepare(ctx))
+            yield GhostCommit(lambda ctx: env["reg"].commit(ctx, Enq(9)))
+        r = run_with_registry([t])
+        reg = r.env["reg"]
+        committed = list(reg.events.values())
+        assert len(committed) == 1
+        assert committed[0].logview == {committed[0].eid}
+
+    def test_cancel_prepared(self):
+        def t(env):
+            ids = []
+            yield GhostCommit(lambda ctx: ids.append(env["reg"].prepare(ctx)))
+            env["reg"].cancel_prepared(ids[0])
+            yield GhostCommit(lambda ctx: env["reg"].commit(ctx, Enq(1)))
+        r = run_with_registry([t])
+        reg = r.env["reg"]
+        assert not reg.prepared and len(reg.events) == 1
+
+    def test_commit_prepared_excludes_later_commits(self):
+        """Events committed after preparation cannot leak into the
+        prepared event's logical view."""
+        def t(env):
+            ids = []
+            yield GhostCommit(lambda ctx: ids.append(env["reg"].prepare(ctx)))
+            yield GhostCommit(lambda ctx: env["reg"].commit(ctx, Enq(5)))
+            yield GhostCommit(lambda ctx: env["reg"].commit_prepared(
+                ids[0], Exchange("x", "y")))
+        r = run_with_registry([t])
+        reg = r.env["reg"]
+        prepared_ev = next(ev for ev in reg.events.values()
+                           if isinstance(ev.kind, Exchange))
+        other = next(ev for ev in reg.events.values()
+                     if isinstance(ev.kind, Enq))
+        assert other.eid not in prepared_ev.logview

@@ -1,0 +1,124 @@
+"""Spec-style checker tests: the ladder's distinguishing behaviours."""
+
+import pytest
+
+from repro.core import (Deq, EMPTY, Enq, Pop, Push, SpecStyle, check_style)
+from repro.core.spec_styles import IMPLICATIONS
+
+from ..conftest import closed
+
+
+def ok(graph, kind, style, to=None):
+    return check_style(graph, kind, style, to=to).ok
+
+
+def rules(graph, kind, style, to=None):
+    return {v.rule for v in check_style(graph, kind, style, to=to).violations}
+
+
+FIFO_COMMITS = closed((0, Enq(1), []), (1, Enq(2), [0]),
+                      (2, Deq(1), [0, 1]), (3, Deq(2), [0, 1, 2]),
+                      so=[(0, 2), (1, 3)])
+
+# Commit order takes the *second* enqueue first: graph-consistent for
+# unsynchronized dequeues, but the abstract state cannot be constructed.
+NON_FIFO_COMMITS = closed((0, Enq(1), []), (1, Enq(2), [0]),
+                          (2, Deq(2), [1]), (3, Deq(1), [0]),
+                          so=[(1, 2), (0, 3)])
+
+EMPTY_WHILE_NONEMPTY = closed((0, Enq(1), []), (1, Deq(EMPTY), []))
+
+
+class TestSeq:
+    def test_strict_fifo_ok(self):
+        assert ok(FIFO_COMMITS, "queue", SpecStyle.SEQ)
+
+    def test_strict_empty_rejected(self):
+        assert "ABS-EMPTY" in rules(EMPTY_WHILE_NONEMPTY, "queue",
+                                    SpecStyle.SEQ)
+
+
+class TestLatSoAbs:
+    def test_relaxed_empty_allowed(self):
+        """Unlike SEQ, the RMC abstract-state styles do not constrain
+        empty dequeues (Fig. 2 Abs-Hb-Deq's failure case)."""
+        assert ok(EMPTY_WHILE_NONEMPTY, "queue", SpecStyle.LAT_SO_ABS)
+
+    def test_commit_point_fifo_required(self):
+        assert "ABS-STATE" in rules(NON_FIFO_COMMITS, "queue",
+                                    SpecStyle.LAT_SO_ABS)
+
+    def test_no_lhb_conditions(self):
+        """so-abs does not see lhb: an EMPDEQ-violating graph passes."""
+        g = closed((0, Enq(1), []), (1, Deq(EMPTY), [0]))
+        assert ok(g, "queue", SpecStyle.LAT_SO_ABS)
+
+
+class TestLatHbAbs:
+    def test_fifo_commits_ok(self):
+        assert ok(FIFO_COMMITS, "queue", SpecStyle.LAT_HB_ABS)
+
+    def test_non_fifo_commits_fail(self):
+        assert "ABS-STATE" in rules(NON_FIFO_COMMITS, "queue",
+                                    SpecStyle.LAT_HB_ABS)
+
+    def test_empdeq_enforced(self):
+        g = closed((0, Enq(1), []), (1, Deq(EMPTY), [0]))
+        assert "QUEUE-EMPDEQ" in rules(g, "queue", SpecStyle.LAT_HB_ABS)
+
+
+class TestLatHb:
+    def test_non_fifo_commits_ok(self):
+        """The whole point of dropping the abstract state (§3.2)."""
+        assert ok(NON_FIFO_COMMITS, "queue", SpecStyle.LAT_HB)
+
+    def test_consistency_still_enforced(self):
+        g = closed((0, Enq(1), []), (1, Deq(2), [0]), so=[(0, 1)])
+        assert not ok(g, "queue", SpecStyle.LAT_HB)
+
+    def test_stack_dispatch(self):
+        g = closed((0, Push(1), []), (1, Pop(1), [0]), so=[(0, 1)])
+        assert ok(g, "stack", SpecStyle.LAT_HB)
+
+
+class TestLatHbHist:
+    def test_reorderable_graph_passes_search(self):
+        assert ok(NON_FIFO_COMMITS, "queue", SpecStyle.LAT_HB_HIST)
+
+    def test_unlinearizable_graph_fails(self):
+        g = closed((0, Enq(1), []), (1, Enq(2), [0]),
+                   (2, Deq(2), [0, 1]), (3, Deq(1), [0, 1, 2]),
+                   so=[(1, 2), (0, 3)])
+        assert "HIST-EXISTS" in rules(g, "queue", SpecStyle.LAT_HB_HIST)
+
+    def test_explicit_to_validated(self):
+        # [0,1,3,2] respects lhb (0→1, 0,1→2, 0→3) and interprets FIFO:
+        # enq 1, enq 2, deq 1, deq 2.
+        assert ok(NON_FIFO_COMMITS, "queue", SpecStyle.LAT_HB_HIST,
+                  to=[0, 1, 3, 2])
+        # The raw commit order dequeues value 2 while 1 is at the head.
+        assert not ok(NON_FIFO_COMMITS, "queue", SpecStyle.LAT_HB_HIST,
+                      to=[0, 1, 2, 3])
+
+
+class TestLadderStructure:
+    def test_implications_declared(self):
+        assert SpecStyle.LAT_SO_ABS in IMPLICATIONS[SpecStyle.LAT_HB_ABS]
+        assert SpecStyle.LAT_HB in IMPLICATIONS[SpecStyle.LAT_HB_ABS]
+        assert SpecStyle.LAT_HB in IMPLICATIONS[SpecStyle.LAT_HB_HIST]
+
+    @pytest.mark.parametrize("g", [FIFO_COMMITS, NON_FIFO_COMMITS,
+                                   EMPTY_WHILE_NONEMPTY])
+    def test_hb_abs_implies_weaker_styles(self, g):
+        """Empirically: any graph passing LAT_hb^abs passes LAT_so^abs
+        and LAT_hb (on the shapes exercised here)."""
+        if ok(g, "queue", SpecStyle.LAT_HB_ABS):
+            assert ok(g, "queue", SpecStyle.LAT_SO_ABS)
+            assert ok(g, "queue", SpecStyle.LAT_HB)
+
+    def test_wellformedness_reported_under_any_style(self):
+        from ..conftest import mk_event, mk_graph
+        bad = mk_graph([mk_event(0, Enq(1), [5], 0)])
+        for style in SpecStyle:
+            assert any(v.rule == "WELLFORMED" for v in
+                       check_style(bad, "queue", style).violations)

@@ -1,0 +1,45 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_client_logic_command(capsys):
+    assert main(["client-logic"]) == 0
+    out = capsys.readouterr().out
+    assert "LAT_so^abs" in out
+    assert "SPSC(3) complete transfers" in out
+    assert "(1, 2, 3)" in out
+
+
+def test_mp_command(capsys):
+    assert main(["mp", "--runs", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "with flag" in out and "WITHOUT flag" in out
+    for line in out.splitlines():
+        if "with flag" in line and "WITHOUT" not in line:
+            assert line.rstrip().endswith("right-thread empty: 0")
+
+
+def test_loc_command(capsys):
+    assert main(["loc"]) == 0
+    out = capsys.readouterr().out
+    assert "TOTAL" in out and "machine.py" in out
+
+
+def test_spsc_command(capsys):
+    assert main(["spsc", "--runs", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "FIFO violations 0/40" in out
+
+
+def test_elim_command(capsys):
+    assert main(["elim", "--runs", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "violations=0" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

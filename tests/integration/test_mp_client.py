@@ -1,0 +1,90 @@
+"""E1 end-to-end: Figure 1's MP client, exhaustive and randomized.
+
+The paper's headline client verification: with release/acquire flag
+synchronization, the right-hand thread's dequeue can never return empty —
+for *any* queue implementation satisfying the hb specs.  Without the
+flag, empties abound (the control condition showing the check isn't
+vacuous).
+"""
+
+import pytest
+
+from repro.checking import (GAVE_UP, Scenario, check_mp_outcome,
+                            check_scenario, mp_queue, mp_stack,
+                            single_library)
+from repro.core import EMPTY, SpecStyle
+from repro.libs import ElimStack, HWQueue, LockedQueue, MSQueue, RELACQ
+from repro.rmc import explore_all, explore_random
+
+QUEUES = {
+    "ms": lambda mem: MSQueue.setup(mem, "q", RELACQ),
+    "hw": lambda mem: HWQueue.setup(mem, "q", capacity=4),
+    "locked": lambda mem: LockedQueue.setup(mem, "q"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(QUEUES))
+def test_mp_right_dequeue_never_empty_random(name):
+    scen = Scenario(f"mp-{name}", mp_queue(QUEUES[name]),
+                    single_library("q", "queue"),
+                    outcome_check=check_mp_outcome)
+    rep = check_scenario(scen, styles=(SpecStyle.LAT_HB,), runs=500, seed=1)
+    assert rep.ok, rep.summary()
+    assert rep.complete >= 450
+
+
+@pytest.mark.parametrize("name", ["ms", "hw"])
+def test_mp_exhaustive_bounded(name):
+    """Exhaustive exploration of the bounded MP client: the paper's
+    'for all executions' claim, on a finite space."""
+    factory = mp_queue(QUEUES[name], spin_bound=2)
+    complete = 0
+    for r in explore_all(factory, max_steps=260, max_executions=25_000):
+        if not r.ok:
+            continue
+        complete += 1
+        right = r.returns[2]
+        if right is not GAVE_UP:
+            assert right is not EMPTY, f"trace={r.trace}"
+    assert complete > 1000
+
+
+@pytest.mark.parametrize("name", sorted(QUEUES))
+def test_mp_without_flag_observes_empty(name):
+    factory = mp_queue(QUEUES[name], use_flag=False)
+    empties = sum(1 for r in explore_random(factory, runs=300, seed=2)
+                  if r.ok and r.returns[2] is EMPTY)
+    assert empties > 0, "control condition must exhibit the weak outcome"
+
+
+def test_mp_right_value_is_41_or_42():
+    factory = mp_queue(QUEUES["hw"])
+    seen = set()
+    for r in explore_random(factory, runs=500, seed=3):
+        if r.ok and r.returns[2] is not GAVE_UP:
+            assert r.returns[2] in (41, 42)
+            seen.add(r.returns[2])
+    assert seen, "right thread should complete in some runs"
+
+
+def test_mp_middle_dequeue_can_be_empty():
+    factory = mp_queue(QUEUES["ms"])
+    empties = sum(1 for r in explore_random(factory, runs=300, seed=4)
+                  if r.ok and r.returns[1] is EMPTY)
+    assert empties > 0
+
+
+def test_mp_stack_with_elimination_stack():
+    """§4: the composed elimination stack supports the same client
+    reasoning as any stack satisfying the hb specs."""
+    build = lambda mem: ElimStack.setup(mem, "es", patience=2, attempts=1)
+    # The ES producer's pushes retry through the exchanger, so the flag
+    # needs a longer bounded wait than the plain-queue clients.
+    factory = mp_stack(build, spin_bound=30)
+    count = 0
+    for r in explore_random(factory, runs=300, seed=5, max_steps=50_000):
+        if not r.ok or r.returns[2] is GAVE_UP:
+            continue
+        count += 1
+        assert r.returns[2] is not EMPTY
+    assert count > 50

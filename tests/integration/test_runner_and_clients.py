@@ -1,0 +1,147 @@
+"""Unit/integration tests for the checking harness itself."""
+
+import pytest
+
+from repro.checking import (GAVE_UP, Scenario, ScenarioReport, StyleTally,
+                            check_scenario, elim_stack_cases, mixed_stress,
+                            mp_queue, single_library, spsc)
+from repro.core import EMPTY, SpecStyle
+from repro.libs import ElimStack, MSQueue, RELACQ, BROKEN_RLX
+from repro.rmc import Program, RandomDecider, replay
+
+
+def ms_build(mem):
+    return MSQueue.setup(mem, "q", RELACQ)
+
+
+class TestStyleTally:
+    def test_records_and_examples(self):
+        t = StyleTally()
+        t.record(True, [], [])
+        t.record(False, ["v1", "v2"], [(2, 1)])
+        assert t.checked == 2 and t.failed == 1
+        assert not t.ok
+        assert t.examples == ["v1", "v2"]
+        assert t.failing_traces == [[(2, 1)]]
+
+    def test_example_cap(self):
+        t = StyleTally()
+        for i in range(10):
+            t.record(False, [f"v{i}"], [i])
+        assert len(t.examples) <= 4
+
+
+class TestCheckScenario:
+    def test_basic_report_fields(self):
+        scen = Scenario("mp", mp_queue(ms_build),
+                        single_library("q", "queue"))
+        rep = check_scenario(scen, styles=(SpecStyle.LAT_HB,), runs=50,
+                             seed=1)
+        assert rep.executions == 50
+        assert rep.complete + rep.truncated + rep.raced == 50
+        assert rep.steps > 0 and rep.seconds > 0
+        assert rep.styles[SpecStyle.LAT_HB].checked == rep.complete
+        assert rep.ok
+        assert "mp" in rep.summary()
+
+    def test_races_counted_and_skipped(self):
+        scen = Scenario(
+            "broken",
+            mixed_stress(lambda m: MSQueue.setup(m, "q", BROKEN_RLX),
+                         "queue", threads=2, ops_per_thread=3, seed=1),
+            single_library("lib", "queue"))
+        rep = check_scenario(scen, styles=(SpecStyle.LAT_HB,), runs=200,
+                             seed=3)
+        assert rep.raced > 0
+        assert not rep.ok
+
+    def test_outcome_check_failures_reported(self):
+        def always_fail(result):
+            raise AssertionError("nope")
+        scen = Scenario("mp", mp_queue(ms_build),
+                        single_library("q", "queue"),
+                        outcome_check=always_fail)
+        rep = check_scenario(scen, styles=(), runs=10, seed=1)
+        assert rep.outcome_failures == 10
+        assert rep.outcome_examples
+        assert not rep.ok
+
+    def test_exhaustive_mode_marks_exhausted(self):
+        def setup(mem):
+            return {"q": ms_build(mem)}
+
+        def t(env):
+            yield from env["q"].enqueue(1)
+        scen = Scenario("tiny", lambda: Program(setup, [t]),
+                        single_library("q", "queue"))
+        rep = check_scenario(scen, styles=(SpecStyle.LAT_HB,),
+                             exhaustive=True, max_executions=100)
+        assert rep.exhausted
+        assert rep.executions == 1
+
+    def test_failing_trace_replays_to_same_violation(self):
+        """The counterexample workflow: a failing style check's recorded
+        trace reproduces an execution whose graph fails the same check."""
+        from repro.libs import HWQueue
+        from repro.core import check_style
+
+        def hw_build(mem):
+            return HWQueue.setup(mem, "q", capacity=16)
+        factory = mixed_stress(hw_build, "queue", threads=3,
+                               ops_per_thread=3, seed=2)
+        scen = Scenario("hw", factory, single_library("lib", "queue"))
+        rep = check_scenario(scen, styles=(SpecStyle.LAT_HB_ABS,),
+                             runs=400, seed=5)
+        tally = rep.styles[SpecStyle.LAT_HB_ABS]
+        assert tally.failed > 0, "HW should fail the abs style somewhere"
+        trace = tally.failing_traces[0]
+        again = replay(factory, trace)
+        res = check_style(again.env["lib"].graph(), "queue",
+                          SpecStyle.LAT_HB_ABS)
+        assert not res.ok
+
+
+class TestClients:
+    def test_mp_gave_up_path(self):
+        factory = mp_queue(ms_build, spin_bound=1)
+        gave_up = 0
+        for seed in range(60):
+            r = factory().run(RandomDecider(seed))
+            if r.ok and r.returns[2] is GAVE_UP:
+                gave_up += 1
+        assert gave_up > 0
+
+    def test_spsc_consume_bound_limits_attempts(self):
+        factory = spsc(ms_build, n=3, consume_bound=1)
+        r = factory().run(RandomDecider(0))
+        assert r.ok
+        assert len(r.returns[1]) <= 1
+
+    def test_mixed_stress_is_deterministic_per_seed(self):
+        f1 = mixed_stress(ms_build, "queue", threads=2, ops_per_thread=4,
+                          seed=7)
+        f2 = mixed_stress(ms_build, "queue", threads=2, ops_per_thread=4,
+                          seed=7)
+        r1 = f1().run(RandomDecider(3))
+        r2 = f2().run(RandomDecider(3))
+        assert repr(r1.returns) == repr(r2.returns)
+
+    def test_mixed_stress_stack_kind(self):
+        from repro.libs import TreiberStack
+        factory = mixed_stress(lambda m: TreiberStack.setup(m, "s"),
+                               "stack", threads=2, ops_per_thread=3, seed=4)
+        r = factory().run(RandomDecider(1))
+        assert r.ok
+        assert all(isinstance(log, list) for log in r.returns.values())
+
+    def test_elim_stack_cases_extractor(self):
+        def setup(mem):
+            return {"s": ElimStack.setup(mem, "es")}
+
+        def t(env):
+            yield from env["s"].push(1)
+            yield from env["s"].pop()
+        r = Program(setup, [t]).run(RandomDecider(0), max_steps=50_000)
+        cases = elim_stack_cases("s")(r)
+        assert [c.kind for c in cases] == ["stack", "exchanger"]
+        assert cases[1].styles == (SpecStyle.LAT_HB,)

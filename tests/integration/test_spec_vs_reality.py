@@ -1,0 +1,72 @@
+"""The spec-level enumerator is a sound over-approximation of reality:
+every outcome a spec-satisfying implementation actually produces is in
+the spec-admitted set (never the other way around for excluded ones)."""
+
+import pytest
+
+from repro.checking import GAVE_UP, mp_queue, spsc
+from repro.core import (EMPTY, SpecStyle, mp_skeleton, possible_outcomes,
+                        spsc_skeleton)
+from repro.libs import HWQueue, LockedQueue, MSQueue, RELACQ
+from repro.rmc import explore_random
+
+QUEUES = {
+    "ms": lambda mem: MSQueue.setup(mem, "q", RELACQ),
+    "hw": lambda mem: HWQueue.setup(mem, "q", capacity=4),
+    "locked": lambda mem: LockedQueue.setup(mem, "q"),
+}
+
+
+@pytest.fixture(scope="module")
+def mp_admitted():
+    return possible_outcomes(mp_skeleton(), SpecStyle.LAT_HB)
+
+
+@pytest.mark.parametrize("name", sorted(QUEUES))
+def test_mp_reality_within_spec(name, mp_admitted):
+    """Observed (d2, d3) pairs of real runs ⊆ spec-admitted set."""
+    observed = set()
+    for r in explore_random(mp_queue(QUEUES[name], spin_bound=20),
+                            runs=400, seed=1):
+        if not r.ok or r.returns[2] is GAVE_UP:
+            continue
+        d2, d3 = r.returns[1], r.returns[2]
+        if d2 is None or d3 is None:
+            # A lost-race try_dequeue commits no event: that thread has
+            # no dequeue in the graph, so the outcome is outside the
+            # skeleton's shape (which fixes two dequeue events).
+            continue
+        observed.add((d2, d3))
+    assert observed, "need completed runs"
+    assert observed <= mp_admitted, (
+        f"{name} produced outcomes outside the LAT_hb-admitted set: "
+        f"{observed - mp_admitted}")
+
+
+def test_mp_spec_is_not_vacuous(mp_admitted):
+    """The admitted set is non-trivial: some outcomes, not all."""
+    assert len(mp_admitted) >= 3
+    all_conceivable = {(a, b) for a in (EMPTY, 41, 42)
+                       for b in (EMPTY, 41, 42)}
+    assert mp_admitted < all_conceivable
+
+
+def test_spsc_reality_within_spec():
+    admitted = possible_outcomes(spsc_skeleton(n=2), SpecStyle.LAT_HB)
+    observed = set()
+    for r in explore_random(spsc(QUEUES["hw"], n=2, consume_bound=6),
+                            runs=300, seed=2):
+        if not r.ok:
+            continue
+        got = list(r.returns[1])
+        got += [EMPTY] * (2 - len(got))
+        observed.add(tuple(got[:2]))
+    assert observed
+    # Project the skeleton's outcomes (which list each dequeue attempt)
+    # onto "values received in order, padded with EMPTY".
+    projected = set()
+    for out in admitted:
+        vals = [v for v in out if v is not EMPTY]
+        vals += [EMPTY] * (2 - len(vals))
+        projected.add(tuple(vals[:2]))
+    assert observed <= projected, observed - projected

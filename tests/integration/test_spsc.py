@@ -1,0 +1,47 @@
+"""E4 end-to-end: the §3.2 SPSC pipeline — consumer output equals
+producer input, for every queue implementation."""
+
+import pytest
+
+from repro.checking import (Scenario, check_scenario, check_spsc_outcome,
+                            single_library, spsc)
+from repro.core import SpecStyle
+from repro.libs import HWQueue, LockedQueue, MSQueue, RELACQ
+from repro.rmc import explore_all, explore_random
+
+QUEUES = {
+    "ms": lambda mem: MSQueue.setup(mem, "q", RELACQ),
+    "hw": lambda mem: HWQueue.setup(mem, "q", capacity=32),
+    "locked": lambda mem: LockedQueue.setup(mem, "q"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(QUEUES))
+@pytest.mark.parametrize("n", [1, 3, 6])
+def test_spsc_fifo_random(name, n):
+    scen = Scenario(f"spsc-{name}-{n}", spsc(QUEUES[name], n=n),
+                    single_library("q", "queue"),
+                    outcome_check=check_spsc_outcome(n))
+    rep = check_scenario(scen, styles=(SpecStyle.LAT_HB,), runs=300, seed=7)
+    assert rep.ok, rep.summary()
+
+
+@pytest.mark.parametrize("name", ["ms", "hw"])
+def test_spsc_fifo_exhaustive_tiny(name):
+    factory = spsc(QUEUES[name], n=2, consume_bound=5)
+    complete = 0
+    for r in explore_all(factory, max_steps=300, max_executions=25_000):
+        if not r.ok:
+            continue
+        complete += 1
+        got = r.returns[1]
+        assert got == list(range(1, len(got) + 1)), got
+    assert complete > 500
+
+
+def test_spsc_full_transfer_happens():
+    """Sanity: the consumer does regularly receive everything."""
+    factory = spsc(QUEUES["ms"], n=4)
+    full = sum(1 for r in explore_random(factory, runs=200, seed=11)
+               if r.ok and r.returns[1] == [1, 2, 3, 4])
+    assert full > 50

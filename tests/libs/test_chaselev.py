@@ -1,0 +1,180 @@
+"""Chase–Lev work-stealing deque (the paper's §6 future work, built)."""
+
+import pytest
+
+from repro.core import (EMPTY, SpecStyle, check_style,
+                        check_wsdeque_consistent)
+from repro.libs import ChaseLevDeque
+from repro.libs.treiber import FAIL_RACE
+from repro.rmc import Program, RandomDecider, explore_all, explore_random
+
+
+def prog(threads, capacity=16, fenced=True):
+    def setup(mem):
+        return {"d": ChaseLevDeque.setup(mem, "d", capacity=capacity,
+                                         fenced=fenced)}
+    return lambda: Program(setup, threads)
+
+
+def check(result):
+    g = result.env["d"].graph()
+    errs = check_wsdeque_consistent(g) + g.wellformedness_errors()
+    assert errs == [], [str(e) for e in errs]
+    return g
+
+
+class TestOwnerOnly:
+    def test_lifo_for_the_owner(self):
+        def owner(env):
+            for v in [1, 2, 3]:
+                yield from env["d"].push(v)
+            out = []
+            for _ in range(4):
+                out.append((yield from env["d"].take()))
+            return out
+        r = prog([owner])().run(RandomDecider(0))
+        assert r.ok and r.returns[0] == [3, 2, 1, EMPTY]
+        check(r)
+
+    def test_push_full(self):
+        def owner(env):
+            oks = []
+            for v in range(4):
+                oks.append((yield from env["d"].push(v)))
+            return oks
+        r = prog([owner], capacity=2)().run(RandomDecider(0))
+        assert r.returns[0] == [True, True, False, False]
+
+    def test_take_empty(self):
+        def owner(env):
+            return (yield from env["d"].take())
+        r = prog([owner])().run(RandomDecider(0))
+        assert r.returns[0] is EMPTY
+        g = check(r)
+        assert len(g.events) == 1
+
+
+class TestStealing:
+    def test_steals_are_fifo(self):
+        """Thieves remove the oldest elements, in push order."""
+        def owner(env):
+            for v in [1, 2, 3]:
+                yield from env["d"].push(v)
+
+        def thief(env):
+            got = []
+            for _ in range(6):
+                v = yield from env["d"].steal()
+                if v not in (EMPTY, FAIL_RACE):
+                    got.append(v)
+            return got
+        for r in explore_random(prog([owner, thief]), runs=300, seed=2):
+            assert r.ok
+            check(r)
+            got = r.returns[1]
+            assert got == sorted(got), "steals must be oldest-first"
+
+    def test_owner_and_thieves_split_the_work(self):
+        def owner(env):
+            for v in [1, 2, 3, 4]:
+                yield from env["d"].push(v)
+            got = []
+            for _ in range(4):
+                v = yield from env["d"].take()
+                if v is not EMPTY:
+                    got.append(v)
+            return got
+
+        def thief(env):
+            got = []
+            for _ in range(4):
+                v = yield from env["d"].steal()
+                if v not in (EMPTY, FAIL_RACE):
+                    got.append(v)
+            return got
+        for r in explore_random(prog([owner, thief, thief]),
+                                runs=400, seed=3):
+            assert r.ok
+            check(r)
+            all_got = r.returns[0] + r.returns[1] + r.returns[2]
+            assert len(all_got) == len(set(all_got)), \
+                "no element is removed twice"
+            assert set(all_got) <= {1, 2, 3, 4}
+
+    def test_exhaustive_single_element_contest(self):
+        """The contested last-element case: exactly one of owner/thief
+        wins, exhaustively."""
+        def owner(env):
+            yield from env["d"].push(9)
+            return (yield from env["d"].take())
+
+        def thief(env):
+            return (yield from env["d"].steal())
+        complete = 0
+        for r in explore_all(prog([owner, thief], capacity=2),
+                             max_steps=500, max_executions=30_000):
+            if not r.ok:
+                continue
+            complete += 1
+            check(r)
+            owner_got = r.returns[0]
+            thief_got = r.returns[1]
+            winners = [x for x in (owner_got, thief_got) if x == 9]
+            assert len(winners) == 1, (owner_got, thief_got)
+        assert complete > 100
+
+    def test_lat_hb_style_dispatch(self):
+        def owner(env):
+            yield from env["d"].push(1)
+            return (yield from env["d"].take())
+
+        def thief(env):
+            return (yield from env["d"].steal())
+        for r in explore_random(prog([owner, thief]), runs=150, seed=5):
+            assert r.ok
+            res = check_style(r.env["d"].graph(), "wsdeque",
+                              SpecStyle.LAT_HB)
+            assert res.ok, [str(v) for v in res.violations]
+
+    def test_no_races(self):
+        def owner(env):
+            yield from env["d"].push(1)
+            yield from env["d"].take()
+
+        def thief(env):
+            yield from env["d"].steal()
+        assert all(r.race is None for r in
+                   explore_random(prog([owner, thief, thief]),
+                                  runs=200, seed=7))
+
+
+class TestFenceAblation:
+    def _workload(self, fenced):
+        def owner(env):
+            yield from env["d"].push(1)
+            yield from env["d"].push(2)
+            a = yield from env["d"].take()
+            b = yield from env["d"].take()
+            return (a, b)
+
+        def thief(env):
+            return (yield from env["d"].steal())
+        return prog([owner, thief, thief], fenced=fenced)
+
+    def test_fenced_variant_is_consistent(self):
+        for r in explore_random(self._workload(True), runs=1500, seed=1):
+            if r.ok:
+                check(r)
+
+    def test_unfenced_variant_double_takes(self):
+        """Dropping the seq-cst fences re-creates the classic Chase–Lev
+        bug: the owner takes an element a thief simultaneously steals.
+        The checker catches it as a WSD-INJ / WSD-SHAPE violation."""
+        bad = 0
+        for r in explore_random(self._workload(False), runs=3000, seed=1):
+            if not r.ok:
+                continue
+            g = r.env["d"].graph()
+            if check_wsdeque_consistent(g):
+                bad += 1
+        assert bad > 0, "the unfenced bug should be observable"

@@ -1,0 +1,166 @@
+"""Elimination stack: composed graph consistency, elimination paths."""
+
+import pytest
+
+from repro.core import (EMPTY, SpecStyle, check_exchanger_consistent,
+                        check_style)
+from repro.libs import SENTINEL, ElimStack, compose_elim_graph
+from repro.libs.treiber import FAIL_RACE
+from repro.rmc import Program, RandomDecider, explore_all, explore_random
+
+
+def prog(threads, **es_kw):
+    def setup(mem):
+        return {"s": ElimStack.setup(mem, "es", **es_kw)}
+    return lambda: Program(setup, threads)
+
+
+def check_everything(result):
+    es = result.env["s"]
+    g = es.graph()
+    wf = g.wellformedness_errors()
+    assert wf == [], wf
+    res = check_style(g, "stack", SpecStyle.LAT_HB)
+    assert res.ok, [str(v) for v in res.violations]
+    vx = check_exchanger_consistent(es.ex.graph())
+    assert vx == [], [str(v) for v in vx]
+
+
+class TestSequential:
+    def test_lifo(self):
+        def t(env):
+            for v in [1, 2]:
+                yield from env["s"].push(v)
+            out = []
+            for _ in range(3):
+                out.append((yield from env["s"].pop()))
+            return out
+        r = prog([t])().run(RandomDecider(0))
+        assert r.ok and r.returns[0] == [2, 1, EMPTY]
+        check_everything(r)
+
+
+class TestComposition:
+    def test_base_path_consistency(self):
+        def pusher(env):
+            yield from env["s"].push(1)
+            yield from env["s"].push(2)
+
+        def popper(env):
+            out = []
+            for _ in range(2):
+                out.append((yield from env["s"].pop()))
+            return out
+        for r in explore_random(prog([pusher, popper, popper]),
+                                runs=250, seed=3, max_steps=20_000):
+            assert r.ok
+            check_everything(r)
+
+    def test_elimination_path_consistency(self):
+        """elim_only forces every operation through the exchanger: the
+        composed graph consists of atomically-committed push/pop pairs."""
+        def pusher(env):
+            ok1 = yield from env["s"].try_push(1)
+            ok2 = yield from env["s"].try_push(2)
+            return (ok1, ok2)
+
+        def popper(env):
+            out = []
+            for _ in range(2):
+                out.append((yield from env["s"].try_pop()))
+            return out
+        eliminated = 0
+        for r in explore_random(
+                prog([pusher, popper], elim_only=True, patience=4,
+                     attempts=2),
+                runs=400, seed=5, max_steps=20_000):
+            assert r.ok
+            check_everything(r)
+            eliminated += len(r.env["s"].ex.registry.so) // 2
+        assert eliminated > 100
+
+    def test_eliminated_pairs_are_adjacent_push_then_pop(self):
+        def pusher(env):
+            return (yield from env["s"].try_push(1))
+
+        def popper(env):
+            return (yield from env["s"].try_pop())
+        found_pair = False
+        for r in explore_random(
+                prog([pusher, popper], elim_only=True, patience=4,
+                     attempts=2), runs=300, seed=9):
+            assert r.ok
+            g = r.env["s"].graph()
+            for a, b in g.so:
+                push_ev, pop_ev = g.events[a], g.events[b]
+                assert pop_ev.commit_index == push_ev.commit_index + 1
+                assert g.lhb(a, b)
+                found_pair = True
+        assert found_pair
+
+    def test_mixed_paths(self):
+        """Base-stack and elimination events coexist in one graph."""
+        def worker(env):
+            yield from env["s"].push("a")
+            v = yield from env["s"].pop()
+            return v
+        for r in explore_random(prog([worker, worker], patience=3),
+                                runs=250, seed=7, max_steps=20_000):
+            assert r.ok
+            check_everything(r)
+
+    def test_exhaustive_tiny_elim_only(self):
+        def pusher(env):
+            return (yield from env["s"].try_push(1))
+
+        def popper(env):
+            return (yield from env["s"].try_pop())
+        complete = 0
+        for r in explore_all(prog([pusher, popper], elim_only=True,
+                                  patience=1, attempts=1),
+                             max_steps=300, max_executions=15_000):
+            if not r.ok:
+                continue
+            complete += 1
+            check_everything(r)
+            ok, popped = r.returns[0], r.returns[1]
+            if ok:
+                assert popped == 1
+            else:
+                assert popped is FAIL_RACE
+        assert complete > 50
+
+
+class TestSimulationFunction:
+    def test_compose_ignores_failed_and_same_side_exchanges(self):
+        """pop–pop meetings (SENTINEL for SENTINEL) produce no ES events."""
+        def popper(env):
+            return (yield from env["s"].try_pop())
+        for r in explore_random(prog([popper, popper], elim_only=True,
+                                     patience=3), runs=200, seed=11):
+            assert r.ok
+            g = r.env["s"].graph()
+            assert len(g.events) == 0
+            assert r.returns[0] is FAIL_RACE
+
+    def test_push_push_meetings_ignored(self):
+        def pusher(env):
+            return (yield from env["s"].try_push("v"))
+        for r in explore_random(prog([pusher, pusher], elim_only=True,
+                                     patience=3), runs=200, seed=13):
+            assert r.ok
+            g = r.env["s"].graph()
+            assert len(g.events) == 0
+            assert r.returns[0] is False
+
+    def test_compose_function_directly(self):
+        def pusher(env):
+            yield from env["s"].push(1)
+
+        def popper(env):
+            return (yield from env["s"].pop())
+        r = prog([pusher, popper])().run(RandomDecider(1), max_steps=20_000)
+        assert r.ok
+        es = r.env["s"]
+        g = compose_elim_graph(es.base, es.ex)
+        assert g.events.keys() == es.graph().events.keys()

@@ -1,0 +1,116 @@
+"""Exchanger: matching, helping discipline, failure paths."""
+
+import pytest
+
+from repro.core import (FAILED, Exchange, check_exchanger_consistent)
+from repro.libs import Exchanger
+from repro.rmc import Program, RandomDecider, explore_all, explore_random
+
+
+def prog(threads, slots=1):
+    def setup(mem):
+        return {"x": Exchanger.setup(mem, "x", slots=slots)}
+    return lambda: Program(setup, threads)
+
+
+def exchanger_thread(v, patience=3, attempts=2):
+    def t(env):
+        return (yield from env["x"].exchange(v, patience=patience,
+                                             attempts=attempts))
+    return t
+
+
+class TestPairing:
+    def test_two_threads_match_or_both_fail(self):
+        seen = set()
+        for r in explore_random(prog([exchanger_thread("A"),
+                                      exchanger_thread("B")]),
+                                runs=400, seed=3):
+            assert r.ok
+            seen.add((r.returns[0], r.returns[1]))
+            g = r.env["x"].graph()
+            assert check_exchanger_consistent(g) == [], \
+                [str(v) for v in check_exchanger_consistent(g)]
+            assert g.wellformedness_errors() == []
+        assert ("B", "A") in seen
+        assert (FAILED, FAILED) in seen
+        assert not any((a == FAILED) != (b == FAILED) for a, b in seen), \
+            "exactly-two-party exchanges either both succeed or both fail"
+
+    def test_lone_exchanger_always_fails(self):
+        for r in explore_all(prog([exchanger_thread("A", patience=1,
+                                                    attempts=1)]),
+                             max_steps=200):
+            assert r.ok and r.returns[0] is FAILED
+            g = r.env["x"].graph()
+            assert len(g.events) == 1
+            ev = next(iter(g.events.values()))
+            assert ev.kind == Exchange("A", FAILED)
+
+    def test_exhaustive_pairing_consistency(self):
+        for r in explore_all(prog([exchanger_thread("A", 1, 1),
+                                   exchanger_thread("B", 1, 1)]),
+                             max_steps=300, max_executions=20_000):
+            if not r.ok:
+                continue
+            g = r.env["x"].graph()
+            assert check_exchanger_consistent(g) == []
+            assert g.wellformedness_errors() == []
+
+    def test_three_way_contention(self):
+        """With three parties at most one pair matches."""
+        threads = [exchanger_thread(v) for v in ("A", "B", "C")]
+        for r in explore_random(prog(threads), runs=300, seed=5):
+            assert r.ok
+            outs = [r.returns[i] for i in range(3)]
+            matched = [o for o in outs if o is not FAILED]
+            assert len(matched) in (0, 2)
+            g = r.env["x"].graph()
+            assert check_exchanger_consistent(g) == []
+
+    def test_pair_commits_are_adjacent(self):
+        for r in explore_random(prog([exchanger_thread("A"),
+                                      exchanger_thread("B")]),
+                                runs=200, seed=7):
+            g = r.env["x"].graph()
+            pairs = {frozenset((a, b)) for a, b in g.so}
+            for pair in pairs:
+                a, b = sorted(pair)
+                ia = g.events[a].commit_index
+                ib = g.events[b].commit_index
+                assert abs(ia - ib) == 1
+
+    def test_helpee_view_included_in_helper_view(self):
+        for r in explore_random(prog([exchanger_thread("A"),
+                                      exchanger_thread("B")]),
+                                runs=200, seed=11):
+            g = r.env["x"].graph()
+            for a, b in g.so:
+                first, second = sorted(
+                    (g.events[a], g.events[b]),
+                    key=lambda ev: ev.commit_index)
+                assert first.view.leq(second.view)
+
+    def test_multi_slot_array(self):
+        threads = [exchanger_thread(v, patience=2, attempts=3)
+                   for v in ("A", "B", "C", "D")]
+        matched_total = 0
+        for r in explore_random(prog(threads, slots=2), runs=200, seed=13):
+            assert r.ok
+            g = r.env["x"].graph()
+            assert check_exchanger_consistent(g) == []
+            matched_total += len(g.so) // 2
+        assert matched_total > 0
+
+    def test_values_cross_correctly(self):
+        for r in explore_random(prog([exchanger_thread("A"),
+                                      exchanger_thread("B")]),
+                                runs=150, seed=17):
+            a, b = r.returns[0], r.returns[1]
+            if a is not FAILED:
+                assert (a, b) == ("B", "A")
+
+    def test_no_races(self):
+        threads = [exchanger_thread(v) for v in ("A", "B", "C")]
+        assert all(r.race is None for r in
+                   explore_random(prog(threads), runs=200, seed=23))

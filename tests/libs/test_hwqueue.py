@@ -1,0 +1,131 @@
+"""Herlihy–Wing queue: weak behaviours present, graph conditions hold."""
+
+import pytest
+
+from repro.core import EMPTY, SpecStyle, check_style
+from repro.libs import HWQueue
+from repro.rmc import Program, RandomDecider, explore_all, explore_random
+
+
+def prog(threads, capacity=8):
+    def setup(mem):
+        return {"q": HWQueue.setup(mem, "q", capacity=capacity)}
+    return lambda: Program(setup, threads)
+
+
+class TestSequential:
+    def test_fifo_single_thread(self):
+        def t(env):
+            for v in [1, 2, 3]:
+                yield from env["q"].enqueue(v)
+            out = []
+            for _ in range(3):
+                out.append((yield from env["q"].dequeue()))
+            return out
+        r = prog([t])().run(RandomDecider(0))
+        assert r.ok and r.returns[0] == [1, 2, 3]
+
+    def test_try_dequeue_empty(self):
+        def t(env):
+            return (yield from env["q"].try_dequeue())
+        r = prog([t])().run(RandomDecider(0))
+        assert r.returns[0] is EMPTY
+        g = r.env["q"].graph()
+        assert len(g.events) == 1
+
+    def test_capacity_overflow_raises(self):
+        def t(env):
+            for v in range(3):
+                yield from env["q"].enqueue(v)
+        with pytest.raises(IndexError):
+            prog([t], capacity=2)().run(RandomDecider(0))
+
+
+class TestConcurrent:
+    def test_lat_hb_holds_everywhere(self):
+        def p1(env):
+            yield from env["q"].enqueue(1)
+            yield from env["q"].enqueue(2)
+
+        def p2(env):
+            yield from env["q"].enqueue(3)
+
+        def c(env):
+            out = []
+            for _ in range(3):
+                out.append((yield from env["q"].try_dequeue()))
+            return out
+        for r in explore_random(prog([p1, p2, c]), runs=250, seed=4):
+            assert r.ok
+            g = r.env["q"].graph()
+            assert g.wellformedness_errors() == []
+            res = check_style(g, "queue", SpecStyle.LAT_HB)
+            assert res.ok, [str(v) for v in res.violations]
+
+    def test_abstract_state_style_fails_somewhere(self):
+        """§3.2: the HW queue's commit points cannot produce the abstract
+        state — the reproduction's stand-in for 'needs prophecy'."""
+        def p1(env):
+            yield from env["q"].enqueue(1)
+
+        def p2(env):
+            yield from env["q"].enqueue(2)
+
+        def c(env):
+            out = []
+            for _ in range(2):
+                out.append((yield from env["q"].try_dequeue()))
+            return out
+        failures = 0
+        for r in explore_random(prog([p1, p2, c, c]), runs=400, seed=9):
+            if not r.ok:
+                continue
+            g = r.env["q"].graph()
+            if not check_style(g, "queue", SpecStyle.LAT_HB_ABS).ok:
+                failures += 1
+        assert failures > 0
+
+    def test_exhaustive_small(self):
+        def p(env):
+            yield from env["q"].enqueue(1)
+
+        def c(env):
+            return (yield from env["q"].try_dequeue())
+        seen_empty = seen_value = False
+        for r in explore_all(prog([p, c], capacity=2), max_steps=500):
+            assert r.ok
+            g = r.env["q"].graph()
+            assert check_style(g, "queue", SpecStyle.LAT_HB).ok
+            if r.returns[1] is EMPTY:
+                seen_empty = True
+            elif r.returns[1] == 1:
+                seen_value = True
+        assert seen_empty and seen_value
+
+    def test_spinning_dequeue_extracts(self):
+        def p(env):
+            yield from env["q"].enqueue(7)
+
+        def c(env):
+            return (yield from env["q"].dequeue())
+        for r in explore_random(prog([p, c]), runs=60, seed=2):
+            assert r.ok and r.returns[1] == 7
+
+    def test_no_races(self):
+        def p(env):
+            yield from env["q"].enqueue(1)
+
+        def c(env):
+            yield from env["q"].try_dequeue()
+        assert all(r.race is None for r in
+                   explore_random(prog([p, p, c, c]), runs=200, seed=8))
+
+    def test_element_extracted_at_most_once(self):
+        def p(env):
+            yield from env["q"].enqueue("x")
+
+        def c(env):
+            return (yield from env["q"].try_dequeue())
+        for r in explore_random(prog([p, c, c]), runs=200, seed=6):
+            got = [r.returns[1], r.returns[2]]
+            assert got.count("x") <= 1

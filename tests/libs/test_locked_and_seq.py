@@ -1,0 +1,202 @@
+"""Spinlock, coarse locked containers, and sequential references."""
+
+import pytest
+
+from repro.core import EMPTY, SpecStyle, check_style
+from repro.libs import (LockedQueue, LockedStack, SeqQueue, SeqStack,
+                        Spinlock)
+from repro.rmc import (NA, Load, Program, RandomDecider, Store,
+                       explore_all, explore_random)
+
+
+class TestSpinlock:
+    def test_mutual_exclusion_protects_na_data(self):
+        def setup(mem):
+            return {"lock": Spinlock.setup(mem), "d": mem.alloc("d", 0)}
+
+        def t(env):
+            yield from env["lock"].acquire()
+            v = yield Load(env["d"], NA)
+            yield Store(env["d"], v + 1, NA)
+            yield from env["lock"].release()
+        for r in explore_random(lambda: Program(setup, [t, t, t]),
+                                runs=200, seed=1):
+            assert r.ok, r.race
+            assert r.memory.value(r.env["d"]) == 3
+
+    def test_exhaustive_two_threads(self):
+        def setup(mem):
+            return {"lock": Spinlock.setup(mem), "d": mem.alloc("d", 0)}
+
+        def t(env):
+            yield from env["lock"].acquire()
+            v = yield Load(env["d"], NA)
+            yield Store(env["d"], v + 1, NA)
+            yield from env["lock"].release()
+        complete = 0
+        for r in explore_all(lambda: Program(setup, [t, t]), max_steps=80,
+                             max_executions=15_000):
+            assert r.race is None
+            if r.ok:
+                complete += 1
+                assert r.memory.value(r.env["d"]) == 2
+        assert complete > 0
+
+    def test_try_acquire(self):
+        def setup(mem):
+            return {"lock": Spinlock.setup(mem)}
+
+        def t(env):
+            a = yield from env["lock"].try_acquire()
+            b = yield from env["lock"].try_acquire()
+            return (a, b)
+        r = Program(setup, [t]).run(RandomDecider(0))
+        assert r.returns[0] == (True, False)
+
+
+def locked_queue_prog(threads):
+    def setup(mem):
+        return {"lib": LockedQueue.setup(mem, "q")}
+    return lambda: Program(setup, threads)
+
+
+class TestLockedQueue:
+    def test_fifo_sequential(self):
+        def t(env):
+            yield from env["lib"].enqueue(1)
+            yield from env["lib"].enqueue(2)
+            a = yield from env["lib"].dequeue()
+            b = yield from env["lib"].dequeue()
+            c = yield from env["lib"].dequeue()
+            return (a, b, c)
+        r = locked_queue_prog([t])().run(RandomDecider(0))
+        assert r.returns[0] == (1, 2, EMPTY)
+
+    def test_all_styles_hold_concurrently(self):
+        def p(env):
+            yield from env["lib"].enqueue(1)
+            yield from env["lib"].enqueue(2)
+
+        def c(env):
+            x = yield from env["lib"].dequeue()
+            y = yield from env["lib"].dequeue()
+            return (x, y)
+        for r in explore_random(locked_queue_prog([p, c, c]),
+                                runs=200, seed=3):
+            assert r.ok
+            g = r.env["lib"].graph()
+            for style in (SpecStyle.LAT_SO_ABS, SpecStyle.LAT_HB_ABS,
+                          SpecStyle.LAT_HB, SpecStyle.LAT_HB_HIST):
+                res = check_style(g, "queue", style)
+                assert res.ok, (style, [str(v) for v in res.violations])
+
+    def test_empdeq_never_violated(self):
+        """Lock-protected state is always up to date: an empty dequeue
+        can only happen when everything visible is consumed."""
+        def p(env):
+            yield from env["lib"].enqueue(1)
+
+        def c(env):
+            return (yield from env["lib"].dequeue())
+        for r in explore_random(locked_queue_prog([p, c]), runs=150, seed=5):
+            g = r.env["lib"].graph()
+            assert check_style(g, "queue", SpecStyle.LAT_HB).ok
+
+
+class TestLockedStack:
+    def test_lifo_and_styles(self):
+        def setup(mem):
+            return {"lib": LockedStack.setup(mem, "s")}
+
+        def p(env):
+            yield from env["lib"].push(1)
+            yield from env["lib"].push(2)
+
+        def c(env):
+            return (yield from env["lib"].pop())
+        for r in explore_random(lambda: Program(setup, [p, c, c]),
+                                runs=150, seed=7):
+            assert r.ok
+            g = r.env["lib"].graph()
+            res = check_style(g, "stack", SpecStyle.LAT_HB_HIST)
+            assert res.ok, [str(v) for v in res.violations]
+
+
+class TestSeqRefs:
+    def test_seq_queue(self):
+        def setup(mem):
+            return {"q": SeqQueue.setup(mem, "q")}
+
+        def t(env):
+            yield from env["q"].enqueue(1)
+            yield from env["q"].enqueue(2)
+            a = yield from env["q"].dequeue()
+            e = yield from env["q"].try_dequeue()
+            b = yield from env["q"].dequeue()
+            return (a, e, b)
+        r = Program(setup, [t]).run(RandomDecider(0))
+        assert r.returns[0] == (1, 2, EMPTY)
+        g = r.env["q"].graph()
+        assert check_style(g, "queue", SpecStyle.SEQ).ok
+
+    def test_seq_stack_strict_empty(self):
+        def setup(mem):
+            return {"s": SeqStack.setup(mem, "s")}
+
+        def t(env):
+            yield from env["s"].push(1)
+            a = yield from env["s"].pop()
+            e = yield from env["s"].pop()
+            return (a, e)
+        r = Program(setup, [t]).run(RandomDecider(0))
+        assert r.returns[0] == (1, EMPTY)
+        g = r.env["s"].graph()
+        assert check_style(g, "stack", SpecStyle.SEQ).ok
+
+
+class TestTicketLock:
+    def test_mutual_exclusion_and_fairness(self):
+        from repro.libs import TicketLock
+        from repro.rmc import NA, Load, Store, Program, explore_random
+
+        def setup(mem):
+            return {"lock": TicketLock.setup(mem), "d": mem.alloc("d", 0),
+                    "entries": []}
+
+        def t(env):
+            ticket = yield from env["lock"].acquire()
+            v = yield Load(env["d"], NA)
+            env["entries"].append(ticket)
+            yield Store(env["d"], v + 1, NA)
+            yield from env["lock"].release(ticket)
+            return ticket
+
+        for r in explore_random(lambda: Program(setup, [t, t, t]),
+                                runs=150, seed=9):
+            assert r.ok, r.race
+            assert r.memory.value(r.env["d"]) == 3
+            # FIFO admission: critical sections run in ticket order.
+            assert r.env["entries"] == sorted(r.env["entries"])
+            assert sorted(r.returns.values()) == [0, 1, 2]
+
+    def test_exhaustive_two_threads(self):
+        from repro.libs import TicketLock
+        from repro.rmc import NA, Load, Store, Program, explore_all
+
+        def setup(mem):
+            return {"lock": TicketLock.setup(mem), "d": mem.alloc("d", 0)}
+
+        def t(env):
+            ticket = yield from env["lock"].acquire()
+            v = yield Load(env["d"], NA)
+            yield Store(env["d"], v + 1, NA)
+            yield from env["lock"].release(ticket)
+
+        complete = 0
+        for r in explore_all(lambda: Program(setup, [t, t]), max_steps=80,
+                             max_executions=15_000):
+            assert r.race is None
+            if r.ok:
+                complete += 1
+                assert r.memory.value(r.env["d"]) == 2
+        assert complete > 0

@@ -1,0 +1,188 @@
+"""Peterson lock, seqlock, and Vyukov MPMC queue."""
+
+import pytest
+
+from repro.core import EMPTY, SpecStyle, check_style
+from repro.libs import PetersonLock, Seqlock, VyukovQueue
+from repro.rmc import (NA, Load, Program, RandomDecider, Store,
+                       explore_all, explore_random)
+
+
+class TestPeterson:
+    def _prog(self, sc):
+        def setup(mem):
+            return {"lock": PetersonLock.setup(mem, sc=sc),
+                    "d": mem.alloc("d", 0)}
+
+        def t(me):
+            def body(env):
+                yield from env["lock"].acquire(me)
+                v = yield Load(env["d"], NA)
+                yield Store(env["d"], v + 1, NA)
+                yield from env["lock"].release(me)
+            return body
+        return lambda: Program(setup, [t(0), t(1)])
+
+    def test_sc_version_mutual_exclusion(self):
+        """With seq-cst accesses: race-free and both increments land."""
+        for r in explore_all(self._prog(True), max_steps=200,
+                             max_executions=25_000):
+            assert r.race is None
+            if r.ok:
+                assert r.memory.value(r.env["d"]) == 2
+
+    def test_release_acquire_version_is_broken(self):
+        """The store-buffering shape defeats rel/acq Peterson: both
+        threads enter and the protected non-atomics race (ORC11 UB)."""
+        raced = sum(1 for r in explore_all(self._prog(False),
+                                           max_steps=200,
+                                           max_executions=40_000)
+                    if r.race is not None)
+        assert raced > 0
+
+
+class TestSeqlock:
+    def _prog(self, fenced, writes=3, reads=4):
+        def setup(mem):
+            return {"sl": Seqlock.setup(mem, fenced=fenced)}
+
+        def writer(env):
+            for gen in range(1, writes + 1):
+                yield from env["sl"].write((gen * 10, gen * 10 + 1))
+
+        def reader(env):
+            out = []
+            for _ in range(reads):
+                out.append((yield from env["sl"].read()))
+            return out
+        return lambda: Program(setup, [writer, reader, reader])
+
+    def _torn(self, fenced, runs):
+        torn = accepted = 0
+        factory = self._prog(fenced)
+        for r in explore_random(factory, runs=runs, seed=1):
+            assert r.ok
+            valid = set(r.env["sl"].written.values())
+            for tid in (1, 2):
+                for snap in r.returns[tid]:
+                    if snap is None:
+                        continue
+                    accepted += 1
+                    torn += snap not in valid
+        return torn, accepted
+
+    def test_fenced_snapshots_are_atomic(self):
+        torn, accepted = self._torn(True, runs=1200)
+        assert accepted > 1000
+        assert torn == 0
+
+    def test_unfenced_snapshots_tear(self):
+        torn, accepted = self._torn(False, runs=1200)
+        assert torn > 0, "dropping the fences must produce torn reads"
+
+    def test_single_threaded_read_back(self):
+        def setup(mem):
+            return {"sl": Seqlock.setup(mem)}
+
+        def t(env):
+            yield from env["sl"].write((7, 8))
+            return (yield from env["sl"].read())
+        r = Program(setup, [t]).run(RandomDecider(0))
+        assert r.returns[0] == (7, 8)
+
+
+class TestVyukov:
+    def _prog(self, capacity=4):
+        def setup(mem):
+            return {"q": VyukovQueue.setup(mem, "q", capacity=capacity)}
+
+        def p1(env):
+            yield from env["q"].enqueue(1)
+            yield from env["q"].enqueue(2)
+
+        def p2(env):
+            yield from env["q"].enqueue(3)
+
+        def c(env):
+            out = []
+            for _ in range(3):
+                out.append((yield from env["q"].try_dequeue()))
+            return out
+        return lambda: Program(setup, [p1, p2, c, c])
+
+    def test_sequential_fifo(self):
+        def setup(mem):
+            return {"q": VyukovQueue.setup(mem, "q", capacity=4)}
+
+        def t(env):
+            for v in (1, 2, 3):
+                yield from env["q"].enqueue(v)
+            out = []
+            for _ in range(4):
+                out.append((yield from env["q"].try_dequeue()))
+            return out
+        r = Program(setup, [t]).run(RandomDecider(0))
+        assert r.ok and r.returns[0] == [1, 2, 3, EMPTY]
+
+    def test_bounded_full(self):
+        def setup(mem):
+            return {"q": VyukovQueue.setup(mem, "q", capacity=2)}
+
+        def t(env):
+            oks = []
+            for v in range(4):
+                oks.append((yield from env["q"].try_enqueue(v)))
+            return oks
+        r = Program(setup, [t]).run(RandomDecider(0))
+        assert r.returns[0] == [True, True, False, False]
+
+    def test_lat_hb_holds_everywhere(self):
+        for r in explore_random(self._prog(), runs=800, seed=2,
+                                max_steps=30_000):
+            assert r.ok
+            g = r.env["q"].graph()
+            assert g.wellformedness_errors() == []
+            res = check_style(g, "queue", SpecStyle.LAT_HB)
+            assert res.ok, [str(v) for v in res.violations]
+
+    def test_abs_state_fails_somewhere(self):
+        """Like the HW queue: ticket order ≠ publication order, so the
+        abstract-state styles fail (the §3.2 class)."""
+        bad = 0
+        for r in explore_random(self._prog(), runs=800, seed=3,
+                                max_steps=30_000):
+            if r.ok and not check_style(r.env["q"].graph(), "queue",
+                                        SpecStyle.LAT_HB_ABS).ok:
+                bad += 1
+        assert bad > 0
+
+    def test_no_duplication_or_invention(self):
+        for r in explore_random(self._prog(), runs=400, seed=5,
+                                max_steps=30_000):
+            got = [v for tid in (2, 3) for v in r.returns[tid]
+                   if v not in (EMPTY, None)]
+            assert len(got) == len(set(got))
+            assert set(got) <= {1, 2, 3}
+
+    def test_no_races(self):
+        assert all(r.race is None for r in explore_random(
+            self._prog(), runs=400, seed=7, max_steps=30_000))
+
+    def test_exhaustive_single_pair(self):
+        def setup(mem):
+            return {"q": VyukovQueue.setup(mem, "q", capacity=2)}
+
+        def p(env):
+            yield from env["q"].enqueue(9)
+
+        def c(env):
+            return (yield from env["q"].try_dequeue())
+        outcomes = set()
+        for r in explore_all(lambda: Program(setup, [p, c]),
+                             max_steps=400, max_executions=40_000):
+            if not r.ok:
+                continue
+            g = r.env["q"].graph()
+            assert check_style(g, "queue", SpecStyle.LAT_HB).ok
+            outcomes.add(r.returns[1])
+        assert 9 in outcomes and EMPTY in outcomes

@@ -1,0 +1,144 @@
+"""Michael–Scott queue: sequential semantics, concurrent consistency,
+mode-profile ablations."""
+
+import pytest
+
+from repro.core import EMPTY, SpecStyle, check_style
+from repro.libs import BROKEN_RLX, MSQueue, RELACQ, SEQCST
+from repro.rmc import Program, RandomDecider, explore_all, explore_random
+
+
+def prog(threads, profile=RELACQ):
+    def setup(mem):
+        return {"q": MSQueue.setup(mem, "q", profile)}
+    return lambda: Program(setup, threads)
+
+
+def seq_run(script):
+    def t(env):
+        out = []
+        for action, val in script:
+            if action == "enq":
+                yield from env["q"].enqueue(val)
+            else:
+                out.append((yield from env["q"].dequeue()))
+        return out
+    return prog([t])().run(RandomDecider(0))
+
+
+class TestSequential:
+    def test_fifo_order(self):
+        r = seq_run([("enq", 1), ("enq", 2), ("enq", 3),
+                     ("deq", None), ("deq", None), ("deq", None)])
+        assert r.ok and r.returns[0] == [1, 2, 3]
+
+    def test_empty_dequeue(self):
+        r = seq_run([("deq", None)])
+        assert r.returns[0] == [EMPTY]
+
+    def test_interleaved(self):
+        r = seq_run([("enq", "a"), ("deq", None), ("deq", None),
+                     ("enq", "b"), ("deq", None)])
+        assert r.returns[0] == ["a", EMPTY, "b"]
+
+    def test_event_graph_records_operations(self):
+        r = seq_run([("enq", 1), ("deq", None)])
+        g = r.env["q"].graph()
+        assert len(g.events) == 2 and len(g.so) == 1
+
+    def test_try_dequeue_single_thread_never_races(self):
+        def t(env):
+            yield from env["q"].enqueue(1)
+            a = yield from env["q"].try_dequeue()
+            b = yield from env["q"].try_dequeue()
+            return (a, b)
+        r = prog([t])().run(RandomDecider(1))
+        assert r.returns[0] == (1, EMPTY)
+
+
+def two_producer_two_consumer():
+    def producer(vals):
+        def t(env):
+            for v in vals:
+                yield from env["q"].enqueue(v)
+        return t
+
+    def consumer(env):
+        a = yield from env["q"].dequeue()
+        b = yield from env["q"].dequeue()
+        return (a, b)
+    return [producer([1, 2]), producer([3, 4]), consumer]
+
+
+class TestConcurrent:
+    @pytest.mark.parametrize("profile", [RELACQ, SEQCST])
+    def test_all_styles_hold_on_random_runs(self, profile):
+        factory = prog(two_producer_two_consumer(), profile)
+        for r in explore_random(factory, runs=150, seed=5):
+            assert r.ok
+            g = r.env["q"].graph()
+            assert g.wellformedness_errors() == []
+            for style in (SpecStyle.LAT_SO_ABS, SpecStyle.LAT_HB_ABS,
+                          SpecStyle.LAT_HB):
+                res = check_style(g, "queue", style)
+                assert res.ok, (style, [str(v) for v in res.violations])
+
+    def test_exhaustive_one_producer_one_consumer(self):
+        def p(env):
+            yield from env["q"].enqueue(1)
+
+        def c(env):
+            return (yield from env["q"].try_dequeue())
+        complete = 0
+        for r in explore_all(prog([p, c]), max_steps=500):
+            assert r.ok
+            complete += 1
+            g = r.env["q"].graph()
+            res = check_style(g, "queue", SpecStyle.LAT_HB_ABS)
+            assert res.ok, [str(v) for v in res.violations]
+        assert complete > 10
+
+    def test_elements_never_duplicated_or_invented(self):
+        factory = prog(two_producer_two_consumer())
+        for r in explore_random(factory, runs=100, seed=11):
+            got = [v for pair in (r.returns[2],) for v in pair
+                   if v is not EMPTY]
+            assert len(got) == len(set(got))
+            assert set(got) <= {1, 2, 3, 4}
+
+    def test_per_producer_order_respected(self):
+        """Values of one producer are consumed in production order."""
+        def consumer(env):
+            out = []
+            for _ in range(12):
+                v = yield from env["q"].try_dequeue()
+                if v not in (EMPTY, None):
+                    out.append(v)
+            return out
+        threads = [lambda env: (yield from _enq_all(env, [1, 2])),
+                   lambda env: (yield from _enq_all(env, [3, 4])),
+                   consumer]
+        for r in explore_random(prog(threads), runs=100, seed=3):
+            got = r.returns[2]
+            for lo, hi in [(1, 2), (3, 4)]:
+                if lo in got and hi in got:
+                    assert got.index(lo) < got.index(hi)
+
+
+def _enq_all(env, vals):
+    for v in vals:
+        yield from env["q"].enqueue(v)
+
+
+class TestBrokenProfile:
+    def test_relaxed_mutant_races(self):
+        """The all-relaxed mutant publishes nodes without release: the
+        non-atomic payload read races — detected, as UB."""
+        def p(env):
+            yield from env["q"].enqueue(1)
+
+        def c(env):
+            return (yield from env["q"].dequeue())
+        raced = sum(1 for r in explore_random(
+            prog([p, c], BROKEN_RLX), runs=300, seed=0) if r.race)
+        assert raced > 0

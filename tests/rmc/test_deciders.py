@@ -1,0 +1,91 @@
+"""Decider edge cases: replay divergence, trace recording, bounds."""
+
+import pytest
+
+from repro.rmc import (FixedDecider, PrefixDecider, RandomDecider,
+                       RoundRobinDecider)
+from repro.rmc.scheduler import Decider
+
+
+class TestChooseContract:
+    def test_zero_alternatives_rejected(self):
+        d = RandomDecider(0)
+        with pytest.raises(ValueError):
+            d.choose(0)
+
+    def test_single_alternative_short_circuits(self):
+        class Boom(Decider):
+            def _choose(self, n):  # pragma: no cover - must not be called
+                raise AssertionError("called for n=1")
+        d = Boom()
+        assert d.choose(1) == 0
+        assert d.trace == [(1, 0)]
+
+    def test_out_of_range_choice_rejected(self):
+        class Bad(Decider):
+            def _choose(self, n):
+                return n  # off by one
+        with pytest.raises(ValueError):
+            Bad().choose(3)
+
+    def test_trace_records_arity_and_choice(self):
+        d = RandomDecider(7)
+        picks = [d.choose(4) for _ in range(5)]
+        assert [c for (_n, c) in d.trace] == picks
+        assert all(n == 4 for (n, _c) in d.trace)
+
+
+class TestFixedDecider:
+    def test_replays_exactly(self):
+        d = FixedDecider([(3, 2), (2, 0)])
+        assert d.choose(3) == 2
+        assert d.choose(2) == 0
+
+    def test_arity_divergence_rejected(self):
+        d = FixedDecider([(3, 2)])
+        with pytest.raises(ValueError, match="divergence"):
+            d.choose(4)
+
+    def test_exhausted_trace_rejected(self):
+        d = FixedDecider([(2, 1)])
+        d.choose(2)
+        with pytest.raises(ValueError, match="exhausted"):
+            d.choose(2)
+
+
+class TestPrefixDecider:
+    def test_prefix_clamped_to_arity(self):
+        d = PrefixDecider([9])
+        assert d.choose(3) == 2  # clamped to n-1
+
+    def test_beyond_prefix_takes_zero(self):
+        d = PrefixDecider([])
+        assert d.choose(5) == 0
+
+
+class TestRandomDecider:
+    def test_seed_determinism(self):
+        a = [RandomDecider(3).choose(10) for _ in range(1)]
+        b = [RandomDecider(3).choose(10) for _ in range(1)]
+        assert a == b
+
+    def test_covers_the_range(self):
+        d = RandomDecider(0)
+        seen = {d.choose(3) for _ in range(100)}
+        assert seen == {0, 1, 2}
+
+
+class TestRoundRobin:
+    def test_threads_rotate(self):
+        d = RoundRobinDecider()
+        picks = [d.choose_thread([0, 1, 2]) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_reads_take_newest(self):
+        d = RoundRobinDecider()
+        assert d.choose_read(4) == 3
+
+    def test_quantum(self):
+        d = RoundRobinDecider(quantum=2)
+        picks = [d.choose_thread([0, 1]) for _ in range(6)]
+        assert picks == [0, 0, 1, 1, 0, 0]

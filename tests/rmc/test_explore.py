@@ -1,0 +1,124 @@
+"""Explorer tests: exhaustiveness, replay fidelity, statistics."""
+
+import itertools
+
+import pytest
+
+from repro.rmc import (RLX, Load, Program, Store, check_all, explore_all,
+                       explore_random, replay)
+
+
+def counter_prog(n_threads):
+    def setup(mem):
+        return {"x": mem.alloc("x", 0)}
+
+    def t(env):
+        yield Store(env["x"], 1, RLX)
+    return lambda: Program(setup, [t] * n_threads)
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (3, 6)])
+    def test_interleaving_counts_write_only(self, n, expected):
+        """n single-write threads have n! schedules (no read choices)."""
+        count = sum(1 for _ in explore_all(counter_prog(n)))
+        assert count == expected
+
+    def test_read_choices_multiply_executions(self):
+        def setup(mem):
+            return {"x": mem.alloc("x", 0)}
+
+        def w(env):
+            yield Store(env["x"], 1, RLX)
+
+        def r(env):
+            return (yield Load(env["x"], RLX))
+        # Schedules: 3 orders (w first / r first / interleaved is same as
+        # one of those with 2 ops total: actually orders = C(2,1) = 2);
+        # when w ran first the read has 2 visible messages.
+        results = list(explore_all(lambda: Program(setup, [w, r])))
+        reads = sorted(res.returns[1] for res in results)
+        assert reads == [0, 0, 1]
+
+    def test_every_execution_is_distinct_trace(self):
+        traces = [tuple(r.trace) for r in explore_all(counter_prog(3))]
+        assert len(traces) == len(set(traces))
+
+    def test_max_executions_caps(self):
+        count = sum(1 for _ in explore_all(counter_prog(3),
+                                           max_executions=4))
+        assert count == 4
+
+    def test_truncated_subtrees_are_backtracked(self):
+        def setup(mem):
+            return {"x": mem.alloc("x", 0)}
+
+        def spin(env):
+            while (yield Load(env["x"], RLX)) == 0:
+                pass
+
+        def w(env):
+            yield Store(env["x"], 1, RLX)
+        results = list(explore_all(lambda: Program(setup, [spin, w]),
+                                   max_steps=12, max_executions=5_000))
+        assert any(r.truncated for r in results)
+        assert any(r.ok for r in results)
+
+
+class TestRandom:
+    def test_seeded_reproducibility(self):
+        a = [r.returns for r in explore_random(counter_prog(3), 20, seed=5)]
+        b = [r.returns for r in explore_random(counter_prog(3), 20, seed=5)]
+        assert a == b
+
+    def test_run_count(self):
+        assert sum(1 for _ in explore_random(counter_prog(2), 17)) == 17
+
+
+class TestReplay:
+    def test_replay_every_explored_trace(self):
+        factory = counter_prog(2)
+        for r in explore_all(factory):
+            again = replay(factory, r.trace)
+            assert again.returns == r.returns
+            assert again.steps == r.steps
+
+    def test_replay_random_execution_with_reads(self):
+        def setup(mem):
+            return {"x": mem.alloc("x", 0)}
+
+        def w(env):
+            yield Store(env["x"], 1, RLX)
+            yield Store(env["x"], 2, RLX)
+
+        def r(env):
+            a = yield Load(env["x"], RLX)
+            b = yield Load(env["x"], RLX)
+            return (a, b)
+        factory = lambda: Program(setup, [w, r])
+        for res in explore_random(factory, 30, seed=3):
+            assert replay(factory, res.trace).returns == res.returns
+
+
+class TestCheckAll:
+    def test_check_all_exhaustive_marks_exhausted(self):
+        stats = check_all(counter_prog(2), lambda r: None)
+        assert stats.exhausted
+        assert stats.executions == 2
+        assert stats.complete == 2
+
+    def test_check_all_propagates_violations(self):
+        def check(result):
+            raise AssertionError("boom")
+        with pytest.raises(AssertionError):
+            check_all(counter_prog(1), check)
+
+    def test_check_all_random_mode(self):
+        stats = check_all(counter_prog(2), lambda r: None,
+                          exhaustive=False, runs=25)
+        assert stats.executions == 25
+        assert not stats.exhausted
+
+    def test_stats_record_steps(self):
+        stats = check_all(counter_prog(2), lambda r: None)
+        assert stats.steps == 4  # 2 executions x 2 ops

@@ -1,0 +1,143 @@
+"""E8: the litmus catalogue pins allowed/forbidden weak behaviours.
+
+These are the substrate-soundness facts everything above relies on; each
+test states the C11/ORC11-expected outcome set explicitly.
+"""
+
+from repro.rmc import ACQ, REL, RLX, SC
+from repro.rmc.litmus import (CATALOGUE, coherence_rr, load_buffering,
+                              message_passing, message_passing_fenced,
+                              na_publication, outcomes, races,
+                              release_sequence_rmw, store_buffering)
+
+
+def consumer_outcomes(factory):
+    """Project the last thread's return value out of the outcome tuples."""
+    return {o[-1] for o in outcomes(factory)}
+
+
+class TestMessagePassing:
+    def test_rel_acq_forbids_stale_data(self):
+        outs = consumer_outcomes(message_passing(REL, ACQ))
+        assert (1, 0) not in outs
+        assert (1, 42) in outs and (0, 0) in outs
+
+    def test_relaxed_allows_stale_data(self):
+        outs = consumer_outcomes(message_passing(RLX, RLX))
+        assert (1, 0) in outs
+
+    def test_release_write_relaxed_read_is_weak(self):
+        outs = consumer_outcomes(message_passing(REL, RLX))
+        assert (1, 0) in outs
+
+    def test_relaxed_write_acquire_read_is_weak(self):
+        outs = consumer_outcomes(message_passing(RLX, ACQ))
+        assert (1, 0) in outs
+
+    def test_fences_promote_relaxed_accesses(self):
+        outs = consumer_outcomes(message_passing_fenced())
+        assert (1, 0) not in outs
+        assert (1, 42) in outs
+
+
+class TestStoreBuffering:
+    def test_weak_outcome_allowed_below_sc(self):
+        for wm, rm in [(RLX, RLX), (REL, ACQ)]:
+            outs = outcomes(store_buffering(wm, rm))
+            assert (0, 0) in outs, f"SB 0/0 should be allowed at {wm}/{rm}"
+
+    def test_sc_forbids_weak_outcome(self):
+        outs = outcomes(store_buffering(SC, SC))
+        assert (0, 0) not in outs
+        assert {(0, 1), (1, 0), (1, 1)} <= outs
+
+
+class TestCoherence:
+    def test_no_backwards_reads(self):
+        outs = consumer_outcomes(coherence_rr())
+        forbidden = {(1, 0), (2, 0), (2, 1)}
+        assert not (outs & forbidden)
+
+    def test_forward_reads_exist(self):
+        outs = consumer_outcomes(coherence_rr())
+        assert {(0, 0), (1, 2), (2, 2)} <= outs
+
+
+class TestLoadBuffering:
+    def test_lb_forbidden(self):
+        """ORC11 forbids load buffering: po ∪ rf acyclic."""
+        assert (1, 1) not in outcomes(load_buffering())
+
+    def test_lb_other_outcomes_exist(self):
+        assert {(0, 0), (0, 1), (1, 0)} <= outcomes(load_buffering())
+
+
+class TestReleaseSequences:
+    def test_acquire_of_rmw_syncs_with_original_release(self):
+        for out in outcomes(release_sequence_rmw()):
+            v, d = out[2]
+            if v == 2:
+                assert d == 7, "reader of the CAS'd value must see the data"
+
+    def test_na_publication_matrix(self):
+        assert races(na_publication(REL, ACQ)) == 0
+        assert races(na_publication(RLX, RLX)) > 0
+
+
+class TestCatalogue:
+    def test_catalogue_is_complete_and_runnable(self):
+        assert len(CATALOGUE) >= 9
+        for name, factory in CATALOGUE.items():
+            outs = outcomes(factory, max_executions=20_000)
+            assert outs, f"litmus {name} produced no complete executions"
+
+
+class TestIriw:
+    def test_readers_may_disagree_under_acquire(self):
+        from repro.rmc.litmus import iriw
+        outs = outcomes(iriw())
+        assert (None, None, (1, 0), (1, 0)) in outs, \
+            "IRIW weak outcome must be allowed under rel/acq"
+
+    def test_sc_fences_restore_agreement(self):
+        from repro.rmc.litmus import iriw
+        outs = outcomes(iriw(fenced=True))
+        assert (None, None, (1, 0), (1, 0)) not in outs, \
+            "SC fences must forbid the IRIW weak outcome"
+
+
+class TestWrc:
+    def test_causality_chains_compose(self):
+        from repro.rmc.litmus import wrc
+        for out in outcomes(wrc()):
+            b, c = out[2]
+            if b == 1:
+                assert c == 1, "relayed write must be visible"
+
+    def test_relaxed_relay_breaks_the_chain(self):
+        from repro.rmc.litmus import wrc
+        outs = outcomes(wrc(relay_write=RLX, relay_read=RLX))
+        assert any(out[2] == (1, 0) for out in outs)
+
+
+class TestShapeS:
+    def test_final_value_respects_mo(self):
+        """If T2 read y=1 (so its Wx=1 is mo-after T1's Wx=2), the final
+        value of x is 1; otherwise order resolves either way."""
+        from repro.rmc.litmus import shape_s
+        from repro.rmc import explore_all
+        for r in explore_all(shape_s()):
+            if not r.ok:
+                continue
+            x_loc = r.env[0]
+            final = r.memory.value(x_loc)
+            if r.returns[1] == 1:
+                assert final == 1
+
+
+class TestCoherenceWwWr:
+    def test_own_writes_never_unread(self):
+        from repro.rmc.litmus import coherence_ww_wr
+        for out in outcomes(coherence_ww_wr()):
+            assert out[0] in (2, 3), \
+                "a thread cannot read a write mo-older than its own"

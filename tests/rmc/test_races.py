@@ -1,0 +1,143 @@
+"""Race-detector tests: every racy shape fires, every synchronized one
+doesn't (ORC11 treats races on non-atomics as undefined behaviour)."""
+
+import pytest
+
+from repro.rmc import (ACQ, NA, REL, RLX, Load, Program, RaceError, Store,
+                       explore_all)
+from repro.rmc.litmus import na_publication, races
+
+
+def count_races(setup, threads, **kw):
+    total = 0
+    complete = 0
+    for r in explore_all(lambda: Program(setup, threads), **kw):
+        if r.race is not None:
+            total += 1
+        else:
+            complete += 1
+    return total, complete
+
+
+def two_locs(mem):
+    return {"d": mem.alloc("d", 0), "f": mem.alloc("f", 0)}
+
+
+class TestWriteWriteRaces:
+    def test_concurrent_na_writes_race(self):
+        def w(env):
+            yield Store(env["d"], 1, NA)
+        raced, _ = count_races(two_locs, [w, w])
+        assert raced > 0
+
+    def test_na_write_vs_atomic_write_race(self):
+        def w_na(env):
+            yield Store(env["d"], 1, NA)
+        def w_at(env):
+            yield Store(env["d"], 2, RLX)
+        raced, _ = count_races(two_locs, [w_na, w_at])
+        assert raced > 0
+
+    def test_atomic_writes_do_not_race(self):
+        def w(env):
+            yield Store(env["d"], 1, RLX)
+        raced, complete = count_races(two_locs, [w, w])
+        assert raced == 0 and complete > 0
+
+
+class TestReadWriteRaces:
+    def test_na_read_vs_concurrent_na_write(self):
+        def w(env):
+            yield Store(env["d"], 1, NA)
+        def r(env):
+            yield Load(env["d"], NA)
+        raced, _ = count_races(two_locs, [w, r])
+        assert raced > 0
+
+    def test_atomic_read_vs_na_write(self):
+        def w(env):
+            yield Store(env["d"], 1, NA)
+        def r(env):
+            yield Load(env["d"], RLX)
+        raced, _ = count_races(two_locs, [w, r])
+        assert raced > 0
+
+    def test_na_read_vs_atomic_write(self):
+        def w(env):
+            yield Store(env["d"], 1, RLX)
+        def r(env):
+            yield Load(env["d"], NA)
+        raced, _ = count_races(two_locs, [w, r])
+        assert raced > 0
+
+    def test_write_after_unsynchronized_read_races(self):
+        """The read happens first in program order of the schedule; the
+        later na write must still be flagged (read marks)."""
+        def r(env):
+            yield Load(env["d"], NA)
+            yield Store(env["f"], 1, REL)
+        def w(env):
+            f = yield Load(env["f"], RLX)  # no acquire: no sync
+            if f:
+                yield Store(env["d"], 1, NA)
+        raced, _ = count_races(two_locs, [r, w])
+        assert raced > 0
+
+    def test_write_after_synchronized_read_is_clean(self):
+        def r(env):
+            yield Load(env["d"], NA)
+            yield Store(env["f"], 1, REL)
+        def w(env):
+            f = yield Load(env["f"], ACQ)
+            if f:
+                yield Store(env["d"], 1, NA)
+        raced, complete = count_races(two_locs, [r, w])
+        assert raced == 0 and complete > 0
+
+
+class TestPublication:
+    def test_release_acquire_publication_is_race_free(self):
+        assert races(na_publication()) == 0
+
+    def test_relaxed_publication_races(self):
+        assert races(na_publication(RLX, RLX)) > 0
+
+    def test_release_write_relaxed_read_races(self):
+        assert races(na_publication(REL, RLX)) > 0
+
+    def test_race_error_carries_location_name(self):
+        def w(env):
+            yield Store(env["d"], 1, NA)
+        err = None
+        for r in explore_all(lambda: Program(two_locs, [w, w])):
+            if r.race is not None:
+                err = r.race
+                break
+        assert err is not None
+        assert err.loc_name == "d"
+        assert isinstance(err, RaceError)
+
+    def test_detection_can_be_disabled(self):
+        def w(env):
+            yield Store(env["d"], 1, NA)
+        raced = sum(1 for r in explore_all(
+            lambda: Program(two_locs, [w, w]), race_detection=False)
+            if r.race is not None)
+        assert raced == 0
+
+    def test_same_thread_na_accesses_never_race(self):
+        def t(env):
+            yield Store(env["d"], 1, NA)
+            yield Store(env["d"], 2, NA)
+            return (yield Load(env["d"], NA))
+        for r in explore_all(lambda: Program(two_locs, [t])):
+            assert r.race is None and r.returns[0] == 2
+
+    def test_initialization_is_visible_without_sync(self):
+        def setup(mem):
+            return {"d": mem.alloc("d", 7)}
+        def r(env):
+            return (yield Load(env["d"], NA))
+        for res in explore_all(lambda: Program(setup, [r, r])):
+            assert res.race is None
+            assert res.returns[0] == res.returns[1] == 7

@@ -1,0 +1,117 @@
+"""Unit and property tests for the view join-semilattice."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rmc.view import EMPTY_VIEW, View, join_all
+
+views = st.dictionaries(st.integers(min_value=1, max_value=8),
+                        st.integers(min_value=0, max_value=5),
+                        max_size=8).map(View)
+
+
+class TestBasics:
+    def test_empty_view_reads_zero(self):
+        assert EMPTY_VIEW.get(7) == 0
+        assert EMPTY_VIEW[7] == 0
+
+    def test_zero_components_are_dropped(self):
+        v = View({1: 0, 2: 3})
+        assert len(v) == 1
+        assert v.get(1) == 0
+        assert v.get(2) == 3
+
+    def test_getitem_matches_get(self):
+        v = View({4: 9})
+        assert v[4] == v.get(4) == 9
+        assert v[5] == v.get(5) == 0
+
+    def test_extend_raises_component(self):
+        v = View({1: 2})
+        w = v.extend(1, 5)
+        assert w.get(1) == 5
+        assert v.get(1) == 2, "views are immutable"
+
+    def test_extend_never_lowers(self):
+        v = View({1: 5})
+        assert v.extend(1, 3) is v
+
+    def test_extend_new_component(self):
+        v = View({1: 1}).extend(2, 7)
+        assert v.get(2) == 7 and v.get(1) == 1
+
+    def test_equality_and_hash(self):
+        assert View({1: 2, 3: 0}) == View({1: 2})
+        assert hash(View({1: 2})) == hash(View({1: 2, 9: 0}))
+        assert View({1: 2}) != View({1: 3})
+
+    def test_components_iterates_nonzero(self):
+        assert dict(View({1: 2, 3: 4}).components()) == {1: 2, 3: 4}
+
+    def test_is_empty(self):
+        assert EMPTY_VIEW.is_empty()
+        assert not View({1: 1}).is_empty()
+
+    def test_restrict(self):
+        v = View({1: 2, 3: 4}).restrict({1})
+        assert v == View({1: 2})
+
+    def test_join_all(self):
+        assert join_all([]) == EMPTY_VIEW
+        assert join_all([View({1: 1}), View({2: 2})]) == View({1: 1, 2: 2})
+
+    def test_not_equal_to_other_types(self):
+        assert View({1: 1}) != {1: 1}
+
+
+class TestLatticeLaws:
+    @given(views, views)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(views, views, views)
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(views)
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(views)
+    def test_bottom_is_identity(self, a):
+        assert a.join(EMPTY_VIEW) == a
+        assert EMPTY_VIEW.join(a) == a
+
+    @given(views, views)
+    def test_join_is_upper_bound(self, a, b):
+        j = a.join(b)
+        assert a.leq(j) and b.leq(j)
+
+    @given(views, views, views)
+    def test_join_is_least_upper_bound(self, a, b, c):
+        if a.leq(c) and b.leq(c):
+            assert a.join(b).leq(c)
+
+    @given(views, views)
+    def test_leq_antisymmetric(self, a, b):
+        if a.leq(b) and b.leq(a):
+            assert a == b
+
+    @given(views, views, views)
+    def test_leq_transitive(self, a, b, c):
+        if a.leq(b) and b.leq(c):
+            assert a.leq(c)
+
+    @given(views)
+    def test_leq_reflexive(self, a):
+        assert a.leq(a)
+
+    @given(views, st.integers(1, 8), st.integers(0, 9))
+    def test_extend_equals_join_with_singleton(self, a, comp, ts):
+        assert a.extend(comp, ts) == a.join(View({comp: ts}))
+
+    @given(views, views)
+    def test_pointwise_max(self, a, b):
+        j = a.join(b)
+        for comp in set(dict(a.components())) | set(dict(b.components())):
+            assert j.get(comp) == max(a.get(comp), b.get(comp))
