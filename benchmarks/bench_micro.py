@@ -2,9 +2,12 @@
 
 Measures the knobs DESIGN.md calls out: machine step throughput, the cost
 of race detection, the cost of event/ghost instrumentation, view-join
-cost, and exploration throughput.  These are true repeated-timing
-benchmarks (pytest-benchmark statistics apply).
+cost, exploration throughput, and the parallel engine's serial-vs-N-workers
+scaling.  Most are true repeated-timing benchmarks (pytest-benchmark
+statistics apply); the scaling row is a single timed run per worker count.
 """
+
+import os
 
 import pytest
 
@@ -104,3 +107,47 @@ class TestExplorationThroughput:
                 lambda: Program(setup, [w, r])))
         count = benchmark(run)
         assert count > 10
+
+
+class TestEngineScaling:
+    def test_serial_vs_parallel_throughput(self, report):
+        """Serial-vs-N-workers executions/sec on one exhaustive scenario.
+
+        The same decision tree (ms-queue/ra, 3 threads x 1 op: ~9.5k
+        executions) is enumerated serially and through the sharded engine
+        at 2 and 4 workers; the telemetry counters give the throughput
+        row.  The >1.5x speedup assertion only applies on machines with
+        at least 4 cores — on fewer cores the row is still printed so the
+        overhead of sharding is visible.
+        """
+        from repro.engine import (EngineParams, ScenarioSpec,
+                                  build_scenario, run_scenario)
+
+        spec = ScenarioSpec("mixed-stress",
+                            kwargs={"impl": "ms-queue/ra", "threads": 3,
+                                    "ops": 1, "seed": 0})
+        scenario = build_scenario(spec)
+        rates = {}
+        execs = {}
+        rows = []
+        for workers in (1, 2, 4):
+            params = EngineParams(styles=(), exhaustive=True,
+                                  max_steps=400, max_executions=100_000,
+                                  workers=workers)
+            result = run_scenario(scenario, params, spec=spec)
+            t = result.telemetry
+            rates[workers] = t.executions_per_sec
+            execs[workers] = result.report.executions
+            rows.append(
+                f"workers={workers}: {t.executions:>6} exec in "
+                f"{t.wall_seconds:6.2f}s = {t.executions_per_sec:>8,.0f}"
+                f" exec/s ({t.shards_done} shards)"
+                + (f"  [{rates[workers] / rates[1]:.2f}x vs serial]"
+                   if workers > 1 else ""))
+        # Sharded enumerations cover exactly the serial tree.
+        assert execs[2] == execs[1] and execs[4] == execs[1]
+        cores = os.cpu_count() or 1
+        report(f"E9 engine scaling — {scenario.name} ({cores} cores)",
+               "\n".join(rows))
+        if cores >= 4:
+            assert rates[4] / rates[1] > 1.5

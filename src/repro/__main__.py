@@ -10,12 +10,32 @@ Gives downstream users the paper's experiments without writing code:
     python -m repro elim              # E6: elimination-stack composition
     python -m repro effort            # E7: mechanization-effort table
     python -m repro loc               # source inventory
+    python -m repro replay corpus.jsonl   # re-execute counterexamples
+
+The exploration commands (``mp``, ``matrix``, ``spsc``, ``elim``) accept
+the parallel-engine flag group:
+
+    --workers N       shard the exploration across N processes
+    --progress        live executions/sec, ETA, per-worker counters
+    --resume PATH     checkpoint completed shards to PATH and resume
+                      an interrupted run from it
+    --corpus PATH     persist every failing trace as a replayable
+                      JSONL corpus entry
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _engine_kwargs(args) -> dict:
+    return {
+        "workers": args.workers,
+        "checkpoint": args.resume,
+        "corpus": args.corpus,
+        "progress": args.progress,
+    }
 
 
 def cmd_litmus(_args) -> int:
@@ -29,33 +49,25 @@ def cmd_litmus(_args) -> int:
 
 
 def cmd_mp(args) -> int:
-    from .checking import GAVE_UP, mp_queue
-    from .core import EMPTY
-    from .libs import HWQueue, MSQueue, RELACQ
-    from .rmc import explore_random
-    builds = {
-        "ms": lambda mem: MSQueue.setup(mem, "q", RELACQ),
-        "hw": lambda mem: HWQueue.setup(mem, "q", capacity=4),
-    }
-    for name, build in builds.items():
+    from .checking import check_scenario
+    from .engine import ScenarioSpec, build_scenario
+    for impl in ("ms", "hw"):
         for use_flag in (True, False):
-            empties = done = 0
-            for r in explore_random(
-                    mp_queue(build, use_flag=use_flag, spin_bound=25),
-                    runs=args.runs, seed=1):
-                if not r.ok or r.returns[2] is GAVE_UP:
-                    continue
-                done += 1
-                empties += r.returns[2] is EMPTY
+            spec = ScenarioSpec("mp-queue",
+                                kwargs={"impl": impl, "use_flag": use_flag})
+            rep = check_scenario(build_scenario(spec), styles=(),
+                                 runs=args.runs, seed=1, max_steps=100_000,
+                                 spec=spec, **_engine_kwargs(args))
             flag = "with flag" if use_flag else "WITHOUT flag"
-            print(f"{name} {flag}: {done} completed, "
-                  f"right-thread empty: {empties}")
+            print(f"{impl} {flag}: {rep.complete} completed, "
+                  f"right-thread empty: {rep.outcome_failures}")
     return 0
 
 
 def cmd_matrix(args) -> int:
     from .checking import run_matrix
-    print(run_matrix(runs=args.runs).render())
+    print(run_matrix(runs=args.runs, workers=args.workers,
+                     progress=args.progress).render())
     return 0
 
 
@@ -77,52 +89,73 @@ def cmd_client_logic(_args) -> int:
 
 
 def cmd_spsc(args) -> int:
-    from .checking import spsc
-    from .libs import HWQueue, MSQueue, RELACQ
-    from .rmc import explore_random
-    builds = {
-        "ms": lambda mem: MSQueue.setup(mem, "q", RELACQ),
-        "hw": lambda mem: HWQueue.setup(mem, "q", capacity=64),
-    }
-    for name, build in builds.items():
+    from .checking import check_scenario
+    from .engine import ScenarioSpec, build_scenario
+    for impl in ("ms", "hw"):
         for n in (2, 4, 8):
-            bad = 0
-            for r in explore_random(spsc(build, n=n), runs=args.runs,
-                                    seed=n):
-                if r.ok:
-                    got = r.returns[1]
-                    bad += got != list(range(1, len(got) + 1))
-            print(f"{name} n={n}: FIFO violations {bad}/{args.runs}")
+            spec = ScenarioSpec("spsc", kwargs={"impl": impl, "n": n,
+                                                "capacity": 64})
+            rep = check_scenario(build_scenario(spec), styles=(),
+                                 runs=args.runs, seed=n, max_steps=100_000,
+                                 spec=spec, **_engine_kwargs(args))
+            print(f"{impl} n={n}: FIFO violations "
+                  f"{rep.outcome_failures}/{args.runs}")
     return 0
 
 
 def cmd_elim(args) -> int:
-    from .core import SpecStyle, check_style
-    from .libs import ElimStack
-    from .rmc import Program, explore_random
-
-    def setup(mem):
-        return {"s": ElimStack.setup(mem, "es", patience=4, attempts=2,
-                                     elim_only=True)}
-
-    def pusher(env):
-        yield from env["s"].try_push(1)
-        yield from env["s"].try_push(2)
-
-    def popper(env):
-        yield from env["s"].try_pop()
-        yield from env["s"].try_pop()
-    bad = elim = 0
-    for r in explore_random(lambda: Program(setup, [pusher, popper]),
-                            runs=args.runs, seed=1, max_steps=60_000):
-        if not r.ok:
-            continue
-        g = r.env["s"].graph()
-        bad += not check_style(g, "stack", SpecStyle.LAT_HB).ok
-        elim += len(r.env["s"].ex.registry.so) // 2
+    from .checking import check_scenario
+    from .core import SpecStyle
+    from .engine import ScenarioSpec, build_scenario
+    spec = ScenarioSpec("elim-only", kwargs={"patience": 4, "attempts": 2})
+    rep = check_scenario(build_scenario(spec),
+                         styles=(SpecStyle.LAT_HB,), runs=args.runs,
+                         seed=1, max_steps=60_000, spec=spec,
+                         **_engine_kwargs(args))
+    bad = rep.styles[SpecStyle.LAT_HB].failed
+    elim = rep.metrics.get("eliminated_pairs", 0)
     print(f"elim-only ES: violations={bad}, eliminated pairs={elim} "
           f"over {args.runs} runs")
     return 0
+
+
+def cmd_replay(args) -> int:
+    from .engine import load_corpus, replay_entry
+    path = args.target or args.corpus
+    if not path:
+        print("replay: pass a corpus file "
+              "(python -m repro replay corpus.jsonl)", file=sys.stderr)
+        return 2
+    try:
+        entries = load_corpus(path)
+    except OSError as err:
+        print(f"replay: cannot read {path}: {err}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as err:
+        print(f"replay: {path} is not a corpus file: {err}",
+              file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"replay: no corpus entries in {path}", file=sys.stderr)
+        return 2
+    if args.entry is not None:
+        if not 0 <= args.entry < len(entries):
+            print(f"replay: entry {args.entry} out of range "
+                  f"(corpus has {len(entries)})", file=sys.stderr)
+            return 2
+        selected = [(args.entry, entries[args.entry])]
+    else:
+        selected = list(enumerate(entries))
+    failures = 0
+    for i, entry in selected:
+        out = replay_entry(entry)
+        what = entry.kind + (f" {entry.style}" if entry.style else "")
+        status = "reproduced" if out.reproduced else "NOT reproduced"
+        print(f"entry {i} [{entry.scenario_name}] {what}: {status}"
+              + (f" — {out.detail}" if out.detail else ""))
+        failures += not out.reproduced
+    print(f"{len(selected) - failures}/{len(selected)} reproduced")
+    return 1 if failures else 0
 
 
 def cmd_effort(_args) -> int:
@@ -165,6 +198,7 @@ COMMANDS = {
     "elim": cmd_elim,
     "effort": cmd_effort,
     "loc": cmd_loc,
+    "replay": cmd_replay,
 }
 
 
@@ -173,8 +207,25 @@ def main(argv=None) -> int:
         prog="python -m repro",
         description="Run the Compass-reproduction experiments.")
     parser.add_argument("command", choices=sorted(COMMANDS))
+    parser.add_argument("target", nargs="?", default=None,
+                        help="replay: path to a corpus JSONL file")
     parser.add_argument("--runs", type=int, default=200,
                         help="randomized executions per configuration")
+    engine = parser.add_argument_group(
+        "parallel engine (mp, matrix, spsc, elim)")
+    engine.add_argument("--workers", type=int, default=1,
+                        help="worker processes for sharded exploration")
+    engine.add_argument("--progress", action="store_true",
+                        help="print executions/sec, ETA, and per-worker "
+                             "counters to stderr")
+    engine.add_argument("--resume", metavar="PATH", default=None,
+                        help="checkpoint completed shards to PATH; rerun "
+                             "the same command to resume")
+    engine.add_argument("--corpus", metavar="PATH", default=None,
+                        help="append every failing trace to PATH as a "
+                             "replayable corpus entry")
+    engine.add_argument("--entry", type=int, default=None,
+                        help="replay: only this corpus entry index")
     args = parser.parse_args(argv)
     return COMMANDS[args.command](args)
 

@@ -12,8 +12,9 @@ from .clients import (GAVE_UP, check_mp_outcome, check_mp_stack_outcome,
                       spsc)
 from .matrix import (Implementation, MatrixReport, default_implementations,
                      run_matrix)
-from .runner import (GraphCase, Scenario, ScenarioReport, StyleTally,
-                     check_scenario, elim_stack_cases, single_library)
+from .runner import (EXAMPLE_CAP, GraphCase, Scenario, ScenarioReport,
+                     StyleTally, check_scenario, elim_stack_cases,
+                     record_result, single_library)
 from .stats import (DD_TREIBER_KLOC, PAPER_KLOC, EffortRow, effort_table,
                     render_table)
 
@@ -21,7 +22,8 @@ __all__ = [
     "mp_queue", "mp_stack", "spsc", "mixed_stress", "GAVE_UP",
     "check_mp_outcome", "check_mp_stack_outcome", "check_spsc_outcome",
     "Scenario", "GraphCase", "ScenarioReport", "StyleTally",
-    "check_scenario", "single_library", "elim_stack_cases",
+    "check_scenario", "record_result", "single_library",
+    "elim_stack_cases", "EXAMPLE_CAP",
     "Implementation", "MatrixReport", "run_matrix",
     "default_implementations",
     "PAPER_KLOC", "DD_TREIBER_KLOC", "EffortRow", "effort_table",

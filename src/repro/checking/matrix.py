@@ -23,6 +23,9 @@ Expected shape (the paper's claims):
 
 from __future__ import annotations
 
+import multiprocessing
+import sys
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -135,36 +138,96 @@ class MatrixReport:
         return "\n".join(lines)
 
 
+#: Worker-side state for parallel matrix cells, installed by the pool
+#: initializer (inherited by memory under the ``fork`` start method, so
+#: the closure-laden Implementation rows never need pickling).
+_MATRIX_WORKER: Dict = {}
+
+
+def _init_matrix_worker(impls: List[Implementation], runs: int) -> None:
+    _MATRIX_WORKER["impls"] = impls
+    _MATRIX_WORKER["runs"] = runs
+
+
+def _run_matrix_cell(task: Tuple[int, int, int, int]) -> ScenarioReport:
+    idx, threads, ops, seed = task
+    impl = _MATRIX_WORKER["impls"][idx]
+    styles = QUEUE_STYLES if impl.kind == "queue" else STACK_STYLES
+    return check_scenario(impl.scenario(threads, ops, seed), styles=styles,
+                          exhaustive=False, runs=_MATRIX_WORKER["runs"],
+                          seed=seed * 977 + 13)
+
+
 def run_matrix(
     implementations: Optional[Sequence[Implementation]] = None,
     workloads: Sequence[Tuple[int, int, int]] = ((2, 3, 0), (3, 3, 1),
                                                  (3, 4, 2)),
     runs: int = 150,
     exhaustive_small: bool = True,
+    workers: int = 1,
+    progress: bool = False,
 ) -> MatrixReport:
-    """Fill the matrix: random workloads + one exhaustive tiny workload."""
+    """Fill the matrix: random workloads + one exhaustive tiny workload.
+
+    ``workers > 1`` parallelizes twice: the randomized workload cells fan
+    out across a process pool (one task per implementation × workload),
+    and each tiny exhaustive pass runs through the sharded engine
+    (`repro.engine`) with the same worker count.  Cell reports merge in
+    a fixed order, so the rendered matrix is identical to the serial one.
+    """
     impls = list(implementations) if implementations is not None \
         else default_implementations()
     report = MatrixReport()
-    for impl in impls:
+    tasks: List[Tuple[int, int, int, int]] = []
+    for idx, impl in enumerate(impls):
         styles = QUEUE_STYLES if impl.kind == "queue" else STACK_STYLES
-        cells = {s: MatrixCell() for s in styles}
-        report.rows[impl.name] = cells
+        report.rows[impl.name] = {s: MatrixCell() for s in styles}
         report.kinds[impl.name] = impl.kind
-        for (threads, ops, seed) in workloads:
-            scen = impl.scenario(threads, ops, seed)
-            rep = check_scenario(scen, styles=styles, exhaustive=False,
-                                 runs=runs, seed=seed * 977 + 13)
-            _merge(cells, rep)
-        if exhaustive_small and not impl.single_threaded:
-            # Tiny exhaustive pass.  The step bound cuts spin-loop subtrees
-            # (lock acquisition, exchanger waits) quickly; truncated
-            # executions are not checked, which is sound for the safety
-            # conditions checked here.
+        tasks.extend((idx, threads, ops, seed)
+                     for (threads, ops, seed) in workloads)
+
+    cell_reports: Dict[Tuple[int, int, int, int], ScenarioReport] = {}
+    _init_matrix_worker(impls, runs)
+    if workers > 1 and len(tasks) > 1 \
+            and "fork" in multiprocessing.get_all_start_methods():
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=min(workers, len(tasks)),
+                                 mp_context=ctx,
+                                 initializer=_init_matrix_worker,
+                                 initargs=(impls, runs)) as pool:
+            futures = {pool.submit(_run_matrix_cell, t): t for t in tasks}
+            for fut in as_completed(futures):
+                task = futures[fut]
+                try:
+                    cell_reports[task] = fut.result()
+                except Exception:  # noqa: BLE001 — recompute locally
+                    cell_reports[task] = _run_matrix_cell(task)
+                if progress:
+                    name = impls[task[0]].name
+                    print(f"[matrix] cell {len(cell_reports)}/{len(tasks)}"
+                          f" done ({name} t{task[1]}xo{task[2]})",
+                          file=sys.stderr, flush=True)
+    else:
+        for task in tasks:
+            cell_reports[task] = _run_matrix_cell(task)
+
+    for task in tasks:  # fixed merge order: serial-identical matrix
+        _merge(report.rows[impls[task[0]].name], cell_reports[task])
+
+    if exhaustive_small:
+        for impl in impls:
+            if impl.single_threaded:
+                continue
+            # Tiny exhaustive pass, sharded across the same worker count.
+            # The step bound cuts spin-loop subtrees (lock acquisition,
+            # exchanger waits) quickly; truncated executions are not
+            # checked, which is sound for the safety conditions here.
+            styles = QUEUE_STYLES if impl.kind == "queue" else STACK_STYLES
             scen = impl.scenario(2, 2, 0)
             rep = check_scenario(scen, styles=styles, exhaustive=True,
-                                 max_executions=4_000, max_steps=400)
-            _merge(cells, rep)
+                                 max_executions=4_000, max_steps=400,
+                                 workers=workers, progress=progress)
+            _merge(report.rows[impl.name], rep)
     return report
 
 

@@ -11,6 +11,11 @@ execution against the requested spec styles.
 A completed :class:`ScenarioReport` answers, per style, "does this
 implementation satisfy this spec on this workload?", with counterexample
 decision traces kept for replay when it does not.
+
+Reports are *mergeable*: per-shard partial reports produced by the
+parallel engine (`repro.engine`) combine — in shard order — into exactly
+the report the serial path produces (capped example lists keep the
+earliest entries, i.e. the serial-DFS-first counterexamples).
 """
 
 from __future__ import annotations
@@ -25,6 +30,10 @@ from ..rmc.explore import explore_all, explore_random
 from ..rmc.machine import ExecutionResult
 
 GraphExtractor = Callable[[ExecutionResult], List["GraphCase"]]
+
+#: Cap on stored counterexamples per tally / outcome list.  ``examples``
+#: and the corresponding trace lists stay index-aligned under this cap.
+EXAMPLE_CAP = 3
 
 
 @dataclass
@@ -53,11 +62,20 @@ class Scenario:
     extract: GraphExtractor
     #: Optional whole-execution property (e.g. Fig. 1's "never empty").
     outcome_check: Optional[Callable[[ExecutionResult], None]] = None
+    #: Optional per-execution counters (complete executions only),
+    #: summed into ``ScenarioReport.metrics``.
+    metrics: Optional[Callable[[ExecutionResult], Dict[str, int]]] = None
 
 
 @dataclass
 class StyleTally:
-    """Per-style violation counts across an exploration."""
+    """Per-style violation counts across an exploration.
+
+    ``examples[i]`` is the first violation of the ``i``-th recorded
+    failing graph and ``failing_traces[i]`` is that execution's decision
+    trace; both lists are capped at :data:`EXAMPLE_CAP` and stay
+    index-aligned.
+    """
 
     checked: int = 0
     failed: int = 0
@@ -68,9 +86,27 @@ class StyleTally:
         self.checked += 1
         if not ok:
             self.failed += 1
-            if len(self.examples) < 3:
-                self.examples.extend(str(v) for v in violations[:3])
+            if len(self.examples) < EXAMPLE_CAP:
+                self.examples.append(str(violations[0]) if violations
+                                     else "violation")
                 self.failing_traces.append(list(trace))
+
+    def merge(self, other: "StyleTally") -> "StyleTally":
+        """Fold ``other`` (a later shard, in serial order) into ``self``."""
+        self.checked += other.checked
+        self.failed += other.failed
+        room = EXAMPLE_CAP - len(self.examples)
+        if room > 0:
+            self.examples.extend(other.examples[:room])
+            self.failing_traces.extend(other.failing_traces[:room])
+        return self
+
+    def __add__(self, other: "StyleTally") -> "StyleTally":
+        out = StyleTally(checked=self.checked, failed=self.failed,
+                         examples=list(self.examples),
+                         failing_traces=[list(t) for t in
+                                         self.failing_traces])
+        return out.merge(other)
 
     @property
     def ok(self) -> bool:
@@ -92,11 +128,61 @@ class ScenarioReport:
     styles: Dict[SpecStyle, StyleTally] = field(default_factory=dict)
     outcome_failures: int = 0
     outcome_examples: List[str] = field(default_factory=list)
+    #: Decision traces of the outcome-check failures, index-aligned with
+    #: ``outcome_examples`` — empty-dequeue counterexamples replay like
+    #: style violations.
+    outcome_traces: List[List] = field(default_factory=list)
+    #: Summed per-execution counters from ``Scenario.metrics``.
+    metrics: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return (self.raced == 0 and self.outcome_failures == 0
                 and all(t.ok for t in self.styles.values()))
+
+    def merge(self, other: "ScenarioReport") -> "ScenarioReport":
+        """Fold ``other`` (a later shard, in serial order) into ``self``.
+
+        ``seconds`` accumulates worker CPU time (wall-clock time of a
+        parallel run is tracked by the engine); every other field combines
+        so that merging per-shard partials in shard order reproduces the
+        serial report exactly.
+        """
+        self.executions += other.executions
+        self.complete += other.complete
+        self.truncated += other.truncated
+        self.raced += other.raced
+        self.steps += other.steps
+        self.seconds += other.seconds
+        self.exhausted = self.exhausted and other.exhausted
+        for style, tally in other.styles.items():
+            if style in self.styles:
+                self.styles[style].merge(tally)
+            else:
+                self.styles[style] = tally + StyleTally()
+        self.outcome_failures += other.outcome_failures
+        room = EXAMPLE_CAP - len(self.outcome_examples)
+        if room > 0:
+            self.outcome_examples.extend(other.outcome_examples[:room])
+            self.outcome_traces.extend(other.outcome_traces[:room])
+        for key, val in other.metrics.items():
+            self.metrics[key] = self.metrics.get(key, 0) + val
+        return self
+
+    def __add__(self, other: "ScenarioReport") -> "ScenarioReport":
+        out = ScenarioReport(scenario=self.scenario, exhausted=self.exhausted)
+        out.styles = {s: t + StyleTally() for s, t in self.styles.items()}
+        out.executions = self.executions
+        out.complete = self.complete
+        out.truncated = self.truncated
+        out.raced = self.raced
+        out.steps = self.steps
+        out.seconds = self.seconds
+        out.outcome_failures = self.outcome_failures
+        out.outcome_examples = list(self.outcome_examples)
+        out.outcome_traces = [list(t) for t in self.outcome_traces]
+        out.metrics = dict(self.metrics)
+        return out.merge(other)
 
     def summary(self) -> str:
         lines = [
@@ -113,7 +199,60 @@ class ScenarioReport:
                 lines.append(f"    e.g. {ex}")
         if self.outcome_failures:
             lines.append(f"  outcome check FAILED x{self.outcome_failures}")
+        for key, val in sorted(self.metrics.items()):
+            lines.append(f"  metric {key}: {val}")
         return "\n".join(lines)
+
+
+def record_result(
+    report: ScenarioReport,
+    scenario: Scenario,
+    result: ExecutionResult,
+    styles: Sequence[SpecStyle],
+    sink=None,
+) -> None:
+    """Check one execution into ``report`` (shared serial/worker path).
+
+    ``sink`` is an optional counterexample collector with a
+    ``record(kind, style, trace, violation)`` method (see
+    `repro.engine.corpus.CorpusSink`); it receives every failing
+    decision trace — spec violation, race, or outcome failure.
+    """
+    report.executions += 1
+    report.steps += result.steps
+    if result.race is not None:
+        report.raced += 1
+        if sink is not None:
+            sink.record("race", None, result.trace, str(result.race))
+        return
+    if result.truncated:
+        report.truncated += 1
+        return
+    report.complete += 1
+    if scenario.outcome_check is not None:
+        try:
+            scenario.outcome_check(result)
+        except AssertionError as err:
+            report.outcome_failures += 1
+            if len(report.outcome_examples) < EXAMPLE_CAP:
+                report.outcome_examples.append(str(err))
+                report.outcome_traces.append(list(result.trace))
+            if sink is not None:
+                sink.record("outcome", None, result.trace, str(err))
+    if scenario.metrics is not None:
+        for key, val in scenario.metrics(result).items():
+            report.metrics[key] = report.metrics.get(key, 0) + val
+    for case in scenario.extract(result):
+        for style in styles:
+            if case.styles is not None and style not in case.styles:
+                continue
+            res = check_style(case.graph, case.kind, style, to=case.to)
+            report.styles[style].record(res.ok, res.violations,
+                                        result.trace)
+            if not res.ok and sink is not None:
+                sink.record("style", style, result.trace,
+                            str(res.violations[0]) if res.violations
+                            else "violation")
 
 
 def check_scenario(
@@ -124,46 +263,53 @@ def check_scenario(
     seed: int = 0,
     max_steps: int = 20_000,
     max_executions: int = 100_000,
+    workers: int = 1,
+    spec=None,
+    split_depth: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    corpus: Optional[str] = None,
+    progress: bool = False,
+    max_retries: int = 2,
 ) -> ScenarioReport:
-    """Explore the scenario and check every complete execution."""
-    report = ScenarioReport(scenario=scenario.name)
-    report.styles = {s: StyleTally() for s in styles}
-    start = time.perf_counter()
-    if exhaustive:
-        source = explore_all(scenario.factory, max_steps=max_steps,
-                             max_executions=max_executions)
-    else:
-        source = explore_random(scenario.factory, runs=runs, seed=seed,
-                                max_steps=max_steps)
-    for result in source:
-        report.executions += 1
-        report.steps += result.steps
-        if result.race is not None:
-            report.raced += 1
-            continue
-        if result.truncated:
-            report.truncated += 1
-            continue
-        report.complete += 1
-        if scenario.outcome_check is not None:
-            try:
-                scenario.outcome_check(result)
-            except AssertionError as err:
-                report.outcome_failures += 1
-                if len(report.outcome_examples) < 3:
-                    report.outcome_examples.append(str(err))
-        for case in scenario.extract(result):
-            for style in styles:
-                if case.styles is not None and style not in case.styles:
-                    continue
-                res = check_style(case.graph, case.kind, style, to=case.to)
-                report.styles[style].record(res.ok, res.violations,
-                                            result.trace)
-        if report.executions >= max_executions:
-            break
-    report.exhausted = exhaustive and report.executions < max_executions
-    report.seconds = time.perf_counter() - start
-    return report
+    """Explore the scenario and check every complete execution.
+
+    With ``workers > 1`` (or any of ``checkpoint``/``corpus``/
+    ``progress``) the exploration is delegated to the parallel engine
+    (`repro.engine`): the decision tree (exhaustive mode) or seed range
+    (randomized mode) is sharded across a process pool and the per-shard
+    partial reports are merged back — byte-for-byte equal to the serial
+    run, modulo ``seconds``.  ``spec`` optionally names the scenario in
+    the engine's builder registry so corpus entries stay replayable
+    across processes; in exhaustive parallel mode ``max_executions``
+    bounds each shard rather than the whole run.
+    """
+    if workers <= 1 and checkpoint is None and corpus is None \
+            and not progress:
+        report = ScenarioReport(scenario=scenario.name)
+        report.styles = {s: StyleTally() for s in styles}
+        start = time.perf_counter()
+        if exhaustive:
+            source = explore_all(scenario.factory, max_steps=max_steps,
+                                 max_executions=max_executions)
+        else:
+            source = explore_random(scenario.factory, runs=runs, seed=seed,
+                                    max_steps=max_steps)
+        for result in source:
+            record_result(report, scenario, result, styles)
+            if report.executions >= max_executions:
+                break
+        report.exhausted = exhaustive and report.executions < max_executions
+        report.seconds = time.perf_counter() - start
+        return report
+
+    from ..engine import EngineParams, run_scenario
+    params = EngineParams(
+        styles=tuple(styles), exhaustive=exhaustive, runs=runs, seed=seed,
+        max_steps=max_steps, max_executions=max_executions,
+        workers=workers, split_depth=split_depth,
+        checkpoint_path=checkpoint, corpus_path=corpus, progress=progress,
+        max_retries=max_retries)
+    return run_scenario(scenario, params, spec=spec).report
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,48 @@
+"""`repro.engine` — the parallel exploration engine.
+
+Scales the stateless replay explorers (`repro.rmc.explore`) across a
+process pool, with checkpoint/resume and a persistent counterexample
+corpus.  The decision-tree prefix *is* a resumable work item: disjoint
+prefixes are disjoint subtrees whose union is exactly the serial
+enumeration, so sharded runs merge to byte-for-byte the serial report.
+
+* shard (`repro.engine.shard`): prefix/seed-range work items;
+* pool (`repro.engine.pool`): the driver — fan out, retry, merge;
+* merge (`repro.engine.merge`): shard-ordered report merging + JSON;
+* checkpoint (`repro.engine.checkpoint`): JSONL completed-shard log;
+* corpus (`repro.engine.corpus`): replayable failing traces;
+* telemetry (`repro.engine.telemetry`): executions/sec, ETA, workers;
+* registry/catalog: named scenario builders (the picklable face of
+  closure-built scenarios).
+
+See ``docs/engine.md`` for the sharding strategy, file formats, and the
+replay workflow.
+"""
+
+from .checkpoint import CheckpointWriter, load_completed, run_fingerprint
+from .corpus import (CORPUS_CAP, CorpusEntry, CorpusSink, ReplayOutcome,
+                     append_entries, load_corpus, replay_entry)
+from .merge import (merge_reports, report_from_json, report_to_json,
+                    tally_from_json, tally_to_json, trace_from_json)
+from .pool import (EngineParams, EngineResult, ShardFailed, plan_shards,
+                   run_scenario)
+from .registry import (ScenarioSpec, build_scenario, register_scenario,
+                       registered_builders)
+from .shard import (SHARDS_PER_WORKER, Shard, iter_shard,
+                    plan_exhaustive_shards, plan_random_shards)
+from .telemetry import ProgressReporter, TelemetrySummary
+
+__all__ = [
+    "EngineParams", "EngineResult", "ShardFailed", "run_scenario",
+    "plan_shards",
+    "Shard", "iter_shard", "plan_exhaustive_shards", "plan_random_shards",
+    "SHARDS_PER_WORKER",
+    "merge_reports", "report_to_json", "report_from_json",
+    "tally_to_json", "tally_from_json", "trace_from_json",
+    "CheckpointWriter", "load_completed", "run_fingerprint",
+    "CorpusEntry", "CorpusSink", "ReplayOutcome", "CORPUS_CAP",
+    "append_entries", "load_corpus", "replay_entry",
+    "ScenarioSpec", "register_scenario", "build_scenario",
+    "registered_builders",
+    "ProgressReporter", "TelemetrySummary",
+]

@@ -1,0 +1,114 @@
+"""The standard scenario catalog: the paper's clients as named builders.
+
+These are the registry entries behind the CLI's parallel modes and the
+corpus format: ``python -m repro mp --workers 4 --corpus c.jsonl`` records
+entries whose ``scenario`` field is e.g. ``{"builder": "mp-queue",
+"kwargs": {"impl": "hw", "use_flag": false}}``, and ``python -m repro
+replay c.jsonl`` rebuilds the exact program from this module.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..checking.clients import (check_mp_outcome, check_mp_stack_outcome,
+                                check_spsc_outcome, mp_queue, mp_stack, spsc)
+from ..checking.matrix import default_implementations
+from ..checking.runner import GraphCase, Scenario, single_library
+from ..core.spec_styles import SpecStyle
+from ..libs import ElimStack, HWQueue, MSQueue, RELACQ, SEQCST, TreiberStack
+from ..rmc.program import Program
+from .registry import register_scenario
+
+
+def _queue_builder(impl: str, capacity: int):
+    if impl == "ms":
+        return lambda mem: MSQueue.setup(mem, "q", RELACQ)
+    if impl == "ms-sc":
+        return lambda mem: MSQueue.setup(mem, "q", SEQCST)
+    if impl == "hw":
+        return lambda mem: HWQueue.setup(mem, "q", capacity=capacity)
+    raise KeyError(f"unknown queue implementation {impl!r}")
+
+
+@register_scenario("mp-queue")
+def mp_queue_scenario(impl: str = "ms", use_flag: bool = True,
+                      spin_bound: int = 25, capacity: int = 4) -> Scenario:
+    """Figure 1's MP client against a named queue implementation."""
+    build = _queue_builder(impl, capacity)
+    flag = "flag" if use_flag else "noflag"
+    return Scenario(
+        name=f"mp-queue[{impl},{flag}]",
+        factory=mp_queue(build, use_flag=use_flag, spin_bound=spin_bound),
+        extract=single_library("q", "queue"),
+        outcome_check=check_mp_outcome)
+
+
+@register_scenario("mp-stack")
+def mp_stack_scenario(impl: str = "treiber", use_flag: bool = True,
+                      spin_bound: int = 25) -> Scenario:
+    """The stack analogue of Figure 1 (Treiber by default)."""
+    if impl != "treiber":
+        raise KeyError(f"unknown stack implementation {impl!r}")
+    build = lambda mem: TreiberStack.setup(mem, "s")  # noqa: E731
+    flag = "flag" if use_flag else "noflag"
+    return Scenario(
+        name=f"mp-stack[{impl},{flag}]",
+        factory=mp_stack(build, use_flag=use_flag, spin_bound=spin_bound),
+        extract=single_library("s", "stack"),
+        outcome_check=check_mp_stack_outcome)
+
+
+@register_scenario("spsc")
+def spsc_scenario(impl: str = "ms", n: int = 4, capacity: int = 64,
+                  consume_bound: Optional[int] = None) -> Scenario:
+    """§3.2's SPSC pipeline: consumer output is FIFO end to end."""
+    build = _queue_builder(impl, capacity)
+    return Scenario(
+        name=f"spsc[{impl},n{n}]",
+        factory=spsc(build, n=n, consume_bound=consume_bound),
+        extract=single_library("q", "queue"),
+        outcome_check=check_spsc_outcome(n))
+
+
+@register_scenario("elim-only")
+def elim_only_scenario(patience: int = 4, attempts: int = 2) -> Scenario:
+    """E6's elimination-only stack: LAT_hb on the composed graph, plus an
+    ``eliminated_pairs`` metric counting matched exchanges."""
+    def factory() -> Program:
+        def setup(mem):
+            return {"s": ElimStack.setup(mem, "es", patience=patience,
+                                         attempts=attempts, elim_only=True)}
+
+        def pusher(env):
+            yield from env["s"].try_push(1)
+            yield from env["s"].try_push(2)
+
+        def popper(env):
+            yield from env["s"].try_pop()
+            yield from env["s"].try_pop()
+        return Program(setup, [pusher, popper], "elim-only")
+
+    def extract(result):
+        return [GraphCase(kind="stack", graph=result.env["s"].graph(),
+                          label="elim-only", styles=(SpecStyle.LAT_HB,))]
+
+    def metrics(result):
+        return {"eliminated_pairs":
+                len(result.env["s"].ex.registry.so) // 2}
+
+    return Scenario("elim-only", factory, extract, metrics=metrics)
+
+
+@register_scenario("mixed-stress")
+def mixed_stress_scenario(impl: str = "ms-queue/ra", threads: int = 2,
+                          ops: int = 2, seed: int = 0) -> Scenario:
+    """A spec-matrix cell: a named implementation under a seeded stress
+    mix (``impl`` is a `default_implementations` row name)."""
+    rows = {row.name: row for row in default_implementations()}
+    try:
+        row = rows[impl]
+    except KeyError:
+        raise KeyError(f"unknown implementation {impl!r}; known: "
+                       f"{', '.join(sorted(rows))}") from None
+    return row.scenario(threads, ops, seed)

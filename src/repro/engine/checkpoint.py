@@ -1,0 +1,104 @@
+"""Checkpoint/resume: completed-shard state as an append-only JSONL log.
+
+Every completed shard appends one line::
+
+    {"fp": "<run fingerprint>", "shard": 17,
+     "report": {... report_to_json ...},
+     "corpus": [... CorpusEntry.to_json ...]}
+
+The *fingerprint* hashes everything that determines the work partition —
+the scenario spec (or name for ad-hoc scenarios), the exploration
+parameters, and the shard list itself — so a resume only trusts lines
+written by an identical run.  Because shard planning is deterministic,
+re-running the same invocation recomputes the same shard list, loads the
+completed lines, and explores only what is missing; an interrupted run
+(Ctrl-C, worker crash, step budget) loses at most the shards in flight.
+
+A single checkpoint file can host several runs (fingerprint-tagged
+lines), which is what lets one ``--resume`` path serve a CLI command
+that checks several scenarios back to back.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..checking.runner import ScenarioReport
+from .corpus import CorpusEntry
+from .merge import report_from_json, report_to_json
+from .registry import ScenarioSpec
+from .shard import Shard
+
+
+def run_fingerprint(scenario_name: str, spec: Optional[ScenarioSpec],
+                    params_json: Dict, shards: List[Shard]) -> str:
+    payload = json.dumps({
+        "scenario": spec.to_json() if spec else scenario_name,
+        "params": params_json,
+        "shards": [s.to_json() for s in shards],
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def load_completed(path: str, fingerprint: str) \
+        -> Tuple[Dict[int, Tuple[ScenarioReport, List[CorpusEntry]]], set]:
+    """Read a checkpoint file: this run's completed shards + markers.
+
+    Malformed trailing lines (a write cut off mid-crash) are skipped —
+    the shard they would have recorded is simply re-explored.  Markers
+    (e.g. ``corpus_flushed``) record run-level events so a fully-resumed
+    rerun does not repeat them.
+    """
+    done: Dict[int, Tuple[ScenarioReport, List[CorpusEntry]]] = {}
+    markers: set = set()
+    if not path or not os.path.exists(path):
+        return done, markers
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if data.get("fp") != fingerprint:
+                continue
+            if "marker" in data:
+                markers.add(data["marker"])
+                continue
+            if "shard" not in data:
+                continue
+            done[int(data["shard"])] = (
+                report_from_json(data["report"]),
+                [CorpusEntry.from_json(e) for e in data.get("corpus", [])])
+    return done, markers
+
+
+class CheckpointWriter:
+    """Appends one fingerprint-tagged line per completed shard."""
+
+    def __init__(self, path: str, fingerprint: str):
+        self.path = path
+        self.fingerprint = fingerprint
+
+    def write_shard(self, shard_id: int, report: ScenarioReport,
+                    entries: List[CorpusEntry]) -> None:
+        self._append(json.dumps({
+            "fp": self.fingerprint,
+            "shard": shard_id,
+            "report": report_to_json(report),
+            "corpus": [e.to_json() for e in entries],
+        }))
+
+    def write_marker(self, marker: str) -> None:
+        self._append(json.dumps({"fp": self.fingerprint, "marker": marker}))
+
+    def _append(self, line: str) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())

@@ -1,0 +1,182 @@
+"""The persistent counterexample corpus: failing traces that replay.
+
+Every failing decision trace an exploration encounters — a spec-style
+violation, a data race, or an outcome-check failure — can be persisted as
+one JSON line::
+
+    {"scenario": {"builder": "mp-queue", "args": [], "kwargs": {...}},
+     "scenario_name": "mp-queue[hw,noflag]",
+     "kind": "style" | "outcome" | "race",
+     "style": "LAT_HB_ABS" | null,
+     "trace": [[arity, chosen], ...],
+     "violation": "<human-readable message>",
+     "max_steps": 20000}
+
+``scenario`` is a `repro.engine.registry.ScenarioSpec`; with it the
+entry is self-contained — any process, any day, can rebuild the program
+and re-execute the exact decision sequence (``python -m repro replay
+corpus.jsonl``).  Ad-hoc scenarios (no registered builder) record
+``"scenario": null`` and replay only in-process via
+:func:`replay_entry` with an explicit scenario.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..checking.runner import Scenario
+from ..core.spec_styles import SpecStyle, check_style
+from ..rmc.scheduler import FixedDecider
+from .merge import trace_from_json
+from .registry import ScenarioSpec, build_scenario
+
+#: Default cap on corpus entries collected per run (a badly broken
+#: implementation can fail on *every* execution; the first entries are
+#: the serial-DFS-first counterexamples and carry all the signal).
+CORPUS_CAP = 100
+
+
+@dataclass
+class CorpusEntry:
+    """One replayable counterexample."""
+
+    kind: str  # "style" | "outcome" | "race"
+    trace: List
+    violation: str
+    style: Optional[SpecStyle] = None
+    scenario_name: str = ""
+    spec: Optional[ScenarioSpec] = None
+    max_steps: int = 20_000
+
+    def to_json(self):
+        return {
+            "scenario": self.spec.to_json() if self.spec else None,
+            "scenario_name": self.scenario_name,
+            "kind": self.kind,
+            "style": self.style.name if self.style else None,
+            "trace": [[int(a), int(c)] for a, c in self.trace],
+            "violation": self.violation,
+            "max_steps": self.max_steps,
+        }
+
+    @staticmethod
+    def from_json(data) -> "CorpusEntry":
+        return CorpusEntry(
+            kind=data["kind"],
+            trace=trace_from_json(data["trace"]),
+            violation=data["violation"],
+            style=SpecStyle[data["style"]] if data.get("style") else None,
+            scenario_name=data.get("scenario_name", ""),
+            spec=ScenarioSpec.from_json(data["scenario"])
+            if data.get("scenario") else None,
+            max_steps=data.get("max_steps", 20_000))
+
+
+class CorpusSink:
+    """Collects capped counterexample entries during one exploration.
+
+    Handed to `repro.checking.runner.record_result`; workers return
+    their sink contents with the shard report and the engine concatenates
+    them in shard order, so the persisted corpus is deterministic too.
+    """
+
+    def __init__(self, scenario_name: str, spec: Optional[ScenarioSpec],
+                 max_steps: int, cap: int = CORPUS_CAP):
+        self.scenario_name = scenario_name
+        self.spec = spec
+        self.max_steps = max_steps
+        self.cap = cap
+        self.entries: List[CorpusEntry] = []
+        self.dropped = 0
+
+    def record(self, kind: str, style: Optional[SpecStyle], trace,
+               violation: str) -> None:
+        if len(self.entries) >= self.cap:
+            self.dropped += 1
+            return
+        self.entries.append(CorpusEntry(
+            kind=kind, trace=list(trace), violation=violation, style=style,
+            scenario_name=self.scenario_name, spec=self.spec,
+            max_steps=self.max_steps))
+
+
+def append_entries(path: str, entries: List[CorpusEntry]) -> None:
+    """Append entries to a JSONL corpus file (one entry per line)."""
+    if not entries:
+        return
+    with open(path, "a", encoding="utf-8") as fh:
+        for entry in entries:
+            fh.write(json.dumps(entry.to_json()) + "\n")
+
+
+def load_corpus(path: str) -> List[CorpusEntry]:
+    entries = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                entries.append(CorpusEntry.from_json(json.loads(line)))
+    return entries
+
+
+@dataclass
+class ReplayOutcome:
+    """Did re-executing a corpus entry reproduce its violation?"""
+
+    entry: CorpusEntry
+    reproduced: bool
+    detail: str = ""
+    messages: List[str] = field(default_factory=list)
+
+
+def replay_entry(entry: CorpusEntry,
+                 scenario: Optional[Scenario] = None) -> ReplayOutcome:
+    """Re-execute a corpus entry's decision trace and re-run its check.
+
+    The scenario is rebuilt from the entry's spec unless one is passed
+    explicitly (ad-hoc scenarios).  Reproduction means: same *kind* of
+    failure on the replayed execution — the race fires again, the outcome
+    check raises again, or some extracted graph fails the recorded style
+    again.
+    """
+    if scenario is None:
+        if entry.spec is None:
+            return ReplayOutcome(entry, False,
+                                 "entry has no scenario spec; pass the "
+                                 "scenario explicitly")
+        scenario = build_scenario(entry.spec)
+    result = scenario.factory().run(FixedDecider(entry.trace),
+                                    max_steps=entry.max_steps)
+    if entry.kind == "race":
+        ok = result.race is not None
+        return ReplayOutcome(entry, ok,
+                             str(result.race) if ok else "no race fired",
+                             [str(result.race)] if ok else [])
+    if result.race is not None or result.truncated:
+        return ReplayOutcome(entry, False,
+                             "replayed execution did not complete")
+    if entry.kind == "outcome":
+        if scenario.outcome_check is None:
+            return ReplayOutcome(entry, False, "scenario has no outcome "
+                                 "check")
+        try:
+            scenario.outcome_check(result)
+        except AssertionError as err:
+            return ReplayOutcome(entry, True, str(err), [str(err)])
+        return ReplayOutcome(entry, False, "outcome check passed on replay")
+    # kind == "style"
+    if entry.style is None:
+        return ReplayOutcome(entry, False, "style entry without a style")
+    messages = []
+    for case in scenario.extract(result):
+        if case.styles is not None and entry.style not in case.styles:
+            continue
+        res = check_style(case.graph, case.kind, entry.style, to=case.to)
+        if not res.ok:
+            messages.extend(str(v) for v in res.violations)
+    if messages:
+        return ReplayOutcome(entry, True, messages[0], messages)
+    return ReplayOutcome(entry, False,
+                         f"{entry.style} check passed on replay")

@@ -1,0 +1,326 @@
+"""The parallel exploration driver: shard, fan out, merge, persist.
+
+`run_scenario` supersedes the serial ``check_scenario`` loop while
+keeping `explore_all`/`explore_random` as the single-worker core:
+
+1. **plan** — split the decision tree (exhaustive) or seed range
+   (randomized) into disjoint shards (`repro.engine.shard`);
+2. **resume** — drop shards already completed by an identical earlier
+   run, recovered from the checkpoint log (`repro.engine.checkpoint`);
+3. **explore** — run the remaining shards, inline for one worker or on a
+   ``ProcessPoolExecutor`` for many; a worker crash or poisoned shard is
+   requeued with bounded retries instead of losing the subtree;
+4. **merge** — fold per-shard partial reports *in shard order*
+   (`repro.engine.merge`), reproducing the serial report exactly
+   (modulo timing); persist counterexamples to the corpus
+   (`repro.engine.corpus`).
+
+Workers receive the scenario through the pool initializer: under the
+``fork`` start method the closure-laden `Scenario` object is inherited
+by memory, and under ``spawn`` the registry spec is rebuilt instead —
+shard descriptions and shard results are the only things pickled.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                ProcessPoolExecutor, wait)
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..checking.runner import (Scenario, ScenarioReport, StyleTally,
+                               record_result)
+from ..core.spec_styles import SpecStyle
+from .checkpoint import CheckpointWriter, load_completed, run_fingerprint
+from .corpus import CORPUS_CAP, CorpusEntry, CorpusSink, append_entries
+from .merge import merge_reports
+from .registry import ScenarioSpec, build_scenario
+from .shard import (SHARDS_PER_WORKER, Shard, iter_shard,
+                    plan_exhaustive_shards, plan_random_shards)
+from .telemetry import ProgressReporter, TelemetrySummary
+
+
+@dataclass
+class EngineParams:
+    """Everything that shapes one engine run."""
+
+    styles: Tuple[SpecStyle, ...] = (SpecStyle.LAT_HB,)
+    exhaustive: bool = False
+    runs: int = 300
+    seed: int = 0
+    max_steps: int = 20_000
+    #: Execution cap; in parallel exhaustive mode it bounds each shard.
+    max_executions: int = 100_000
+    workers: int = 1
+    #: Max prefix length for exhaustive splitting (None = default).
+    split_depth: Optional[int] = None
+    #: Shard-count target (None = SHARDS_PER_WORKER per worker).
+    target_shards: Optional[int] = None
+    checkpoint_path: Optional[str] = None
+    corpus_path: Optional[str] = None
+    corpus_cap: int = CORPUS_CAP
+    progress: bool = False
+    max_retries: int = 2
+    #: Seconds without any shard completing before the pool is recycled
+    #: and unfinished shards requeued (None = wait forever).
+    shard_timeout: Optional[float] = None
+
+    def fingerprint_json(self) -> Dict:
+        """The parameters that determine exploration results."""
+        return {
+            "styles": [s.name for s in self.styles],
+            "exhaustive": self.exhaustive,
+            "runs": self.runs,
+            "seed": self.seed,
+            "max_steps": self.max_steps,
+            "max_executions": self.max_executions,
+        }
+
+
+@dataclass
+class EngineResult:
+    """A merged report plus the run's mechanics."""
+
+    report: ScenarioReport
+    telemetry: TelemetrySummary
+    shards: List[Shard] = field(default_factory=list)
+    corpus_entries: List[CorpusEntry] = field(default_factory=list)
+
+
+class ShardFailed(RuntimeError):
+    """A shard kept failing after its retry budget was spent."""
+
+
+# ----------------------------------------------------------------------
+# Per-shard exploration (runs inline or inside a worker process)
+# ----------------------------------------------------------------------
+
+def _explore_shard(scenario: Scenario, spec: Optional[ScenarioSpec],
+                   shard: Shard, params: EngineParams) \
+        -> Tuple[ScenarioReport, List[CorpusEntry]]:
+    report = ScenarioReport(scenario=scenario.name)
+    report.styles = {s: StyleTally() for s in params.styles}
+    sink = CorpusSink(scenario.name, spec, params.max_steps,
+                      cap=params.corpus_cap)
+    start = time.perf_counter()
+    for result in iter_shard(scenario.factory, shard, params.max_steps,
+                             params.max_executions):
+        record_result(report, scenario, result, params.styles, sink)
+        if report.executions >= params.max_executions:
+            break
+    report.exhausted = (params.exhaustive
+                        and report.executions < params.max_executions)
+    report.seconds = time.perf_counter() - start
+    return report, sink.entries
+
+
+_WORKER_STATE: Dict = {}
+
+
+def _init_worker(scenario: Optional[Scenario],
+                 spec: Optional[ScenarioSpec],
+                 params: EngineParams) -> None:
+    if scenario is None:
+        if spec is None:
+            raise RuntimeError("worker started without scenario or spec")
+        scenario = build_scenario(spec)
+    _WORKER_STATE["scenario"] = scenario
+    _WORKER_STATE["spec"] = spec
+    _WORKER_STATE["params"] = params
+
+
+def _run_shard_task(shard_id: int, shard: Shard):
+    report, entries = _explore_shard(
+        _WORKER_STATE["scenario"], _WORKER_STATE["spec"], shard,
+        _WORKER_STATE["params"])
+    return shard_id, report, entries, os.getpid()
+
+
+# ----------------------------------------------------------------------
+# The driver
+# ----------------------------------------------------------------------
+
+def plan_shards(scenario: Scenario, params: EngineParams) -> List[Shard]:
+    """Deterministically split the run into disjoint work items."""
+    if params.target_shards is not None:
+        target = max(1, params.target_shards)
+    else:
+        target = max(1, params.workers) * SHARDS_PER_WORKER
+        if params.workers <= 1 and params.checkpoint_path is None:
+            target = 1  # no pool, no resume: skip planning probes
+        elif params.checkpoint_path is not None:
+            target = max(target, 2 * SHARDS_PER_WORKER)
+    if params.exhaustive:
+        if target == 1:
+            return [Shard(kind="prefix")]
+        kwargs = {}
+        if params.split_depth is not None:
+            kwargs["max_split_depth"] = params.split_depth
+        return plan_exhaustive_shards(scenario.factory, target,
+                                      params.max_steps, **kwargs)
+    return plan_random_shards(params.runs, params.seed, target)
+
+
+def run_scenario(scenario: Optional[Scenario], params: EngineParams,
+                 spec: Optional[ScenarioSpec] = None) -> EngineResult:
+    """Explore + check one scenario with the full engine machinery."""
+    if scenario is None:
+        if spec is None:
+            raise ValueError("need a scenario or a registry spec")
+        scenario = build_scenario(spec)
+    shards = plan_shards(scenario, params)
+    fingerprint = run_fingerprint(scenario.name, spec,
+                                  params.fingerprint_json(), shards)
+
+    results: Dict[int, Tuple[ScenarioReport, List[CorpusEntry]]] = {}
+    markers: set = set()
+    if params.checkpoint_path:
+        done, markers = load_completed(params.checkpoint_path, fingerprint)
+        for sid, (report, entries) in done.items():
+            if 0 <= sid < len(shards):
+                results[sid] = (report, entries)
+
+    reporter = ProgressReporter(total_shards=len(shards),
+                                enabled=params.progress,
+                                label=f"engine:{scenario.name}")
+    for report, _entries in results.values():
+        reporter.on_resumed(report.executions, report.steps)
+
+    writer = CheckpointWriter(params.checkpoint_path, fingerprint) \
+        if params.checkpoint_path else None
+    pending = [(sid, shard) for sid, shard in enumerate(shards)
+               if sid not in results]
+
+    def complete(sid: int, report: ScenarioReport,
+                 entries: List[CorpusEntry], pid: int) -> None:
+        results[sid] = (report, entries)
+        if writer is not None:
+            writer.write_shard(sid, report, entries)
+        reporter.on_shard_done(sid, pid, report.executions, report.steps)
+
+    if params.workers > 1 and len(pending) > 1:
+        _run_pool(scenario, spec, params, pending, complete, reporter)
+    else:
+        _run_inline(scenario, spec, params, pending, complete, reporter)
+
+    telemetry = reporter.finish()
+    ordered = sorted(results)
+    report = merge_reports(scenario.name,
+                           (results[sid][0] for sid in ordered),
+                           params.exhaustive)
+    entries: List[CorpusEntry] = []
+    for sid in ordered:
+        entries.extend(results[sid][1])
+    del entries[params.corpus_cap:]
+    if params.corpus_path and "corpus_flushed" not in markers:
+        append_entries(params.corpus_path, entries)
+        if writer is not None:
+            writer.write_marker("corpus_flushed")
+    return EngineResult(report=report, telemetry=telemetry, shards=shards,
+                        corpus_entries=entries)
+
+
+def _run_inline(scenario, spec, params, pending, complete, reporter) -> None:
+    for sid, shard in pending:
+        attempt = 1
+        while True:
+            try:
+                report, entries = _explore_shard(scenario, spec, shard,
+                                                 params)
+                break
+            except Exception as err:  # noqa: BLE001 — requeue any failure
+                reporter.on_retry(sid, attempt, repr(err))
+                attempt += 1
+                if attempt > params.max_retries + 1:
+                    raise ShardFailed(
+                        f"shard {sid} ({shard}) failed "
+                        f"{params.max_retries + 1} times: {err!r}") from err
+        complete(sid, report, entries, os.getpid())
+
+
+def _make_executor(scenario, spec, params, n_tasks):
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        ctx = multiprocessing.get_context("fork")
+        init_scenario = scenario  # inherited by memory, never pickled
+    else:  # spawn-only platform: workers rebuild from the registry
+        if spec is None:
+            return None
+        ctx = multiprocessing.get_context("spawn")
+        init_scenario = None
+    return ProcessPoolExecutor(
+        max_workers=min(params.workers, max(n_tasks, 1)), mp_context=ctx,
+        initializer=_init_worker, initargs=(init_scenario, spec, params))
+
+
+def _run_pool(scenario, spec, params, pending, complete, reporter) -> None:
+    executor = _make_executor(scenario, spec, params, len(pending))
+    if executor is None:  # cannot ship the scenario to workers
+        _run_inline(scenario, spec, params, pending, complete, reporter)
+        return
+    shard_by_id = dict(pending)
+    attempts = {sid: 0 for sid, _ in pending}
+    queue = [sid for sid, _ in pending]
+    futures = {}
+
+    def submit(sid: int) -> None:
+        attempts[sid] += 1
+        futures[executor.submit(_run_shard_task, sid,
+                                shard_by_id[sid])] = sid
+
+    def recycle_pool(reason: str) -> None:
+        nonlocal executor, futures
+        lost = sorted(futures.values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        futures = {}
+        executor = _make_executor(scenario, spec, params, len(lost))
+        for sid in lost:
+            reporter.on_retry(sid, attempts[sid], reason)
+            if attempts[sid] > params.max_retries:
+                raise ShardFailed(
+                    f"shard {sid} ({shard_by_id[sid]}) failed "
+                    f"{attempts[sid]} times: {reason}")
+            submit(sid)
+
+    try:
+        for sid in queue:
+            submit(sid)
+        while futures:
+            done, _ = wait(list(futures), timeout=params.shard_timeout,
+                           return_when=FIRST_COMPLETED)
+            if not done:  # stalled: recycle the pool, requeue in-flight
+                recycle_pool(f"no completion within "
+                             f"{params.shard_timeout}s")
+                continue
+            for fut in done:
+                sid = futures.pop(fut)
+                try:
+                    rid, report, entries, pid = fut.result()
+                except BrokenExecutor:
+                    # The dead worker also took this future's shard down;
+                    # recycle requeues the rest, then requeue this one.
+                    reporter.on_retry(sid, attempts[sid],
+                                      "worker process died")
+                    if attempts[sid] > params.max_retries:
+                        raise ShardFailed(
+                            f"shard {sid} ({shard_by_id[sid]}) failed "
+                            f"{attempts[sid]} times: worker process died")
+                    recycle_pool("worker process died")
+                    submit(sid)
+                    break
+                except Exception as err:  # noqa: BLE001 — requeue
+                    reporter.on_retry(sid, attempts[sid], repr(err))
+                    if attempts[sid] > params.max_retries:
+                        raise ShardFailed(
+                            f"shard {sid} ({shard_by_id[sid]}) failed "
+                            f"{attempts[sid]} times: {err!r}") from err
+                    submit(sid)
+                else:
+                    complete(rid, report, entries, pid)
+    finally:
+        # Join workers on the way out; a broken/hung pool was already shut
+        # down non-blocking by recycle_pool.
+        executor.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,75 @@
+"""Named scenario builders: the picklable face of a :class:`Scenario`.
+
+Scenarios are built from closures (program factories capture library
+builders, extractors capture env keys), so they cannot cross a process
+boundary by pickling.  The engine instead ships a :class:`ScenarioSpec` —
+``(builder name, args, kwargs)`` — and every worker rebuilds the scenario
+locally through this registry.  The same spec is embedded in checkpoint
+headers and corpus entries, which is what makes a counterexample
+replayable days later by ``python -m repro replay``.
+
+Builders must be *deterministic*: the same spec must always build the
+same scenario (same program, same extractors), or sharding, resume, and
+replay all silently diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+from ..checking.runner import Scenario
+
+_BUILDERS: Dict[str, Callable[..., Scenario]] = {}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A serializable recipe for rebuilding a scenario anywhere."""
+
+    builder: str
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"builder": self.builder, "args": list(self.args),
+                "kwargs": dict(self.kwargs)}
+
+    @staticmethod
+    def from_json(data: Dict[str, Any]) -> "ScenarioSpec":
+        return ScenarioSpec(builder=data["builder"],
+                            args=tuple(data.get("args", ())),
+                            kwargs=dict(data.get("kwargs", {})))
+
+
+def register_scenario(name: str):
+    """Decorator: register ``fn(*args, **kwargs) -> Scenario`` as ``name``."""
+    def deco(fn: Callable[..., Scenario]) -> Callable[..., Scenario]:
+        if name in _BUILDERS and _BUILDERS[name] is not fn:
+            raise ValueError(f"scenario builder {name!r} already registered")
+        _BUILDERS[name] = fn
+        return fn
+    return deco
+
+
+def registered_builders() -> Tuple[str, ...]:
+    _ensure_catalog()
+    return tuple(sorted(_BUILDERS))
+
+
+def build_scenario(spec: ScenarioSpec) -> Scenario:
+    """Rebuild the scenario a spec names (loading the standard catalog)."""
+    _ensure_catalog()
+    try:
+        builder = _BUILDERS[spec.builder]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario builder {spec.builder!r}; registered: "
+            f"{', '.join(sorted(_BUILDERS)) or '(none)'}") from None
+    return builder(*spec.args, **spec.kwargs)
+
+
+def _ensure_catalog() -> None:
+    """Standard builders live in `repro.engine.catalog`; import lazily
+    (catalog imports the checking layer, which imports us)."""
+    from . import catalog  # noqa: F401

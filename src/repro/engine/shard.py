@@ -1,0 +1,133 @@
+"""Work sharding: the decision tree (or seed range) as resumable units.
+
+Stateless replay-based exploration is embarrassingly parallel because a
+decision-tree *prefix* fully identifies a subtree: `explore_all` with
+``prefix=p`` enumerates exactly the executions whose decision traces
+extend ``p``, in DFS order.  Sharding is therefore:
+
+* **exhaustive mode** — probe the tree breadth-first (one replayed
+  execution per expanded node) until enough disjoint subtree roots exist,
+  then hand each root to a worker.  Lexicographically sorted prefixes
+  concatenate to exactly the serial DFS enumeration, so merged reports
+  match the serial run byte for byte;
+* **randomized mode** — split the seed range ``[seed, seed+runs)`` into
+  contiguous chunks; `explore_random` derives run ``i``'s decider from
+  ``seed + i``, so chunked unions equal the serial sequence.
+
+Probe executions are replayed again inside their shard (a worker starts
+at its subtree's leftmost leaf); that duplication is one execution per
+*internal* planned node and buys complete decoupling between planning
+and workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..rmc.explore import ProgramFactory, explore_all, explore_random
+from ..rmc.machine import ExecutionResult
+from ..rmc.scheduler import PrefixDecider
+
+#: Shards to aim for per worker: enough slack that one slow subtree does
+#: not serialize the tail of the run.
+SHARDS_PER_WORKER = 4
+
+#: Ceiling on planning probes (each probe is one replayed execution).
+PROBE_CAP = 512
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of work: a subtree root or a seed range."""
+
+    kind: str  # "prefix" | "seeds"
+    prefix: Tuple[int, ...] = ()
+    seed: int = 0
+    runs: int = 0
+
+    def sort_key(self):
+        return self.prefix if self.kind == "prefix" else (self.seed,)
+
+    def to_json(self):
+        if self.kind == "prefix":
+            return {"kind": "prefix", "prefix": list(self.prefix)}
+        return {"kind": "seeds", "seed": self.seed, "runs": self.runs}
+
+    @staticmethod
+    def from_json(data) -> "Shard":
+        if data["kind"] == "prefix":
+            return Shard(kind="prefix", prefix=tuple(data["prefix"]))
+        return Shard(kind="seeds", seed=data["seed"], runs=data["runs"])
+
+
+def plan_exhaustive_shards(
+    factory: ProgramFactory,
+    target: int,
+    max_steps: int,
+    max_split_depth: int = 12,
+    probe_cap: int = PROBE_CAP,
+) -> List[Shard]:
+    """Split the decision tree into >= ``target`` disjoint subtrees
+    (when the tree is big enough), by breadth-first prefix expansion.
+
+    Invariant: at every moment ``frontier + done`` is a partition of the
+    full tree, so the returned shards always cover the serial enumeration
+    exactly once regardless of where expansion stops.
+    """
+    frontier: List[Tuple[int, ...]] = [()]
+    done: List[Tuple[int, ...]] = []  # single-execution subtrees
+    probes = 0
+    while frontier and len(frontier) + len(done) < target \
+            and probes < probe_cap:
+        prefix = frontier.pop(0)  # shallowest first
+        if len(prefix) >= max_split_depth:
+            done.append(prefix)
+            continue
+        decider = PrefixDecider(prefix)
+        factory().run(decider, max_steps=max_steps)
+        probes += 1
+        trace = decider.trace
+        branch = next((i for i in range(len(prefix), len(trace))
+                       if trace[i][0] > 1), None)
+        if branch is None:
+            # No choice left below this prefix: a one-execution subtree.
+            done.append(prefix)
+            continue
+        stem = tuple(trace[i][1] for i in range(len(prefix), branch))
+        arity = trace[branch][0]
+        frontier.extend(prefix + stem + (k,) for k in range(arity))
+    prefixes = sorted(done + frontier)
+    return [Shard(kind="prefix", prefix=p) for p in prefixes]
+
+
+def plan_random_shards(runs: int, seed: int, target: int) -> List[Shard]:
+    """Split ``runs`` seeded executions into ~``target`` contiguous
+    seed-range chunks."""
+    target = max(1, min(target, runs))
+    base, extra = divmod(runs, target)
+    shards = []
+    offset = 0
+    for i in range(target):
+        count = base + (1 if i < extra else 0)
+        if count == 0:
+            continue
+        shards.append(Shard(kind="seeds", seed=seed + offset, runs=count))
+        offset += count
+    return shards
+
+
+def iter_shard(
+    factory: ProgramFactory,
+    shard: Shard,
+    max_steps: int,
+    max_executions: int,
+) -> Iterator[ExecutionResult]:
+    """Enumerate one shard's executions (the single-worker core loops)."""
+    if shard.kind == "prefix":
+        yield from explore_all(factory, max_steps=max_steps,
+                               max_executions=max_executions,
+                               prefix=shard.prefix)
+    else:
+        yield from explore_random(factory, runs=shard.runs, seed=shard.seed,
+                                  max_steps=max_steps)

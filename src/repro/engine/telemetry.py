@@ -1,0 +1,109 @@
+"""Run telemetry: executions/sec, ETA, and per-worker counters.
+
+The reporter is driven by the engine's completion loop (one call per
+finished shard) and prints throttled progress lines to stderr — the
+``--progress`` flag on the CLI.  The same counters back the scaling row
+in ``benchmarks/bench_micro.py`` through `TelemetrySummary`.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, TextIO
+
+
+@dataclass
+class TelemetrySummary:
+    """Final counters of one engine run."""
+
+    shards_total: int = 0
+    shards_done: int = 0
+    shards_resumed: int = 0
+    executions: int = 0
+    steps: int = 0
+    retries: int = 0
+    wall_seconds: float = 0.0
+    #: shards completed per worker pid (pid 0 = inline/resumed).
+    worker_shards: Dict[int, int] = field(default_factory=dict)
+    #: executions per worker pid.
+    worker_executions: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def executions_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.executions / self.wall_seconds
+
+
+class ProgressReporter:
+    """Throttled progress lines over a running `TelemetrySummary`."""
+
+    def __init__(self, total_shards: int, enabled: bool = True,
+                 out: Optional[TextIO] = None, interval: float = 0.5,
+                 label: str = "engine"):
+        self.summary = TelemetrySummary(shards_total=total_shards)
+        self.enabled = enabled
+        self.out = out if out is not None else sys.stderr
+        self.interval = interval
+        self.label = label
+        self._start = time.perf_counter()
+        self._last_emit = 0.0
+
+    def on_resumed(self, executions: int, steps: int) -> None:
+        s = self.summary
+        s.shards_done += 1
+        s.shards_resumed += 1
+        s.executions += executions
+        s.steps += steps
+        s.worker_shards[0] = s.worker_shards.get(0, 0) + 1
+        s.worker_executions[0] = s.worker_executions.get(0, 0) + executions
+
+    def on_shard_done(self, shard_id: int, pid: int, executions: int,
+                      steps: int) -> None:
+        s = self.summary
+        s.shards_done += 1
+        s.executions += executions
+        s.steps += steps
+        s.worker_shards[pid] = s.worker_shards.get(pid, 0) + 1
+        s.worker_executions[pid] = \
+            s.worker_executions.get(pid, 0) + executions
+        self._emit()
+
+    def on_retry(self, shard_id: int, attempt: int, error: str) -> None:
+        self.summary.retries += 1
+        if self.enabled:
+            print(f"[{self.label}] shard {shard_id} failed "
+                  f"(attempt {attempt}): {error}; requeued",
+                  file=self.out, flush=True)
+
+    def finish(self) -> TelemetrySummary:
+        self.summary.wall_seconds = time.perf_counter() - self._start
+        if self.enabled:
+            self._emit(force=True, final=True)
+        return self.summary
+
+    # ------------------------------------------------------------------
+    def _emit(self, force: bool = False, final: bool = False) -> None:
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        if not force and now - self._last_emit < self.interval:
+            return
+        self._last_emit = now
+        s = self.summary
+        elapsed = max(now - self._start, 1e-9)
+        rate = s.executions / elapsed
+        if s.shards_done and s.shards_done < s.shards_total:
+            eta = elapsed / s.shards_done * (s.shards_total - s.shards_done)
+            eta_txt = f" | ETA {eta:5.1f}s"
+        else:
+            eta_txt = ""
+        workers = " ".join(
+            f"w{pid}:{n}" for pid, n in sorted(s.worker_shards.items()))
+        tag = "done" if final else "running"
+        print(f"[{self.label}] {tag}: shards {s.shards_done}/"
+              f"{s.shards_total} ({s.shards_resumed} resumed) | "
+              f"{s.executions} exec ({rate:,.0f}/s) | {s.steps} steps"
+              f"{eta_txt} | {workers}", file=self.out, flush=True)

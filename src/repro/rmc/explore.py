@@ -16,13 +16,17 @@ scales the same checks to larger scenarios.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List
+from typing import Callable, Iterator, List, Sequence
 
 from .machine import ExecutionResult
 from .program import Program
 from .scheduler import FixedDecider, PrefixDecider, RandomDecider
 
 ProgramFactory = Callable[[], Program]
+
+#: Cap on stored race counterexample traces (kept small; the full set goes
+#: to the corpus when one is attached).
+RACE_TRACE_CAP = 5
 
 
 @dataclass
@@ -42,12 +46,36 @@ class ExplorationStats:
         self.steps += result.steps
         if result.race is not None:
             self.raced += 1
-            if len(self.race_traces) < 5:
+            if len(self.race_traces) < RACE_TRACE_CAP:
                 self.race_traces.append(list(result.trace))
         elif result.truncated:
             self.truncated += 1
         else:
             self.complete += 1
+
+    def merge(self, other: "ExplorationStats") -> "ExplorationStats":
+        """Fold ``other`` (a later shard, in serial order) into ``self``.
+
+        Capped lists keep the earliest entries, so merging per-shard
+        partials in shard order reproduces the serial run's stats exactly.
+        """
+        self.executions += other.executions
+        self.complete += other.complete
+        self.truncated += other.truncated
+        self.raced += other.raced
+        self.steps += other.steps
+        self.exhausted = self.exhausted and other.exhausted
+        room = RACE_TRACE_CAP - len(self.race_traces)
+        if room > 0:
+            self.race_traces.extend(other.race_traces[:room])
+        return self
+
+    def __add__(self, other: "ExplorationStats") -> "ExplorationStats":
+        out = ExplorationStats(
+            executions=self.executions, complete=self.complete,
+            truncated=self.truncated, raced=self.raced, steps=self.steps,
+            exhausted=self.exhausted, race_traces=list(self.race_traces))
+        return out.merge(other)
 
 
 def explore_all(
@@ -56,17 +84,25 @@ def explore_all(
     max_executions: int = 200_000,
     race_detection: bool = True,
     sc_upgrade: bool = False,
+    prefix: Sequence[int] = (),
 ) -> Iterator[ExecutionResult]:
     """Enumerate every execution of the (bounded) program, by replay.
 
     Programs with unbounded spin loops must be loop-bounded for exhaustive
     mode; runs exceeding ``max_steps`` come back with ``truncated=True`` and
     their subtree is still backtracked normally.
+
+    ``prefix`` roots the enumeration at a decision-tree subtree: the first
+    ``len(prefix)`` decisions are pinned and backtracking never crosses
+    above them.  This is the work-sharding hook of the parallel engine
+    (`repro.engine`): disjoint prefixes yield disjoint subtrees whose
+    union is exactly the ``prefix=()`` enumeration, in DFS order.
     """
-    prefix: List[int] = []
+    base = list(prefix)
+    cur: List[int] = list(base)
     executions = 0
     while executions < max_executions:
-        decider = PrefixDecider(prefix)
+        decider = PrefixDecider(cur)
         result = factory().run(decider, max_steps=max_steps,
                                race_detection=race_detection,
                                sc_upgrade=sc_upgrade)
@@ -74,11 +110,11 @@ def explore_all(
         yield result
         trace = decider.trace
         j = len(trace) - 1
-        while j >= 0 and trace[j][1] + 1 >= trace[j][0]:
+        while j >= len(base) and trace[j][1] + 1 >= trace[j][0]:
             j -= 1
-        if j < 0:
+        if j < len(base):
             return
-        prefix = [trace[i][1] for i in range(j)] + [trace[j][1] + 1]
+        cur = [trace[i][1] for i in range(j)] + [trace[j][1] + 1]
 
 
 def explore_random(

@@ -1,0 +1,38 @@
+"""Shared helpers for the parallel-engine test suite."""
+
+from __future__ import annotations
+
+from repro.checking import ScenarioReport
+from repro.engine import ScenarioSpec
+
+
+def vyukov_spec() -> ScenarioSpec:
+    """A bounded queue workload: 252 executions, branchy enough to shard."""
+    return ScenarioSpec("mixed-stress",
+                        kwargs={"impl": "vyukov-queue/rlx", "threads": 2,
+                                "ops": 1, "seed": 0})
+
+
+def hw_spec() -> ScenarioSpec:
+    """A tiny workload (20 executions) for fast smoke-level checks."""
+    return ScenarioSpec("mixed-stress",
+                        kwargs={"impl": "hw-queue/rlx", "threads": 2,
+                                "ops": 1, "seed": 0})
+
+
+def assert_reports_equal(a: ScenarioReport, b: ScenarioReport) -> None:
+    """Every field except ``seconds`` (timing) must match exactly."""
+    assert a.scenario == b.scenario
+    for name in ("executions", "complete", "truncated", "raced", "steps",
+                 "exhausted", "outcome_failures", "outcome_examples",
+                 "metrics"):
+        assert getattr(a, name) == getattr(b, name), name
+    assert [list(t) for t in a.outcome_traces] \
+        == [list(t) for t in b.outcome_traces]
+    assert set(a.styles) == set(b.styles)
+    for style in a.styles:
+        ta, tb = a.styles[style], b.styles[style]
+        assert (ta.checked, ta.failed) == (tb.checked, tb.failed), style
+        assert ta.examples == tb.examples, style
+        assert [list(t) for t in ta.failing_traces] \
+            == [list(t) for t in tb.failing_traces], style

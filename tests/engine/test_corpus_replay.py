@@ -1,0 +1,122 @@
+"""The counterexample corpus: every persisted entry replays its failure."""
+
+import dataclasses
+
+from repro.core import SpecStyle
+from repro.engine import (CorpusEntry, EngineParams, ScenarioSpec,
+                          build_scenario, load_corpus, replay_entry,
+                          run_scenario)
+
+
+def run_with_corpus(spec, corpus_path, **param_overrides):
+    kwargs = dict(styles=(), exhaustive=False, runs=60, seed=1,
+                  max_steps=20_000, workers=1, target_shards=2,
+                  corpus_path=str(corpus_path))
+    kwargs.update(param_overrides)
+    return run_scenario(build_scenario(spec), EngineParams(**kwargs),
+                        spec=spec)
+
+
+class TestStyleEntries:
+    def test_style_violations_replay(self, tmp_path):
+        """HW-queue fails LAT_hb^abs; every persisted trace must fail it
+        again on replay in a fresh scenario rebuilt from the spec."""
+        spec = ScenarioSpec("mixed-stress",
+                            kwargs={"impl": "hw-queue/rlx", "threads": 3,
+                                    "ops": 3, "seed": 2})
+        corpus = tmp_path / "hw.corpus.jsonl"
+        result = run_with_corpus(spec, corpus,
+                                 styles=(SpecStyle.LAT_HB_ABS,),
+                                 runs=200, seed=5)
+        assert result.report.styles[SpecStyle.LAT_HB_ABS].failed > 0
+        entries = load_corpus(str(corpus))
+        assert entries and len(entries) == len(result.corpus_entries)
+        assert all(e.kind == "style" for e in entries)
+        assert all(e.style is SpecStyle.LAT_HB_ABS for e in entries)
+        for entry in entries:
+            out = replay_entry(entry)
+            assert out.reproduced, out.detail
+
+
+class TestOutcomeEntries:
+    def test_outcome_failures_replay(self, tmp_path):
+        """Fig. 1 MP without the flag: empty right-thread dequeues are
+        persisted as outcome entries and replay to the same assertion."""
+        spec = ScenarioSpec("mp-queue",
+                            kwargs={"impl": "ms", "use_flag": False})
+        corpus = tmp_path / "mp.corpus.jsonl"
+        result = run_with_corpus(spec, corpus, runs=40,
+                                 max_steps=100_000)
+        rep = result.report
+        assert rep.outcome_failures > 0
+        # Satellite: outcome traces are stored, index-aligned and capped
+        # like style counterexamples.
+        assert 0 < len(rep.outcome_traces) <= 3
+        assert len(rep.outcome_traces) == len(rep.outcome_examples)
+        entries = load_corpus(str(corpus))
+        assert entries
+        assert all(e.kind == "outcome" for e in entries)
+        for entry in entries:
+            out = replay_entry(entry)
+            assert out.reproduced, out.detail
+
+    def test_adhoc_entry_needs_explicit_scenario(self, tmp_path):
+        spec = ScenarioSpec("mp-queue",
+                            kwargs={"impl": "ms", "use_flag": False})
+        corpus = tmp_path / "mp.corpus.jsonl"
+        result = run_with_corpus(spec, corpus, runs=40,
+                                 max_steps=100_000)
+        entry = dataclasses.replace(result.corpus_entries[0], spec=None)
+        out = replay_entry(entry)
+        assert not out.reproduced and "spec" in out.detail
+        out = replay_entry(entry, scenario=build_scenario(spec))
+        assert out.reproduced
+
+
+class TestEntrySerialization:
+    def test_json_roundtrip(self):
+        entry = CorpusEntry(
+            kind="style", trace=[(3, 1), (2, 0)], violation="boom",
+            style=SpecStyle.LAT_HB_ABS, scenario_name="x",
+            spec=ScenarioSpec("spsc", kwargs={"impl": "ms", "n": 2}),
+            max_steps=123)
+        back = CorpusEntry.from_json(entry.to_json())
+        assert back.kind == entry.kind
+        assert back.trace == [(3, 1), (2, 0)]
+        assert back.violation == entry.violation
+        assert back.style is entry.style
+        assert back.spec == entry.spec
+        assert back.max_steps == 123
+
+
+class TestReplayCli:
+    def test_replay_command_reproduces_corpus(self, tmp_path, capsys):
+        from repro.__main__ import main
+        spec = ScenarioSpec("mp-queue",
+                            kwargs={"impl": "ms", "use_flag": False})
+        corpus = tmp_path / "mp.corpus.jsonl"
+        run_with_corpus(spec, corpus, runs=40, max_steps=100_000)
+        n = len(load_corpus(str(corpus)))
+
+        assert main(["replay", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert f"{n}/{n} reproduced" in out
+        assert "NOT reproduced" not in out
+
+        assert main(["replay", str(corpus), "--entry", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 reproduced" in out
+
+    def test_replay_command_usage_errors(self, tmp_path, capsys):
+        from repro.__main__ import main
+        assert main(["replay"]) == 2
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["replay", str(empty)]) == 2
+        spec = ScenarioSpec("mp-queue",
+                            kwargs={"impl": "ms", "use_flag": False})
+        corpus = tmp_path / "mp.corpus.jsonl"
+        run_with_corpus(spec, corpus, runs=40, max_steps=100_000)
+        n = len(load_corpus(str(corpus)))
+        assert main(["replay", str(corpus), "--entry", str(n)]) == 2
+        capsys.readouterr()

@@ -1,0 +1,74 @@
+"""Sharded exploration must reproduce the serial report exactly.
+
+The acceptance property of the engine: ``check_scenario(..., workers=N)``
+returns the same `ScenarioReport` as the serial path — same executions,
+same per-style tallies, same (capped) counterexample lists in the same
+order — modulo ``seconds``.
+"""
+
+from repro.checking import check_scenario
+from repro.core import SpecStyle
+from repro.engine import EngineParams, build_scenario, run_scenario
+
+from ._support import assert_reports_equal, hw_spec, vyukov_spec
+
+
+class TestExhaustiveEquivalence:
+    def test_workers4_matches_serial(self):
+        spec = vyukov_spec()
+        serial = check_scenario(build_scenario(spec),
+                                styles=(SpecStyle.LAT_HB,),
+                                exhaustive=True, max_steps=400)
+        parallel = check_scenario(build_scenario(spec),
+                                  styles=(SpecStyle.LAT_HB,),
+                                  exhaustive=True, max_steps=400,
+                                  workers=4, spec=spec)
+        assert serial.exhausted and parallel.exhausted
+        assert_reports_equal(parallel, serial)
+
+    def test_inline_sharding_matches_serial(self):
+        """Many shards, one worker: the merge path alone, no pool."""
+        spec = hw_spec()
+        scenario = build_scenario(spec)
+        serial = check_scenario(scenario,
+                                styles=(SpecStyle.LAT_HB,
+                                        SpecStyle.LAT_HB_ABS),
+                                exhaustive=True, max_steps=400)
+        params = EngineParams(styles=(SpecStyle.LAT_HB,
+                                      SpecStyle.LAT_HB_ABS),
+                              exhaustive=True, max_steps=400,
+                              workers=1, target_shards=6)
+        result = run_scenario(scenario, params, spec=spec)
+        assert result.telemetry.shards_done == len(result.shards)
+        assert_reports_equal(result.report, serial)
+
+
+class TestRandomizedEquivalence:
+    def test_workers2_matches_serial(self):
+        spec_kwargs = {"impl": "ms-queue/ra", "threads": 2, "ops": 3,
+                       "seed": 3}
+        from repro.engine import ScenarioSpec
+        spec = ScenarioSpec("mixed-stress", kwargs=spec_kwargs)
+        serial = check_scenario(build_scenario(spec),
+                                styles=(SpecStyle.LAT_HB,),
+                                runs=60, seed=11)
+        parallel = check_scenario(build_scenario(spec),
+                                  styles=(SpecStyle.LAT_HB,),
+                                  runs=60, seed=11, workers=2, spec=spec)
+        assert_reports_equal(parallel, serial)
+
+    def test_broken_impl_races_and_caps_match(self):
+        """A racy implementation exercises the capped counterexample
+        merge: the parallel run must keep the same (earliest) examples."""
+        from repro.engine import ScenarioSpec
+        spec = ScenarioSpec("mixed-stress",
+                            kwargs={"impl": "ms-queue/broken-rlx",
+                                    "threads": 2, "ops": 3, "seed": 1})
+        serial = check_scenario(build_scenario(spec),
+                                styles=(SpecStyle.LAT_HB,),
+                                runs=80, seed=3)
+        parallel = check_scenario(build_scenario(spec),
+                                  styles=(SpecStyle.LAT_HB,),
+                                  runs=80, seed=3, workers=2, spec=spec)
+        assert serial.raced > 0
+        assert_reports_equal(parallel, serial)

@@ -1,0 +1,83 @@
+"""Failure handling: transient shard failures and worker crashes."""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.checking import Scenario, check_scenario
+from repro.core import SpecStyle
+from repro.engine import (EngineParams, ShardFailed, build_scenario,
+                          run_scenario)
+
+from ._support import assert_reports_equal, vyukov_spec
+
+STYLES = (SpecStyle.LAT_HB,)
+
+
+class TestInlineRetry:
+    def test_transient_failure_is_retried(self):
+        """A factory that blows up once: the shard is requeued and the
+        final report matches a clean run exactly (the poisoned attempt
+        leaves no partial counts behind)."""
+        base = build_scenario(vyukov_spec())
+        state = {"failed": False}
+
+        def flaky_factory():
+            if not state["failed"]:
+                state["failed"] = True
+                raise RuntimeError("transient glitch")
+            return base.factory()
+
+        scenario = Scenario(base.name, flaky_factory, base.extract)
+        params = EngineParams(styles=STYLES, exhaustive=False, runs=20,
+                              seed=4, workers=1, target_shards=4)
+        result = run_scenario(scenario, params)
+        assert result.telemetry.retries == 1
+        serial = check_scenario(base, styles=STYLES, runs=20, seed=4)
+        assert_reports_equal(result.report, serial)
+
+    def test_persistent_failure_exhausts_budget(self):
+        base = build_scenario(vyukov_spec())
+
+        def doomed_factory():
+            raise RuntimeError("always broken")
+
+        scenario = Scenario("doomed", doomed_factory, base.extract)
+        params = EngineParams(styles=(), exhaustive=False, runs=4,
+                              workers=1, target_shards=1, max_retries=1)
+        with pytest.raises(ShardFailed):
+            run_scenario(scenario, params)
+
+
+class TestWorkerCrash:
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="ad-hoc scenarios reach workers only under fork")
+    def test_crashed_worker_shard_is_requeued(self, tmp_path):
+        """One worker process dies hard (os._exit) on its first task; the
+        engine recycles the pool, requeues the lost shards, and still
+        produces the serial report."""
+        flag = tmp_path / "crash-once"
+        flag.write_text("")
+        parent = os.getpid()
+        base = build_scenario(vyukov_spec())
+
+        def crashing_factory():
+            if os.getpid() != parent:
+                try:
+                    flag.unlink()  # atomic: exactly one worker wins
+                except FileNotFoundError:
+                    pass
+                else:
+                    os._exit(1)
+            return base.factory()
+
+        scenario = Scenario(base.name, crashing_factory, base.extract)
+        params = EngineParams(styles=STYLES, exhaustive=False, runs=30,
+                              seed=4, workers=2, target_shards=4)
+        result = run_scenario(scenario, params)
+        assert result.telemetry.retries >= 1
+        assert result.telemetry.shards_done == len(result.shards)
+        serial = check_scenario(base, styles=STYLES, runs=30, seed=4)
+        assert_reports_equal(result.report, serial)

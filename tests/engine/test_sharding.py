@@ -1,0 +1,81 @@
+"""Shard planning: disjointness, coverage, and serial-order determinism."""
+
+from repro.engine import (Shard, build_scenario, iter_shard,
+                          plan_exhaustive_shards, plan_random_shards)
+from repro.rmc import explore_all
+
+from ._support import vyukov_spec
+
+MAX_STEPS = 400
+
+
+class TestRandomShards:
+    def test_partition_of_seed_range(self):
+        shards = plan_random_shards(runs=103, seed=7, target=8)
+        assert len(shards) == 8
+        assert sum(s.runs for s in shards) == 103
+        # Contiguous: each chunk starts where the previous one ended.
+        offset = 7
+        for s in shards:
+            assert s.kind == "seeds"
+            assert s.seed == offset
+            offset += s.runs
+        assert offset == 7 + 103
+        assert shards == sorted(shards, key=Shard.sort_key)
+
+    def test_target_clamped_to_runs(self):
+        shards = plan_random_shards(runs=3, seed=0, target=16)
+        assert len(shards) == 3
+        assert all(s.runs == 1 for s in shards)
+
+
+class TestExhaustiveShards:
+    def test_shards_are_disjoint_subtree_roots(self):
+        scenario = build_scenario(vyukov_spec())
+        shards = plan_exhaustive_shards(scenario.factory, target=8,
+                                        max_steps=MAX_STEPS)
+        assert len(shards) >= 8
+        prefixes = [s.prefix for s in shards]
+        assert prefixes == sorted(prefixes)
+        # No prefix extends another: subtrees are pairwise disjoint.
+        for i, p in enumerate(prefixes):
+            for q in prefixes[i + 1:]:
+                assert q[:len(p)] != p
+
+    def test_shard_union_is_serial_dfs_enumeration(self):
+        """Concatenating per-shard traces in sorted shard order yields
+        exactly the serial explore_all enumeration — same executions,
+        same order."""
+        scenario = build_scenario(vyukov_spec())
+        serial = [list(r.trace)
+                  for r in explore_all(scenario.factory,
+                                       max_steps=MAX_STEPS)]
+        shards = plan_exhaustive_shards(scenario.factory, target=8,
+                                        max_steps=MAX_STEPS)
+        sharded = []
+        for shard in shards:
+            sharded.extend(
+                list(r.trace)
+                for r in iter_shard(scenario.factory, shard, MAX_STEPS,
+                                    max_executions=100_000))
+        assert sharded == serial
+
+    def test_target_one_is_whole_tree(self):
+        scenario = build_scenario(vyukov_spec())
+        shards = plan_exhaustive_shards(scenario.factory, target=1,
+                                        max_steps=MAX_STEPS)
+        assert shards == [Shard(kind="prefix", prefix=())]
+
+    def test_planning_is_deterministic(self):
+        scenario = build_scenario(vyukov_spec())
+        a = plan_exhaustive_shards(scenario.factory, 8, MAX_STEPS)
+        b = plan_exhaustive_shards(scenario.factory, 8, MAX_STEPS)
+        assert a == b
+
+
+class TestShardSerialization:
+    def test_json_roundtrip(self):
+        for shard in (Shard(kind="prefix", prefix=(0, 2, 1)),
+                      Shard(kind="prefix"),
+                      Shard(kind="seeds", seed=42, runs=13)):
+            assert Shard.from_json(shard.to_json()) == shard

@@ -21,14 +21,17 @@ class TestStyleTally:
         t.record(False, ["v1", "v2"], [(2, 1)])
         assert t.checked == 2 and t.failed == 1
         assert not t.ok
-        assert t.examples == ["v1", "v2"]
+        # One example per failing graph, index-aligned with its trace.
+        assert t.examples == ["v1"]
         assert t.failing_traces == [[(2, 1)]]
 
-    def test_example_cap(self):
+    def test_example_cap_and_alignment(self):
         t = StyleTally()
         for i in range(10):
-            t.record(False, [f"v{i}"], [i])
-        assert len(t.examples) <= 4
+            t.record(False, [f"v{i}"], [(2, i)])
+        assert t.examples == ["v0", "v1", "v2"]
+        assert t.failing_traces == [[(2, 0)], [(2, 1)], [(2, 2)]]
+        assert len(t.examples) == len(t.failing_traces) == 3
 
 
 class TestCheckScenario:
