@@ -151,3 +151,38 @@ class TestEngineScaling:
                "\n".join(rows))
         if cores >= 4:
             assert rates[4] / rates[1] > 1.5
+
+    def test_fault_recovery_overhead(self, report):
+        """What one injected worker crash costs a 2-worker run.
+
+        The same exhaustive scenario runs clean and with a
+        crash-on-first-attempt fault plan; the recovery machinery
+        (heartbeat attribution, pool rebuild, single-shard requeue) shows
+        up as the wall-clock delta, while the merged counts must be
+        unaffected.
+        """
+        from repro.engine import (EngineParams, Fault, FaultPlan,
+                                  ScenarioSpec, build_scenario,
+                                  run_scenario)
+
+        spec = ScenarioSpec("mixed-stress",
+                            kwargs={"impl": "ms-queue/ra", "threads": 3,
+                                    "ops": 1, "seed": 0})
+        scenario = build_scenario(spec)
+        params = EngineParams(styles=(), exhaustive=True, max_steps=400,
+                              max_executions=100_000, workers=2,
+                              shard_timeout=5.0, heartbeat_interval=0.05)
+        clean = run_scenario(scenario, params, spec=spec)
+        plan = FaultPlan((Fault("worker.explore", "crash", shard=1,
+                                attempt=1),))
+        with plan:
+            faulted = run_scenario(scenario, params, spec=spec)
+        assert faulted.report.executions == clean.report.executions
+        assert faulted.telemetry.retries >= 1
+        overhead = (faulted.telemetry.wall_seconds
+                    - clean.telemetry.wall_seconds)
+        report("E9 fault-recovery overhead (1 worker crash, 2 workers)",
+               f"clean   : {clean.telemetry.wall_seconds:6.2f}s\n"
+               f"crashed : {faulted.telemetry.wall_seconds:6.2f}s "
+               f"({faulted.telemetry.retries} retries)\n"
+               f"overhead: {overhead:+6.2f}s")

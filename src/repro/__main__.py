@@ -11,6 +11,7 @@ Gives downstream users the paper's experiments without writing code:
     python -m repro effort            # E7: mechanization-effort table
     python -m repro loc               # source inventory
     python -m repro replay corpus.jsonl   # re-execute counterexamples
+    python -m repro chaos             # fault-injection self-test matrix
 
 The exploration commands (``mp``, ``matrix``, ``spsc``, ``elim``) accept
 the parallel-engine flag group:
@@ -21,6 +22,9 @@ the parallel-engine flag group:
                       an interrupted run from it
     --corpus PATH     persist every failing trace as a replayable
                       JSONL corpus entry
+    --shard-timeout S hung-worker watchdog window
+    --shard-seconds / --run-seconds / --max-rss-mb
+                      graceful-degradation budgets (docs/robustness.md)
 """
 
 from __future__ import annotations
@@ -30,12 +34,26 @@ import sys
 
 
 def _engine_kwargs(args) -> dict:
-    return {
+    kwargs = {
         "workers": args.workers,
         "checkpoint": args.resume,
         "corpus": args.corpus,
         "progress": args.progress,
+        "shard_seconds": args.shard_seconds,
+        "run_seconds": args.run_seconds,
+        "max_rss_mb": args.max_rss_mb,
     }
+    if args.shard_timeout is not None:
+        kwargs["shard_timeout"] = (None if args.shard_timeout <= 0
+                                   else args.shard_timeout)
+    return kwargs
+
+
+def _print_coverage(report) -> None:
+    """One honest line when a run degraded under a budget."""
+    cov = getattr(report, "coverage", None)
+    if cov is not None and getattr(cov, "degraded", False):
+        print(f"    {cov.line()}")
 
 
 def cmd_litmus(_args) -> int:
@@ -61,6 +79,7 @@ def cmd_mp(args) -> int:
             flag = "with flag" if use_flag else "WITHOUT flag"
             print(f"{impl} {flag}: {rep.complete} completed, "
                   f"right-thread empty: {rep.outcome_failures}")
+            _print_coverage(rep)
     return 0
 
 
@@ -100,6 +119,7 @@ def cmd_spsc(args) -> int:
                                  spec=spec, **_engine_kwargs(args))
             print(f"{impl} n={n}: FIFO violations "
                   f"{rep.outcome_failures}/{args.runs}")
+            _print_coverage(rep)
     return 0
 
 
@@ -116,6 +136,7 @@ def cmd_elim(args) -> int:
     elim = rep.metrics.get("eliminated_pairs", 0)
     print(f"elim-only ES: violations={bad}, eliminated pairs={elim} "
           f"over {args.runs} runs")
+    _print_coverage(rep)
     return 0
 
 
@@ -135,6 +156,12 @@ def cmd_replay(args) -> int:
         print(f"replay: {path} is not a corpus file: {err}",
               file=sys.stderr)
         return 2
+    diag = getattr(entries, "diagnostics", None)
+    if diag is not None and diag.corrupt:
+        where = f" (quarantined to {diag.rejected_path})" \
+            if diag.rejected_path else ""
+        print(f"replay: skipped {diag.corrupt} corrupt corpus "
+              f"line(s){where}", file=sys.stderr)
     if not entries:
         print(f"replay: no corpus entries in {path}", file=sys.stderr)
         return 2
@@ -156,6 +183,17 @@ def cmd_replay(args) -> int:
         failures += not out.reproduced
     print(f"{len(selected) - failures}/{len(selected)} reproduced")
     return 1 if failures else 0
+
+
+def cmd_chaos(args) -> int:
+    from .engine.chaos import run_chaos
+    workers = max(2, args.workers)
+    print(f"chaos: fault-injection matrix, up to {workers} workers")
+    outcomes = run_chaos(max_workers=workers, emit=print)
+    failed = [o for o in outcomes if not o.ok]
+    print(f"chaos: {len(outcomes) - len(failed)}/{len(outcomes)} cells "
+          f"converged to the fault-free report")
+    return 1 if failed else 0
 
 
 def cmd_effort(_args) -> int:
@@ -199,6 +237,7 @@ COMMANDS = {
     "effort": cmd_effort,
     "loc": cmd_loc,
     "replay": cmd_replay,
+    "chaos": cmd_chaos,
 }
 
 
@@ -226,6 +265,21 @@ def main(argv=None) -> int:
                              "replayable corpus entry")
     engine.add_argument("--entry", type=int, default=None,
                         help="replay: only this corpus entry index")
+    engine.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="hung-worker watchdog window (<= 0 to wait "
+                             "forever; default 300)")
+    engine.add_argument("--shard-seconds", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per shard; on breach the "
+                             "shard returns a partial report")
+    engine.add_argument("--run-seconds", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget for the whole run; "
+                             "remaining shards are skipped on breach")
+    engine.add_argument("--max-rss-mb", type=float, default=None,
+                        metavar="MIB",
+                        help="peak-RSS ceiling per worker process")
     args = parser.parse_args(argv)
     return COMMANDS[args.command](args)
 

@@ -125,6 +125,12 @@ class ScenarioReport:
     steps: int = 0
     seconds: float = 0.0
     exhausted: bool = False
+    #: True when any shard stopped early on a resource budget breach
+    #: (see `repro.engine.budget`) — the run degraded gracefully.
+    budget_exhausted: bool = False
+    #: Engine-attached `repro.engine.budget.Coverage` describing which
+    #: shard subtrees completed (None on serial, budget-free runs).
+    coverage: Optional[object] = None
     styles: Dict[SpecStyle, StyleTally] = field(default_factory=dict)
     outcome_failures: int = 0
     outcome_examples: List[str] = field(default_factory=list)
@@ -155,6 +161,8 @@ class ScenarioReport:
         self.steps += other.steps
         self.seconds += other.seconds
         self.exhausted = self.exhausted and other.exhausted
+        self.budget_exhausted = (self.budget_exhausted
+                                 or other.budget_exhausted)
         for style, tally in other.styles.items():
             if style in self.styles:
                 self.styles[style].merge(tally)
@@ -171,6 +179,7 @@ class ScenarioReport:
 
     def __add__(self, other: "ScenarioReport") -> "ScenarioReport":
         out = ScenarioReport(scenario=self.scenario, exhausted=self.exhausted)
+        out.budget_exhausted = self.budget_exhausted
         out.styles = {s: t + StyleTally() for s, t in self.styles.items()}
         out.executions = self.executions
         out.complete = self.complete
@@ -191,7 +200,11 @@ class ScenarioReport:
             f"{self.raced} raced), {self.steps} steps, "
             f"{self.seconds:.2f}s"
             + (", exhausted" if self.exhausted else "")
+            + (", budget exhausted" if self.budget_exhausted else "")
         ]
+        if self.coverage is not None \
+                and getattr(self.coverage, "degraded", False):
+            lines.append("  " + self.coverage.line())
         for style, tally in self.styles.items():
             status = "OK" if tally.ok else f"FAILED x{tally.failed}"
             lines.append(f"  {style}: {status} over {tally.checked} graphs")
@@ -270,21 +283,35 @@ def check_scenario(
     corpus: Optional[str] = None,
     progress: bool = False,
     max_retries: int = 2,
+    shard_timeout: Optional[float] = -1.0,
+    shard_seconds: Optional[float] = None,
+    run_seconds: Optional[float] = None,
+    max_rss_mb: Optional[float] = None,
 ) -> ScenarioReport:
     """Explore the scenario and check every complete execution.
 
     With ``workers > 1`` (or any of ``checkpoint``/``corpus``/
-    ``progress``) the exploration is delegated to the parallel engine
-    (`repro.engine`): the decision tree (exhaustive mode) or seed range
-    (randomized mode) is sharded across a process pool and the per-shard
-    partial reports are merged back — byte-for-byte equal to the serial
-    run, modulo ``seconds``.  ``spec`` optionally names the scenario in
-    the engine's builder registry so corpus entries stay replayable
-    across processes; in exhaustive parallel mode ``max_executions``
-    bounds each shard rather than the whole run.
+    ``progress``/the budgets) the exploration is delegated to the
+    parallel engine (`repro.engine`): the decision tree (exhaustive
+    mode) or seed range (randomized mode) is sharded across a process
+    pool and the per-shard partial reports are merged back —
+    byte-for-byte equal to the serial run, modulo ``seconds``.  ``spec``
+    optionally names the scenario in the engine's builder registry so
+    corpus entries stay replayable across processes; in exhaustive
+    parallel mode ``max_executions`` bounds each shard rather than the
+    whole run.
+
+    ``shard_seconds``/``run_seconds``/``max_rss_mb`` are graceful
+    degradation budgets (see ``docs/robustness.md``): on breach the run
+    returns a partial report flagged ``budget_exhausted`` with coverage
+    accounting instead of dying.  ``shard_timeout`` is the hung-worker
+    watchdog window (pass None for wait-forever; the default sentinel
+    keeps the engine's default).
     """
+    budgets = (shard_seconds is not None or run_seconds is not None
+               or max_rss_mb is not None)
     if workers <= 1 and checkpoint is None and corpus is None \
-            and not progress:
+            and not progress and not budgets:
         report = ScenarioReport(scenario=scenario.name)
         report.styles = {s: StyleTally() for s in styles}
         start = time.perf_counter()
@@ -308,7 +335,10 @@ def check_scenario(
         max_steps=max_steps, max_executions=max_executions,
         workers=workers, split_depth=split_depth,
         checkpoint_path=checkpoint, corpus_path=corpus, progress=progress,
-        max_retries=max_retries)
+        max_retries=max_retries, shard_seconds=shard_seconds,
+        run_seconds=run_seconds, max_rss_mb=max_rss_mb)
+    if shard_timeout is None or shard_timeout >= 0:
+        params.shard_timeout = shard_timeout
     return run_scenario(scenario, params, spec=spec).report
 
 

@@ -7,25 +7,42 @@ prefixes are disjoint subtrees whose union is exactly the serial
 enumeration, so sharded runs merge to byte-for-byte the serial report.
 
 * shard (`repro.engine.shard`): prefix/seed-range work items;
-* pool (`repro.engine.pool`): the driver — fan out, retry, merge;
+* pool (`repro.engine.pool`): the driver — fan out, watch, retry, merge;
 * merge (`repro.engine.merge`): shard-ordered report merging + JSON;
+* durable (`repro.engine.durable`): CRC-framed JSONL with tolerant,
+  quarantine-on-corruption loading;
 * checkpoint (`repro.engine.checkpoint`): JSONL completed-shard log;
 * corpus (`repro.engine.corpus`): replayable failing traces;
+* health (`repro.engine.health`): worker heartbeats + hung-worker
+  watchdog;
+* budget (`repro.engine.budget`): wall-clock/RSS budgets and coverage
+  accounting for graceful degradation;
+* faults (`repro.engine.faults`): deterministic fault injection —
+  the chaos harness (`repro.engine.chaos`, ``python -m repro chaos``)
+  proves the machinery above converges under crashes, hangs, and torn
+  writes;
 * telemetry (`repro.engine.telemetry`): executions/sec, ETA, workers;
 * registry/catalog: named scenario builders (the picklable face of
   closure-built scenarios).
 
 See ``docs/engine.md`` for the sharding strategy, file formats, and the
-replay workflow.
+replay workflow, and ``docs/robustness.md`` for the failure model.
 """
 
-from .checkpoint import CheckpointWriter, load_completed, run_fingerprint
+from .budget import BudgetSpec, BudgetTracker, Coverage, rss_mb
+from .checkpoint import (CheckpointWriter, load_completed,
+                         load_completed_ex, run_fingerprint)
 from .corpus import (CORPUS_CAP, CorpusEntry, CorpusSink, ReplayOutcome,
-                     append_entries, load_corpus, replay_entry)
+                     append_entries, entry_hash, load_corpus, replay_entry)
+from .durable import LineDiagnostics, append_line, read_records
+from .faults import (CRASH_EXIT_CODE, FAULT_PLAN_ENV, Fault, FaultInjected,
+                     FaultPlan, fault_point)
+from .health import (Heartbeat, HeartbeatMonitor, HeartbeatWriter,
+                     kill_worker, pid_alive)
 from .merge import (merge_reports, report_from_json, report_to_json,
                     tally_from_json, tally_to_json, trace_from_json)
-from .pool import (EngineParams, EngineResult, ShardFailed, plan_shards,
-                   run_scenario)
+from .pool import (DEFAULT_SHARD_TIMEOUT, EngineParams, EngineResult,
+                   ResultCorrupt, ShardFailed, plan_shards, run_scenario)
 from .registry import (ScenarioSpec, build_scenario, register_scenario,
                        registered_builders)
 from .shard import (SHARDS_PER_WORKER, Shard, iter_shard,
@@ -33,15 +50,22 @@ from .shard import (SHARDS_PER_WORKER, Shard, iter_shard,
 from .telemetry import ProgressReporter, TelemetrySummary
 
 __all__ = [
-    "EngineParams", "EngineResult", "ShardFailed", "run_scenario",
-    "plan_shards",
+    "EngineParams", "EngineResult", "ShardFailed", "ResultCorrupt",
+    "run_scenario", "plan_shards", "DEFAULT_SHARD_TIMEOUT",
     "Shard", "iter_shard", "plan_exhaustive_shards", "plan_random_shards",
     "SHARDS_PER_WORKER",
     "merge_reports", "report_to_json", "report_from_json",
     "tally_to_json", "tally_from_json", "trace_from_json",
-    "CheckpointWriter", "load_completed", "run_fingerprint",
+    "CheckpointWriter", "load_completed", "load_completed_ex",
+    "run_fingerprint",
     "CorpusEntry", "CorpusSink", "ReplayOutcome", "CORPUS_CAP",
-    "append_entries", "load_corpus", "replay_entry",
+    "append_entries", "entry_hash", "load_corpus", "replay_entry",
+    "LineDiagnostics", "append_line", "read_records",
+    "Fault", "FaultPlan", "FaultInjected", "fault_point",
+    "FAULT_PLAN_ENV", "CRASH_EXIT_CODE",
+    "Heartbeat", "HeartbeatWriter", "HeartbeatMonitor", "kill_worker",
+    "pid_alive",
+    "BudgetSpec", "BudgetTracker", "Coverage", "rss_mb",
     "ScenarioSpec", "register_scenario", "build_scenario",
     "registered_builders",
     "ProgressReporter", "TelemetrySummary",

@@ -1,0 +1,118 @@
+"""Resource budgets and graceful degradation for exploration runs.
+
+Long refinement-checking campaigns fail by *running out of something* —
+wall-clock, memory, patience — and the worst response is to die with
+nothing.  A :class:`BudgetTracker` rides inside each shard's exploration
+loop; on breach the shard **stops cleanly** and returns its partial
+report flagged ``budget_exhausted`` instead of crashing, and the driver
+stops starting new shards once a run-level deadline passes.
+
+The flip side of stopping early is honest accounting: a degraded
+exhaustive run must not report ``exhausted=True``.  :class:`Coverage`
+records which shard subtrees completed versus were truncated or never
+started, so the merged report can say "styles hold over k/n subtrees"
+with the truncated prefixes listed — a *bounded* claim instead of a
+false universal one.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Check RSS only every N-th breach poll (getrusage is cheap but the
+#: breach check runs once per execution).
+_RSS_POLL_EVERY = 32
+
+
+def rss_mb() -> float:
+    """Peak resident set size of this process, in MiB."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    if sys.platform == "darwin":
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """What one shard is allowed to consume."""
+
+    #: Wall-clock seconds per shard (None = unbounded).
+    shard_seconds: Optional[float] = None
+    #: Absolute run deadline, ``time.time()`` based (None = unbounded).
+    run_deadline: Optional[float] = None
+    #: Peak RSS ceiling in MiB (None = unbounded).
+    max_rss_mb: Optional[float] = None
+
+    @property
+    def enabled(self) -> bool:
+        return (self.shard_seconds is not None
+                or self.run_deadline is not None
+                or self.max_rss_mb is not None)
+
+
+class BudgetTracker:
+    """Per-shard breach detector; one cheap check per execution."""
+
+    def __init__(self, spec: BudgetSpec):
+        self.spec = spec
+        self._start = time.monotonic()
+        self._polls = 0
+
+    def breach(self) -> Optional[str]:
+        """A human-readable reason to stop, or None to keep exploring."""
+        spec = self.spec
+        if not spec.enabled:
+            return None
+        if spec.shard_seconds is not None \
+                and time.monotonic() - self._start >= spec.shard_seconds:
+            return f"shard budget of {spec.shard_seconds}s spent"
+        if spec.run_deadline is not None \
+                and time.time() >= spec.run_deadline:
+            return "run deadline passed"
+        if spec.max_rss_mb is not None:
+            if self._polls % _RSS_POLL_EVERY == 0 \
+                    and rss_mb() >= spec.max_rss_mb:
+                return (f"RSS {rss_mb():.0f} MiB over the "
+                        f"{spec.max_rss_mb:.0f} MiB ceiling")
+            self._polls += 1
+        return None
+
+
+@dataclass
+class Coverage:
+    """Which part of the planned work a (possibly degraded) run covered.
+
+    ``truncated`` lists the human-readable shard descriptions
+    (`Shard.describe`) of every shard that was budget-truncated or never
+    started; a fault-free, budget-free run has ``fraction == 1.0``.
+    """
+
+    shards_total: int = 0
+    shards_complete: int = 0
+    truncated: List[str] = field(default_factory=list)
+
+    @property
+    def fraction(self) -> float:
+        if self.shards_total <= 0:
+            return 1.0
+        return self.shards_complete / self.shards_total
+
+    @property
+    def degraded(self) -> bool:
+        return self.shards_complete < self.shards_total
+
+    def line(self) -> str:
+        head = (f"coverage: {self.shards_complete}/{self.shards_total} "
+                f"shard subtrees complete ({self.fraction:.0%})")
+        if not self.truncated:
+            return head
+        shown = ", ".join(self.truncated[:4])
+        more = len(self.truncated) - 4
+        if more > 0:
+            shown += f", +{more} more"
+        return f"{head}; truncated: {shown}"

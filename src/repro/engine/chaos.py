@@ -1,0 +1,273 @@
+"""The chaos self-test: prove the engine converges under injected faults.
+
+``python -m repro chaos`` runs a matrix of engine invocations — fault
+kind × exploration mode × worker count — with a deterministic
+:class:`repro.engine.faults.FaultPlan` active, and asserts after every
+cell that
+
+* the merged report is **identical to the fault-free serial run**
+  (modulo ``seconds`` and telemetry) — crashes, hangs, transient
+  exceptions, corrupt results, and torn durable-log writes must all be
+  absorbed, not surfaced;
+* **no child process leaked**: every worker the run started (including
+  SIGKILLed hung ones and crashed ones) has been reaped.
+
+Torn-write cells additionally exercise the recovery *cycle*: a first
+run tears a checkpoint/corpus line mid-write, a second run resumes past
+the quarantined line and heals the corpus idempotently.
+
+The matrix is intentionally small and deterministic — it is a smoke
+test run in CI on every push (see ``.github/workflows/ci.yml``), not a
+fuzzer.  Faults that take the driver process itself down (crash/hang)
+are only scheduled for pool cells (``workers >= 2``): inline execution
+shares the driver's process, where "kill the worker" would mean "kill
+the test".
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..checking.runner import ScenarioReport
+from ..core.spec_styles import SpecStyle
+from .corpus import load_corpus
+from .faults import Fault, FaultPlan
+from .pool import EngineParams, EngineResult, run_scenario
+from .registry import ScenarioSpec, build_scenario
+
+#: The chaos workload: small (20 executions exhaustively), branchy
+#: enough to split into 4+ shards, and with real style violations so
+#: the corpus path is exercised too.
+CHAOS_SPEC = ScenarioSpec("mixed-stress",
+                          kwargs={"impl": "hw-queue/rlx", "threads": 2,
+                                  "ops": 1, "seed": 0})
+
+CHAOS_STYLES: Tuple[SpecStyle, ...] = (SpecStyle.LAT_HB,)
+CHAOS_RUNS = 40
+#: Watchdog window for chaos cells: long enough that a healthy loaded
+#: worker never trips it, short enough that the hang cells stay quick.
+CHAOS_SHARD_TIMEOUT = 2.0
+CHAOS_HEARTBEAT = 0.05
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """One cell of the matrix: a fault plan under an engine config."""
+
+    name: str
+    plan: FaultPlan
+    workers: int = 1
+    exhaustive: bool = True
+    #: Run twice (resume) — for torn-write recovery cycles.
+    resume: bool = False
+    #: Attach checkpoint/corpus files to the run.
+    durable: bool = False
+
+
+@dataclass
+class ChaosOutcome:
+    """What one cell did."""
+
+    case: ChaosCase
+    ok: bool
+    detail: str = ""
+    mismatches: List[str] = field(default_factory=list)
+
+
+def report_mismatches(got: ScenarioReport,
+                      want: ScenarioReport) -> List[str]:
+    """Field-wise diff of two reports, ignoring timing (``seconds``)."""
+    bad: List[str] = []
+    for name in ("scenario", "executions", "complete", "truncated",
+                 "raced", "steps", "exhausted", "outcome_failures",
+                 "outcome_examples", "metrics"):
+        if getattr(got, name) != getattr(want, name):
+            bad.append(f"{name}: {getattr(got, name)!r} != "
+                       f"{getattr(want, name)!r}")
+    if [list(t) for t in got.outcome_traces] \
+            != [list(t) for t in want.outcome_traces]:
+        bad.append("outcome_traces differ")
+    if set(got.styles) != set(want.styles):
+        bad.append(f"styles: {set(got.styles)} != {set(want.styles)}")
+        return bad
+    for style in want.styles:
+        tg, tw = got.styles[style], want.styles[style]
+        if (tg.checked, tg.failed) != (tw.checked, tw.failed):
+            bad.append(f"{style}: checked/failed "
+                       f"{(tg.checked, tg.failed)} != "
+                       f"{(tw.checked, tw.failed)}")
+        if tg.examples != tw.examples:
+            bad.append(f"{style}: examples differ")
+        if [list(t) for t in tg.failing_traces] \
+                != [list(t) for t in tw.failing_traces]:
+            bad.append(f"{style}: failing traces differ")
+    return bad
+
+
+def _params(case: ChaosCase, workdir: Optional[str]) -> EngineParams:
+    params = EngineParams(
+        styles=CHAOS_STYLES, exhaustive=case.exhaustive, runs=CHAOS_RUNS,
+        seed=0, max_steps=100_000, workers=case.workers, target_shards=4,
+        shard_timeout=CHAOS_SHARD_TIMEOUT,
+        heartbeat_interval=CHAOS_HEARTBEAT)
+    if case.durable:
+        params.checkpoint_path = os.path.join(workdir, "checkpoint.jsonl")
+        params.corpus_path = os.path.join(workdir, "corpus.jsonl")
+    return params
+
+
+def baseline_report(exhaustive: bool) -> ScenarioReport:
+    """The fault-free serial ground truth every cell must reproduce."""
+    scenario = build_scenario(CHAOS_SPEC)
+    params = EngineParams(styles=CHAOS_STYLES, exhaustive=exhaustive,
+                          runs=CHAOS_RUNS, seed=0, max_steps=100_000,
+                          workers=1, target_shards=1)
+    return run_scenario(scenario, params, spec=CHAOS_SPEC).report
+
+
+def _leaked_children(before: set) -> List[int]:
+    # active_children() joins finished processes as a side effect, so
+    # anything still listed afterwards is genuinely alive.
+    return sorted(p.pid for p in multiprocessing.active_children()
+                  if p.pid not in before)
+
+
+def run_case(case: ChaosCase,
+             baseline: ScenarioReport) -> ChaosOutcome:
+    """Run one cell and check convergence + cleanliness."""
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-") \
+        if case.durable else None
+    before = {p.pid for p in multiprocessing.active_children()}
+    try:
+        scenario = build_scenario(CHAOS_SPEC)
+        with case.plan:
+            result = run_scenario(scenario, _params(case, workdir),
+                                  spec=CHAOS_SPEC)
+        if case.resume:
+            # Second, fault-free run over the same durable files: it
+            # must resume past any torn (quarantined) lines and heal
+            # the corpus without duplicating entries.
+            result = run_scenario(build_scenario(CHAOS_SPEC),
+                                  _params(case, workdir), spec=CHAOS_SPEC)
+        mismatches = report_mismatches(result.report, baseline)
+        leaked = _leaked_children(before)
+        if leaked:
+            mismatches.append(f"leaked child processes: {leaked}")
+        if case.durable:
+            mismatches.extend(_check_corpus(workdir, result))
+        if mismatches:
+            return ChaosOutcome(case, ok=False,
+                                detail=mismatches[0],
+                                mismatches=mismatches)
+        tel = result.telemetry
+        seen = []
+        if tel.retries:
+            seen.append(f"{tel.retries} retries")
+        if tel.hung_killed:
+            seen.append(f"{tel.hung_killed} hung killed")
+        if tel.corrupt_results:
+            seen.append(f"{tel.corrupt_results} corrupt results")
+        if tel.quarantined_lines:
+            seen.append(f"{tel.quarantined_lines} lines quarantined")
+        return ChaosOutcome(case, ok=True,
+                            detail=", ".join(seen) or "clean")
+    finally:
+        if workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _check_corpus(workdir: str, result: EngineResult) -> List[str]:
+    """The persisted corpus must match the run's entries, dupe-free."""
+    path = os.path.join(workdir, "corpus.jsonl")
+    if not result.corpus_entries:
+        return []
+    if not os.path.exists(path):
+        return ["corpus file was never written"]
+    entries = load_corpus(path)
+    lines = [e.to_json() for e in entries]
+    uniq = {str(sorted(l.items())) for l in lines}
+    bad: List[str] = []
+    if len(uniq) != len(lines):
+        bad.append(f"corpus has {len(lines) - len(uniq)} duplicate "
+                   f"entries")
+    if len(entries) != len(result.corpus_entries):
+        bad.append(f"corpus has {len(entries)} entries, run produced "
+                   f"{len(result.corpus_entries)}")
+    return bad
+
+
+def build_cases(max_workers: int = 2) -> List[ChaosCase]:
+    """The chaos matrix: fault kind × mode × worker count."""
+    counts = sorted({w for w in (1, 2, max_workers) if w <= max_workers})
+    cases: List[ChaosCase] = []
+    for exhaustive in (True, False):
+        mode = "exhaustive" if exhaustive else "random"
+        for w in counts:
+            tag = f"{mode}/w{w}"
+            # Transient exception on shard 1's first attempt: the retry
+            # path, exercised inline and pooled alike.
+            cases.append(ChaosCase(
+                name=f"{tag}/raise",
+                plan=FaultPlan((Fault("worker.explore", "raise",
+                                      shard=1, attempt=1),)),
+                workers=w, exhaustive=exhaustive))
+            # Torn checkpoint + corpus lines, then a resume that must
+            # quarantine them and converge anyway.
+            cases.append(ChaosCase(
+                name=f"{tag}/torn-write",
+                plan=FaultPlan((Fault("checkpoint.append", "torn"),
+                                Fault("corpus.append", "torn"))),
+                workers=w, exhaustive=exhaustive,
+                durable=True, resume=True))
+            if w < 2:
+                continue  # crash/hang/corrupt would take the driver down
+            cases.append(ChaosCase(
+                name=f"{tag}/crash",
+                plan=FaultPlan((Fault("worker.explore", "crash",
+                                      shard=1, attempt=1),)),
+                workers=w, exhaustive=exhaustive))
+            cases.append(ChaosCase(
+                name=f"{tag}/hang",
+                plan=FaultPlan((Fault("worker.explore", "hang",
+                                      shard=1, attempt=1),)),
+                workers=w, exhaustive=exhaustive))
+            cases.append(ChaosCase(
+                name=f"{tag}/corrupt-result",
+                plan=FaultPlan((Fault("worker.result", "corrupt",
+                                      shard=0, attempt=1),)),
+                workers=w, exhaustive=exhaustive))
+            # The acceptance triple, together in one run.
+            cases.append(ChaosCase(
+                name=f"{tag}/crash+hang+torn",
+                plan=FaultPlan((Fault("worker.explore", "crash",
+                                      shard=1, attempt=1),
+                                Fault("worker.explore", "hang",
+                                      shard=2, attempt=1),
+                                Fault("checkpoint.append", "torn"),
+                                Fault("corpus.append", "torn"))),
+                workers=w, exhaustive=exhaustive,
+                durable=True, resume=True))
+    return cases
+
+
+def run_chaos(max_workers: int = 2,
+              emit: Optional[Callable[[str], None]] = None) \
+        -> List[ChaosOutcome]:
+    """Run the whole matrix; ``emit`` gets one line per cell."""
+    say = emit or (lambda _line: None)
+    baselines: Dict[bool, ScenarioReport] = {
+        mode: baseline_report(mode) for mode in (True, False)}
+    outcomes: List[ChaosOutcome] = []
+    for case in build_cases(max_workers):
+        outcome = run_case(case, baselines[case.exhaustive])
+        outcomes.append(outcome)
+        status = "ok" if outcome.ok else "FAIL"
+        say(f"  {case.name:<34} {status:<4} {outcome.detail}")
+        for extra in outcome.mismatches[1:]:
+            say(f"    {extra}")
+    return outcomes

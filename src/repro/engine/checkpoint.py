@@ -4,7 +4,12 @@ Every completed shard appends one line::
 
     {"fp": "<run fingerprint>", "shard": 17,
      "report": {... report_to_json ...},
-     "corpus": [... CorpusEntry.to_json ...]}
+     "corpus": [... CorpusEntry.to_json ...],
+     "v": 1, "crc": "<crc32 of the payload>"}
+
+The ``v``/``crc`` framing and the single-``write()`` fsynced appends
+come from `repro.engine.durable`; corrupt lines are quarantined to a
+``.rejected`` sidecar on load instead of being silently dropped.
 
 The *fingerprint* hashes everything that determines the work partition —
 the scenario spec (or name for ad-hoc scenarios), the exploration
@@ -23,11 +28,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from typing import Dict, List, Optional, Tuple
 
 from ..checking.runner import ScenarioReport
 from .corpus import CorpusEntry
+from .durable import LineDiagnostics, append_line, read_records
 from .merge import report_from_json, report_to_json
 from .registry import ScenarioSpec
 from .shard import Shard
@@ -43,43 +48,48 @@ def run_fingerprint(scenario_name: str, spec: Optional[ScenarioSpec],
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
-def load_completed(path: str, fingerprint: str) \
-        -> Tuple[Dict[int, Tuple[ScenarioReport, List[CorpusEntry]]], set]:
-    """Read a checkpoint file: this run's completed shards + markers.
+def load_completed_ex(path: str, fingerprint: str) \
+        -> Tuple[Dict[int, Tuple[ScenarioReport, List[CorpusEntry]]],
+                 set, LineDiagnostics]:
+    """Read a checkpoint file: completed shards, markers, diagnostics.
 
-    Malformed trailing lines (a write cut off mid-crash) are skipped —
-    the shard they would have recorded is simply re-explored.  Markers
-    (e.g. ``corpus_flushed``) record run-level events so a fully-resumed
-    rerun does not repeat them.
+    Lines are versioned and CRC-tagged (`repro.engine.durable`); a line
+    cut off mid-crash, bit-rotted, or otherwise malformed is skipped and
+    quarantined to the ``.rejected`` sidecar — the shard it would have
+    recorded is simply re-explored.  Markers (e.g. ``corpus_flushed``)
+    record run-level events so a fully-resumed rerun does not repeat
+    them.
     """
     done: Dict[int, Tuple[ScenarioReport, List[CorpusEntry]]] = {}
     markers: set = set()
-    if not path or not os.path.exists(path):
-        return done, markers
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                data = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if data.get("fp") != fingerprint:
-                continue
-            if "marker" in data:
-                markers.add(data["marker"])
-                continue
-            if "shard" not in data:
-                continue
+    records, diag = read_records(path)
+    for data in records:
+        if data.get("fp") != fingerprint:
+            continue
+        if "marker" in data:
+            markers.add(data["marker"])
+            continue
+        if "shard" not in data:
+            continue
+        try:
             done[int(data["shard"])] = (
                 report_from_json(data["report"]),
                 [CorpusEntry.from_json(e) for e in data.get("corpus", [])])
+        except (KeyError, TypeError, ValueError):
+            diag.loaded -= 1
+            diag.corrupt += 1
+    return done, markers, diag
+
+
+def load_completed(path: str, fingerprint: str) \
+        -> Tuple[Dict[int, Tuple[ScenarioReport, List[CorpusEntry]]], set]:
+    """`load_completed_ex` without the diagnostics (compat wrapper)."""
+    done, markers, _diag = load_completed_ex(path, fingerprint)
     return done, markers
 
 
 class CheckpointWriter:
-    """Appends one fingerprint-tagged line per completed shard."""
+    """Appends one fingerprint-tagged durable line per completed shard."""
 
     def __init__(self, path: str, fingerprint: str):
         self.path = path
@@ -87,18 +97,15 @@ class CheckpointWriter:
 
     def write_shard(self, shard_id: int, report: ScenarioReport,
                     entries: List[CorpusEntry]) -> None:
-        self._append(json.dumps({
+        self._append({
             "fp": self.fingerprint,
             "shard": shard_id,
             "report": report_to_json(report),
             "corpus": [e.to_json() for e in entries],
-        }))
+        })
 
     def write_marker(self, marker: str) -> None:
-        self._append(json.dumps({"fp": self.fingerprint, "marker": marker}))
+        self._append({"fp": self.fingerprint, "marker": marker})
 
-    def _append(self, line: str) -> None:
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+    def _append(self, payload: Dict) -> None:
+        append_line(self.path, payload, site="checkpoint.append")

@@ -18,17 +18,24 @@ and re-execute the exact decision sequence (``python -m repro replay
 corpus.jsonl``).  Ad-hoc scenarios (no registered builder) record
 ``"scenario": null`` and replay only in-process via
 :func:`replay_entry` with an explicit scenario.
+
+On disk each line additionally carries the durable-record framing
+(``"v"`` + ``"crc"``, see `repro.engine.durable`); appends are single
+fsynced ``O_APPEND`` writes, loading skips-and-quarantines damaged
+lines, and re-appending the same entries is a no-op (content-hash
+dedupe), so the corpus survives crashes, kills, and concurrent
+appenders.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from ..checking.runner import Scenario
 from ..core.spec_styles import SpecStyle, check_style
 from ..rmc.scheduler import FixedDecider
+from .durable import LineDiagnostics, append_line, canonical, read_records
 from .merge import trace_from_json
 from .registry import ScenarioSpec, build_scenario
 
@@ -102,23 +109,75 @@ class CorpusSink:
             max_steps=self.max_steps))
 
 
-def append_entries(path: str, entries: List[CorpusEntry]) -> None:
-    """Append entries to a JSONL corpus file (one entry per line)."""
+def entry_hash(payload) -> str:
+    """Content hash of one entry's canonical JSON — the dedupe key that
+    makes corpus flushes idempotent across kill/resume cycles."""
+    return canonical(payload)
+
+
+def existing_hashes(path: str) -> Set[str]:
+    """Content hashes already persisted at ``path`` (tolerant read)."""
+    records, _diag = read_records(path, quarantine=False)
+    return {entry_hash(r) for r in records}
+
+
+def append_entries(path: str, entries: List[CorpusEntry],
+                   dedupe: bool = True) -> int:
+    """Append entries as durable JSONL lines; returns how many were new.
+
+    Each line is a single ``O_APPEND`` ``write()`` + fsync (see
+    `repro.engine.durable`), so concurrent appenders are safe and a
+    mid-line crash can only tear the final line.  With ``dedupe`` (the
+    default) entries whose content hash is already present are skipped,
+    which makes the flush idempotent: a crash between the append and the
+    checkpoint's ``corpus_flushed`` marker no longer duplicates every
+    entry on resume.
+    """
     if not entries:
-        return
-    with open(path, "a", encoding="utf-8") as fh:
-        for entry in entries:
-            fh.write(json.dumps(entry.to_json()) + "\n")
+        return 0
+    seen = existing_hashes(path) if dedupe else set()
+    written = 0
+    for entry in entries:
+        payload = entry.to_json()
+        key = entry_hash(payload)
+        if key in seen:
+            continue
+        seen.add(key)
+        append_line(path, payload, site="corpus.append")
+        written += 1
+    return written
 
 
-def load_corpus(path: str) -> List[CorpusEntry]:
-    entries = []
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                entries.append(CorpusEntry.from_json(json.loads(line)))
-    return entries
+class CorpusEntries(List[CorpusEntry]):
+    """A loaded corpus plus what the tolerant loader saw on the way."""
+
+    def __init__(self, entries=(), diagnostics: LineDiagnostics = None):
+        super().__init__(entries)
+        self.diagnostics = diagnostics or LineDiagnostics()
+
+
+def load_corpus(path: str) -> CorpusEntries:
+    """Load a corpus, skipping (and quarantining) malformed lines.
+
+    A torn final line, a blank-corrupt line, or a CRC mismatch no longer
+    raises — like `repro.engine.checkpoint.load_completed`, damaged
+    lines are skipped, copied once to the ``.rejected`` sidecar, and
+    counted in the returned list's ``diagnostics``.
+    """
+    records, diag = read_records(path)
+    entries: List[CorpusEntry] = []
+    bad: List[str] = []
+    for record in records:
+        try:
+            entries.append(CorpusEntry.from_json(record))
+        except (KeyError, TypeError, ValueError):
+            diag.loaded -= 1
+            diag.corrupt += 1
+            bad.append(canonical(record))
+    if bad:
+        from .durable import _quarantine
+        diag.rejected_path = _quarantine(path, bad) or diag.rejected_path
+    return CorpusEntries(entries, diag)
 
 
 @dataclass

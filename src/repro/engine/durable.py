@@ -1,0 +1,160 @@
+"""Durable JSONL records: versioned, CRC-tagged, torn-write tolerant.
+
+Both persistent logs (the checkpoint and the counterexample corpus) use
+the same line discipline:
+
+* every line is one JSON object carrying ``"v": 1`` and a ``"crc"`` —
+  the CRC32 of the payload's canonical JSON (sorted keys, no spaces)
+  *without* the two framing fields;
+* appends are a **single** ``write()`` on an ``O_APPEND`` descriptor
+  followed by ``fsync`` — concurrent appenders (the ROADMAP's
+  distributed-sharding interface) interleave at line granularity and a
+  crash can only ever tear the final line;
+* loaders never raise on a damaged line: anything that fails to parse or
+  fails its CRC is **quarantined** — appended once to a ``.rejected``
+  sidecar next to the log — counted in :class:`LineDiagnostics`, and
+  skipped.  Legacy lines written before this format (no ``crc`` field)
+  still load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .faults import torn_text
+
+#: Current on-disk record version.
+RECORD_VERSION = 1
+
+#: Suffix of the quarantine sidecar for corrupt lines.
+REJECTED_SUFFIX = ".rejected"
+
+
+class CorruptLine(ValueError):
+    """A JSONL line that failed to parse or failed its CRC."""
+
+
+@dataclass
+class LineDiagnostics:
+    """What a tolerant load saw: kept, quarantined, legacy counts."""
+
+    total: int = 0
+    loaded: int = 0
+    corrupt: int = 0
+    legacy: int = 0
+    rejected_path: Optional[str] = None
+
+    def note(self, other: "LineDiagnostics") -> None:
+        self.total += other.total
+        self.loaded += other.loaded
+        self.corrupt += other.corrupt
+        self.legacy += other.legacy
+        self.rejected_path = other.rejected_path or self.rejected_path
+
+
+def canonical(payload: Dict) -> str:
+    """The byte-stable JSON form CRCs and content hashes are taken over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _crc(payload: Dict) -> str:
+    return f"{zlib.crc32(canonical(payload).encode('utf-8')):08x}"
+
+
+def encode_line(payload: Dict) -> str:
+    """Frame a payload as one versioned, CRC-tagged JSONL line."""
+    framed = dict(payload)
+    framed["v"] = RECORD_VERSION
+    framed["crc"] = _crc(payload)
+    return canonical(framed)
+
+
+def decode_line(line: str) -> Tuple[Dict, bool]:
+    """Parse one line back to its payload.
+
+    Returns ``(payload, legacy)`` where ``legacy`` flags a pre-format
+    line that carried no CRC.  Raises :class:`CorruptLine` on anything
+    unparseable or CRC-mismatched.
+    """
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise CorruptLine(f"unparseable JSONL line: {err}") from err
+    if not isinstance(data, dict):
+        raise CorruptLine("JSONL line is not an object")
+    if "crc" not in data:
+        return data, True
+    crc = data.pop("crc")
+    data.pop("v", None)
+    if _crc(data) != crc:
+        raise CorruptLine("CRC mismatch (torn or bit-rotted line)")
+    return data, False
+
+
+def append_line(path: str, payload: Dict, site: str) -> None:
+    """Append one framed record: a single ``O_APPEND`` write + fsync.
+
+    ``site`` names the fault-injection site (``checkpoint.append`` /
+    ``corpus.append``) so chaos runs can tear exactly this write.
+    """
+    text = torn_text(site, encode_line(payload) + "\n")
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, text.encode("utf-8"))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _quarantine(path: str, bad_lines: Iterable[str]) -> Optional[str]:
+    """Append corrupt raw lines (once each) to the ``.rejected`` sidecar."""
+    bad = [ln for ln in bad_lines if ln]
+    if not bad:
+        return None
+    sidecar = path + REJECTED_SUFFIX
+    seen = set()
+    if os.path.exists(sidecar):
+        with open(sidecar, "r", encoding="utf-8") as fh:
+            seen = {ln.rstrip("\n") for ln in fh}
+    fresh = [ln for ln in bad if ln not in seen]
+    if fresh:
+        fd = os.open(sidecar, os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                     0o644)
+        try:
+            os.write(fd, ("\n".join(fresh) + "\n").encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+    return sidecar
+
+
+def read_records(path: str, quarantine: bool = True) \
+        -> Tuple[List[Dict], LineDiagnostics]:
+    """Load every intact record; skip-and-quarantine the rest."""
+    records: List[Dict] = []
+    diag = LineDiagnostics()
+    bad: List[str] = []
+    if not path or not os.path.exists(path):
+        return records, diag
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            diag.total += 1
+            try:
+                payload, legacy = decode_line(line)
+            except CorruptLine:
+                diag.corrupt += 1
+                bad.append(line)
+                continue
+            diag.loaded += 1
+            diag.legacy += legacy
+            records.append(payload)
+    if quarantine and bad:
+        diag.rejected_path = _quarantine(path, bad)
+    return records, diag

@@ -1,0 +1,215 @@
+"""Deterministic fault injection: the engine's own adversary.
+
+The resilience machinery (watchdogs, budgets, durable logs) is verified
+the same way the repo verifies memory-model executions — by *replaying a
+decision deterministically*.  A :class:`FaultPlan` is a seeded, explicit
+list of faults bound to named **sites**; instrumented code calls
+:func:`fault_point` / :func:`mutate_blob` / :func:`torn_text` at those
+sites, and a fault fires exactly when its coordinates match:
+
+====================  =====================================================
+site                  instrumented where
+====================  =====================================================
+``worker.explore``    once per execution inside a shard (crash/hang/raise)
+``worker.result``     the serialized shard result before it crosses the
+                      pipe back to the driver (corrupt)
+``checkpoint.append``  each checkpoint JSONL line (torn write)
+``corpus.append``     each corpus JSONL line (torn write)
+====================  =====================================================
+
+Coordinates are ``(shard, attempt, exec_at)``; ``None`` matches anything,
+so ``Fault("worker.explore", "crash", shard=1, attempt=1)`` crashes the
+worker that runs shard 1's *first* attempt and leaves the retry alone —
+which is precisely what makes chaos runs converge.  ``prob`` offers a
+seeded probabilistic alternative (the decision is a hash of the plan seed
+and the coordinates, so it is identical on every rerun).
+
+Plans cross the process boundary through the ``REPRO_FAULT_PLAN``
+environment variable: ``fork`` workers inherit it with the address space
+and ``spawn`` workers inherit it with the environment, so the same plan
+drives every process of a run.  With no plan active every hook is a
+single dict lookup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Environment variable carrying the active plan across processes.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Exit code of an injected hard crash (distinguishable in waitpid logs).
+CRASH_EXIT_CODE = 86
+
+KINDS = ("crash", "hang", "raise", "corrupt", "torn")
+
+
+class FaultInjected(RuntimeError):
+    """The transient exception a ``raise`` fault throws."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault: a kind bound to a site and optional coordinates."""
+
+    site: str
+    kind: str  # one of KINDS
+    shard: Optional[int] = None
+    attempt: Optional[int] = None
+    exec_at: Optional[int] = None
+    #: Seeded firing probability, an alternative to exact coordinates.
+    prob: Optional[float] = None
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def matches(self, site: str, shard: Optional[int],
+                attempt: Optional[int], execs: Optional[int],
+                seed: int) -> bool:
+        if site != self.site:
+            return False
+        for want, got in ((self.shard, shard), (self.attempt, attempt),
+                          (self.exec_at, execs)):
+            if want is not None and want != got:
+                return False
+        if self.prob is not None:
+            digest = hashlib.sha256(
+                f"{seed}:{site}:{shard}:{attempt}:{execs}"
+                .encode("utf-8")).digest()
+            draw = int.from_bytes(digest[:4], "big") / 2 ** 32
+            if draw >= self.prob:
+                return False
+        return True
+
+    def to_json(self) -> Dict:
+        out = {"site": self.site, "kind": self.kind}
+        for key in ("shard", "attempt", "exec_at", "prob"):
+            val = getattr(self, key)
+            if val is not None:
+                out[key] = val
+        if self.hang_seconds != 3600.0:
+            out["hang_seconds"] = self.hang_seconds
+        return out
+
+    @staticmethod
+    def from_json(data: Dict) -> "Fault":
+        return Fault(site=data["site"], kind=data["kind"],
+                     shard=data.get("shard"), attempt=data.get("attempt"),
+                     exec_at=data.get("exec_at"), prob=data.get("prob"),
+                     hang_seconds=data.get("hang_seconds", 3600.0))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serializable set of faults for one chaos run."""
+
+    faults: Tuple[Fault, ...] = ()
+    seed: int = 0
+
+    def encode(self) -> str:
+        return json.dumps({"seed": self.seed,
+                           "faults": [f.to_json() for f in self.faults]},
+                          sort_keys=True)
+
+    @staticmethod
+    def decode(text: str) -> "FaultPlan":
+        data = json.loads(text)
+        return FaultPlan(faults=tuple(Fault.from_json(f)
+                                      for f in data.get("faults", [])),
+                         seed=data.get("seed", 0))
+
+    def activate(self) -> None:
+        """Install the plan for this process and every child it starts."""
+        os.environ[FAULT_PLAN_ENV] = self.encode()
+
+    @staticmethod
+    def deactivate() -> None:
+        os.environ.pop(FAULT_PLAN_ENV, None)
+
+    def __enter__(self) -> "FaultPlan":
+        self.activate()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.deactivate()
+
+
+# Parsed-plan cache and fired-fault set, both keyed to the raw env value
+# so switching plans (or deactivating) resets one-shot accounting.
+_CACHE: Dict[str, object] = {"raw": None, "plan": None}
+_FIRED: set = set()
+
+
+def _active_plan() -> Optional[FaultPlan]:
+    raw = os.environ.get(FAULT_PLAN_ENV)
+    if raw is None:
+        return None
+    if raw != _CACHE["raw"]:
+        _CACHE["raw"] = raw
+        _CACHE["plan"] = FaultPlan.decode(raw)
+        _FIRED.clear()
+    return _CACHE["plan"]
+
+
+def _iter_matching(site: str, kinds: Tuple[str, ...],
+                   shard: Optional[int], attempt: Optional[int],
+                   execs: Optional[int]):
+    plan = _active_plan()
+    if plan is None:
+        return
+    for idx, fault in enumerate(plan.faults):
+        if fault.kind not in kinds:
+            continue
+        if not fault.matches(site, shard, attempt, execs, plan.seed):
+            continue
+        key = (idx, shard, attempt, execs)
+        if key in _FIRED:
+            continue
+        _FIRED.add(key)
+        yield plan, fault
+
+
+def fault_point(site: str, shard: Optional[int] = None,
+                attempt: Optional[int] = None,
+                execs: Optional[int] = None) -> None:
+    """Crash, hang, or raise here if the active plan says so."""
+    for _plan, fault in _iter_matching(site, ("crash", "hang", "raise"),
+                                       shard, attempt, execs):
+        if fault.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if fault.kind == "hang":
+            # A plain sleep: killable by SIGKILL, which is exactly how
+            # the watchdog is expected to clear it.
+            time.sleep(fault.hang_seconds)
+            return
+        raise FaultInjected(f"injected transient fault at {site} "
+                            f"(shard={shard}, attempt={attempt})")
+
+
+def mutate_blob(site: str, blob: str, shard: Optional[int] = None,
+                attempt: Optional[int] = None) -> str:
+    """Deterministically corrupt ``blob`` if a ``corrupt`` fault matches."""
+    for plan, _fault in _iter_matching(site, ("corrupt",), shard, attempt,
+                                       None):
+        digest = hashlib.sha256(
+            f"{plan.seed}:{site}:{shard}:{attempt}".encode()).digest()
+        pos = digest[0] % max(len(blob), 1)
+        flipped = chr((ord(blob[pos]) ^ 0x20) or 0x21)
+        blob = blob[:pos] + flipped + blob[pos + 1:]
+    return blob
+
+
+def torn_text(site: str, text: str) -> str:
+    """Halve ``text`` (a JSONL line) if a ``torn`` fault matches — the
+    on-disk shape of a write cut off mid-crash.  The newline is kept so
+    only this one record is damaged under later appends."""
+    for _plan, _fault in _iter_matching(site, ("torn",), None, None, None):
+        return text[:max(len(text) // 2, 1)].rstrip("\n") + "\n"
+    return text

@@ -1,0 +1,174 @@
+"""Worker health: per-pid heartbeats and the driver-side watchdog.
+
+A hung worker used to stall the whole run (``shard_timeout`` defaulted
+to wait-forever, and recycling the pool with
+``shutdown(wait=False, cancel_futures=True)`` never terminates a task
+that is already *running*, leaking the child).  Heartbeats make the
+failure observable and attributable:
+
+* each worker owns one small file ``hb-<pid>.json`` in a per-run
+  temporary directory, atomically replaced (write-temp + ``rename``)
+  at most every ``interval`` seconds with
+  ``{"pid": ..., "shard": ..., "execs": ..., "ts": time.time()}``;
+* the driver scans the directory while it waits on futures.  A *live*
+  worker whose beat is older than the timeout is **hung**: the driver
+  ``SIGKILL``\\ s that pid and requeues only its shard.  A *dead* pid's
+  last beat names the shard a crashed worker took down, so a broken
+  pool charges the retry budget of exactly one shard.
+
+Files (not a ``multiprocessing`` queue) because they survive both
+``fork`` and ``spawn`` start methods, need no extra pipe through the
+executor, and a torn beat is harmless — the reader just skips it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+#: Default seconds between beat writes (reads are driver-side polls).
+HEARTBEAT_INTERVAL = 0.25
+
+_PREFIX = "hb-"
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One worker's last published state."""
+
+    pid: int
+    shard: int
+    execs: int
+    ts: float
+
+    def age(self, now: Optional[float] = None) -> float:
+        return (now if now is not None else time.time()) - self.ts
+
+
+def pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def kill_worker(pid: int) -> bool:
+    """SIGKILL a hung worker; True if the signal was delivered."""
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except OSError:
+        return False
+    return True
+
+
+class HeartbeatWriter:
+    """Worker side: publish this process's beat, throttled."""
+
+    def __init__(self, dirpath: str, interval: float = HEARTBEAT_INTERVAL):
+        self.dirpath = dirpath
+        self.interval = interval
+        self.path = os.path.join(dirpath, f"{_PREFIX}{os.getpid()}.json")
+        self._last = 0.0
+
+    def beat(self, shard: int, execs: int, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last < self.interval:
+            return
+        self._last = now
+        payload = json.dumps({"pid": os.getpid(), "shard": shard,
+                              "execs": execs, "ts": time.time()})
+        tmp = f"{self.path}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass  # a missed beat is indistinguishable from a slow one
+
+
+class HeartbeatMonitor:
+    """Driver side: read beats, spot hung workers, attribute dead ones."""
+
+    def __init__(self, dirpath: str, timeout: Optional[float]):
+        self.dirpath = dirpath
+        self.timeout = timeout
+        self._handled: Set[int] = set()  # pids already killed/charged
+
+    def read(self) -> Dict[int, Heartbeat]:
+        beats: Dict[int, Heartbeat] = {}
+        try:
+            names = os.listdir(self.dirpath)
+        except OSError:
+            return beats
+        for name in names:
+            if not name.startswith(_PREFIX) or not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self.dirpath, name), "r",
+                          encoding="utf-8") as fh:
+                    data = json.load(fh)
+                beat = Heartbeat(pid=int(data["pid"]),
+                                 shard=int(data["shard"]),
+                                 execs=int(data["execs"]),
+                                 ts=float(data["ts"]))
+            except (OSError, ValueError, KeyError):
+                continue  # torn or half-written beat: skip
+            beats[beat.pid] = beat
+        return beats
+
+    def ignore(self, pid: int) -> None:
+        """Mark a pid handled so it is never charged twice."""
+        self._handled.add(pid)
+
+    def hung(self, beats: Dict[int, Heartbeat], in_flight: Iterable[int],
+             worker_pids: Iterable[int]) -> List[Heartbeat]:
+        """Live pool workers whose beat went stale on an in-flight shard."""
+        if self.timeout is None:
+            return []
+        now = time.time()
+        flight, pool = set(in_flight), set(worker_pids)
+        return [b for b in beats.values()
+                if b.pid in pool and b.pid not in self._handled
+                and b.shard in flight and b.age(now) > self.timeout
+                and pid_alive(b.pid)]
+
+    def crashed_worker_shards(self, procs: Dict[int, Any],
+                              beats: Dict[int, Heartbeat],
+                              in_flight: Iterable[int]) -> Dict[int, int]:
+        """``{pid: shard}`` of workers that *crashed* while holding an
+        in-flight shard — the shards a broken pool should actually
+        charge.
+
+        ``procs`` is the pool's pid → ``multiprocessing.Process`` table.
+        Aliveness alone cannot attribute the break: the crashed child is
+        a zombie (``os.kill(pid, 0)`` still succeeds), and by the time
+        the driver sees ``BrokenProcessPool`` the executor has SIGTERMed
+        the *innocent* workers too.  The exit code tells them apart —
+        ``-SIGTERM`` is the pool's own cleanup gun, anything else
+        (``os._exit``, SIGKILL, a segfault) is a real crash.
+        """
+        flight = set(in_flight)
+        crashed: Dict[int, int] = {}
+        for pid, proc in procs.items():
+            if pid in self._handled or proc.is_alive():
+                continue
+            if proc.exitcode in (None, 0, -signal.SIGTERM):
+                continue
+            beat = beats.get(pid)
+            if beat is not None and beat.shard in flight:
+                crashed[pid] = beat.shard
+        self._handled.update(crashed)
+        return crashed
+
+    def freshest(self, beats: Dict[int, Heartbeat]) -> float:
+        """Most recent beat timestamp (0.0 when there are none)."""
+        return max((b.ts for b in beats.values()), default=0.0)

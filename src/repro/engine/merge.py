@@ -76,6 +76,7 @@ def report_to_json(report: ScenarioReport) -> Dict[str, Any]:
         "steps": report.steps,
         "seconds": report.seconds,
         "exhausted": report.exhausted,
+        "budget_exhausted": report.budget_exhausted,
         "styles": {style.name: tally_to_json(tally)
                    for style, tally in report.styles.items()},
         "outcome_failures": report.outcome_failures,
@@ -95,6 +96,7 @@ def report_from_json(data: Dict[str, Any]) -> ScenarioReport:
         steps=data["steps"],
         seconds=data["seconds"],
         exhausted=data["exhausted"],
+        budget_exhausted=data.get("budget_exhausted", False),
         outcome_failures=data["outcome_failures"],
         outcome_examples=list(data["outcome_examples"]),
         outcome_traces=[trace_from_json(t) for t in data["outcome_traces"]],

@@ -1,4 +1,4 @@
-"""The parallel exploration driver: shard, fan out, merge, persist.
+"""The parallel exploration driver: shard, fan out, watch, merge, persist.
 
 `run_scenario` supersedes the serial ``check_scenario`` loop while
 keeping `explore_all`/`explore_random` as the single-worker core:
@@ -8,39 +8,64 @@ keeping `explore_all`/`explore_random` as the single-worker core:
 2. **resume** — drop shards already completed by an identical earlier
    run, recovered from the checkpoint log (`repro.engine.checkpoint`);
 3. **explore** — run the remaining shards, inline for one worker or on a
-   ``ProcessPoolExecutor`` for many; a worker crash or poisoned shard is
-   requeued with bounded retries instead of losing the subtree;
+   ``ProcessPoolExecutor`` for many.  Workers publish heartbeats
+   (`repro.engine.health`); the driver SIGKILLs a *specific* hung worker
+   and requeues only its shard, attributes a crashed worker's shard via
+   its last beat, CRC-checks every result that crosses the pipe, and
+   retries any failure within a bounded budget.  Per-shard and per-run
+   resource budgets (`repro.engine.budget`) degrade gracefully into
+   partial reports instead of dying;
 4. **merge** — fold per-shard partial reports *in shard order*
    (`repro.engine.merge`), reproducing the serial report exactly
-   (modulo timing); persist counterexamples to the corpus
-   (`repro.engine.corpus`).
+   (modulo timing) when nothing was truncated — and an honest
+   `repro.engine.budget.Coverage` when something was; persist
+   counterexamples idempotently to the corpus (`repro.engine.corpus`).
 
 Workers receive the scenario through the pool initializer: under the
 ``fork`` start method the closure-laden `Scenario` object is inherited
 by memory, and under ``spawn`` the registry spec is rebuilt instead —
-shard descriptions and shard results are the only things pickled.
+shard descriptions and CRC-tagged shard results are the only things
+pickled.  The whole failure path is itself exercised by deterministic
+fault injection (`repro.engine.faults`, ``python -m repro chaos``).
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
+import shutil
+import tempfile
 import time
+import zlib
 from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
                                 ProcessPoolExecutor, wait)
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..checking.runner import (Scenario, ScenarioReport, StyleTally,
                                record_result)
 from ..core.spec_styles import SpecStyle
-from .checkpoint import CheckpointWriter, load_completed, run_fingerprint
-from .corpus import CORPUS_CAP, CorpusEntry, CorpusSink, append_entries
-from .merge import merge_reports
+from .budget import BudgetSpec, BudgetTracker, Coverage
+from .checkpoint import (CheckpointWriter, load_completed_ex,
+                         run_fingerprint)
+from .corpus import (CORPUS_CAP, CorpusEntry, CorpusSink, append_entries,
+                     entry_hash)
+from .faults import fault_point, mutate_blob
+from .health import HeartbeatMonitor, HeartbeatWriter, kill_worker
+from .merge import merge_reports, report_from_json, report_to_json
 from .registry import ScenarioSpec, build_scenario
 from .shard import (SHARDS_PER_WORKER, Shard, iter_shard,
                     plan_exhaustive_shards, plan_random_shards)
 from .telemetry import ProgressReporter, TelemetrySummary
+
+#: Seconds a worker may go without a heartbeat (or, before its first
+#: beat, the pool without any progress) before the watchdog declares it
+#: hung.  A real default: a lone hung fork no longer stalls a run
+#: forever.  Exploration loops beat *between* executions, so keep this
+#: comfortably above the longest single execution (``max_steps`` bounds
+#: it).
+DEFAULT_SHARD_TIMEOUT = 300.0
 
 
 @dataclass
@@ -64,12 +89,28 @@ class EngineParams:
     corpus_cap: int = CORPUS_CAP
     progress: bool = False
     max_retries: int = 2
-    #: Seconds without any shard completing before the pool is recycled
-    #: and unfinished shards requeued (None = wait forever).
-    shard_timeout: Optional[float] = None
+    #: Seconds without a heartbeat before a worker is declared hung,
+    #: killed, and its shard requeued (None = wait forever).
+    shard_timeout: Optional[float] = DEFAULT_SHARD_TIMEOUT
+    #: Seconds between worker heartbeat writes.
+    heartbeat_interval: float = 0.25
+    #: Wall-clock budget per shard; a breaching shard stops cleanly and
+    #: returns a partial report flagged ``budget_exhausted``.
+    shard_seconds: Optional[float] = None
+    #: Wall-clock budget for the whole run; on breach remaining shards
+    #: are skipped and the merged report carries coverage accounting.
+    run_seconds: Optional[float] = None
+    #: Peak-RSS ceiling per worker process, in MiB.
+    max_rss_mb: Optional[float] = None
 
     def fingerprint_json(self) -> Dict:
-        """The parameters that determine exploration results."""
+        """The parameters that determine exploration results.
+
+        Budgets, timeouts, and heartbeat cadence are deliberately
+        excluded: they shape *how far* a run gets, not what any
+        completed shard contains, so checkpoints stay resumable across
+        different budget settings.
+        """
         return {
             "styles": [s.name for s in self.styles],
             "exhaustive": self.exhaustive,
@@ -78,6 +119,11 @@ class EngineParams:
             "max_steps": self.max_steps,
             "max_executions": self.max_executions,
         }
+
+    def budget_spec(self, deadline: Optional[float]) -> BudgetSpec:
+        return BudgetSpec(shard_seconds=self.shard_seconds,
+                          run_deadline=deadline,
+                          max_rss_mb=self.max_rss_mb)
 
 
 @dataclass
@@ -88,10 +134,15 @@ class EngineResult:
     telemetry: TelemetrySummary
     shards: List[Shard] = field(default_factory=list)
     corpus_entries: List[CorpusEntry] = field(default_factory=list)
+    coverage: Optional[Coverage] = None
 
 
 class ShardFailed(RuntimeError):
     """A shard kept failing after its retry budget was spent."""
+
+
+class ResultCorrupt(RuntimeError):
+    """A shard result came back failing its CRC integrity check."""
 
 
 # ----------------------------------------------------------------------
@@ -99,19 +150,31 @@ class ShardFailed(RuntimeError):
 # ----------------------------------------------------------------------
 
 def _explore_shard(scenario: Scenario, spec: Optional[ScenarioSpec],
-                   shard: Shard, params: EngineParams) \
+                   shard: Shard, params: EngineParams, shard_id: int = 0,
+                   attempt: int = 1, deadline: Optional[float] = None,
+                   beat: Optional[HeartbeatWriter] = None) \
         -> Tuple[ScenarioReport, List[CorpusEntry]]:
     report = ScenarioReport(scenario=scenario.name)
     report.styles = {s: StyleTally() for s in params.styles}
     sink = CorpusSink(scenario.name, spec, params.max_steps,
                       cap=params.corpus_cap)
+    budget = BudgetTracker(params.budget_spec(deadline))
+    if beat is not None:
+        beat.beat(shard_id, 0, force=True)
     start = time.perf_counter()
     for result in iter_shard(scenario.factory, shard, params.max_steps,
                              params.max_executions):
+        fault_point("worker.explore", shard=shard_id, attempt=attempt,
+                    execs=report.executions + 1)
         record_result(report, scenario, result, params.styles, sink)
+        if beat is not None:
+            beat.beat(shard_id, report.executions)
         if report.executions >= params.max_executions:
             break
-    report.exhausted = (params.exhaustive
+        if budget.breach() is not None:
+            report.budget_exhausted = True
+            break
+    report.exhausted = (params.exhaustive and not report.budget_exhausted
                         and report.executions < params.max_executions)
     report.seconds = time.perf_counter() - start
     return report, sink.entries
@@ -122,7 +185,9 @@ _WORKER_STATE: Dict = {}
 
 def _init_worker(scenario: Optional[Scenario],
                  spec: Optional[ScenarioSpec],
-                 params: EngineParams) -> None:
+                 params: EngineParams,
+                 deadline: Optional[float] = None,
+                 heartbeat_dir: Optional[str] = None) -> None:
     if scenario is None:
         if spec is None:
             raise RuntimeError("worker started without scenario or spec")
@@ -130,13 +195,37 @@ def _init_worker(scenario: Optional[Scenario],
     _WORKER_STATE["scenario"] = scenario
     _WORKER_STATE["spec"] = spec
     _WORKER_STATE["params"] = params
+    _WORKER_STATE["deadline"] = deadline
+    _WORKER_STATE["beat"] = (
+        HeartbeatWriter(heartbeat_dir, params.heartbeat_interval)
+        if heartbeat_dir else None)
 
 
-def _run_shard_task(shard_id: int, shard: Shard):
+def _run_shard_task(shard_id: int, shard: Shard, attempt: int = 1):
     report, entries = _explore_shard(
         _WORKER_STATE["scenario"], _WORKER_STATE["spec"], shard,
-        _WORKER_STATE["params"])
-    return shard_id, report, entries, os.getpid()
+        _WORKER_STATE["params"], shard_id=shard_id, attempt=attempt,
+        deadline=_WORKER_STATE.get("deadline"),
+        beat=_WORKER_STATE.get("beat"))
+    payload = {"report": report_to_json(report),
+               "corpus": [e.to_json() for e in entries]}
+    blob = json.dumps(payload, sort_keys=True)
+    crc = zlib.crc32(blob.encode("utf-8"))
+    # The corrupt-fault site sits *after* the CRC is taken, modelling
+    # damage in flight — which the driver-side check must catch.
+    blob = mutate_blob("worker.result", blob, shard=shard_id,
+                       attempt=attempt)
+    return shard_id, blob, crc, os.getpid()
+
+
+def _decode_result(shard_id: int, blob: str, crc: int) \
+        -> Tuple[ScenarioReport, List[CorpusEntry]]:
+    if zlib.crc32(blob.encode("utf-8")) != crc:
+        raise ResultCorrupt(f"shard {shard_id}: result failed its CRC "
+                            f"integrity check")
+    payload = json.loads(blob)
+    return (report_from_json(payload["report"]),
+            [CorpusEntry.from_json(e) for e in payload["corpus"]])
 
 
 # ----------------------------------------------------------------------
@@ -174,11 +263,16 @@ def run_scenario(scenario: Optional[Scenario], params: EngineParams,
     shards = plan_shards(scenario, params)
     fingerprint = run_fingerprint(scenario.name, spec,
                                   params.fingerprint_json(), shards)
+    deadline = (time.time() + params.run_seconds
+                if params.run_seconds is not None else None)
 
     results: Dict[int, Tuple[ScenarioReport, List[CorpusEntry]]] = {}
     markers: set = set()
+    quarantined = 0
     if params.checkpoint_path:
-        done, markers = load_completed(params.checkpoint_path, fingerprint)
+        done, markers, diag = load_completed_ex(params.checkpoint_path,
+                                                fingerprint)
+        quarantined = diag.corrupt
         for sid, (report, entries) in done.items():
             if 0 <= sid < len(shards):
                 results[sid] = (report, entries)
@@ -186,6 +280,7 @@ def run_scenario(scenario: Optional[Scenario], params: EngineParams,
     reporter = ProgressReporter(total_shards=len(shards),
                                 enabled=params.progress,
                                 label=f"engine:{scenario.name}")
+    reporter.on_quarantined(quarantined)
     for report, _entries in results.values():
         reporter.on_resumed(report.executions, report.steps)
 
@@ -197,39 +292,72 @@ def run_scenario(scenario: Optional[Scenario], params: EngineParams,
     def complete(sid: int, report: ScenarioReport,
                  entries: List[CorpusEntry], pid: int) -> None:
         results[sid] = (report, entries)
-        if writer is not None:
+        if report.budget_exhausted:
+            # Not checkpointed: a later, better-funded resume should
+            # re-explore a truncated shard rather than trust its stub.
+            reporter.on_budget_stop(sid)
+        elif writer is not None:
             writer.write_shard(sid, report, entries)
         reporter.on_shard_done(sid, pid, report.executions, report.steps)
 
     if params.workers > 1 and len(pending) > 1:
-        _run_pool(scenario, spec, params, pending, complete, reporter)
+        _run_pool(scenario, spec, params, pending, complete, reporter,
+                  deadline)
     else:
-        _run_inline(scenario, spec, params, pending, complete, reporter)
+        _run_inline(scenario, spec, params, pending, complete, reporter,
+                    deadline)
 
     telemetry = reporter.finish()
     ordered = sorted(results)
     report = merge_reports(scenario.name,
                            (results[sid][0] for sid in ordered),
                            params.exhaustive)
+    complete_sids = {sid for sid in results
+                     if not results[sid][0].budget_exhausted}
+    coverage = Coverage(
+        shards_total=len(shards),
+        shards_complete=len(complete_sids),
+        truncated=[shards[sid].describe() for sid in range(len(shards))
+                   if sid not in complete_sids])
+    report.coverage = coverage
+    if coverage.degraded:
+        # A degraded run must never claim a universal result.
+        report.exhausted = False
     entries: List[CorpusEntry] = []
+    seen_hashes: Set[str] = set()
     for sid in ordered:
-        entries.extend(results[sid][1])
+        for entry in results[sid][1]:
+            # Same content-hash dedupe as the on-disk corpus, so
+            # `corpus_entries` mirrors what a flush would persist.
+            key = entry_hash(entry.to_json())
+            if key not in seen_hashes:
+                seen_hashes.add(key)
+                entries.append(entry)
     del entries[params.corpus_cap:]
-    if params.corpus_path and "corpus_flushed" not in markers:
+    if params.corpus_path:
+        # Content-hash dedupe makes the flush idempotent, so a crash
+        # between the append and the marker cannot duplicate entries —
+        # and a torn corpus line is healed by the next resume.
         append_entries(params.corpus_path, entries)
-        if writer is not None:
+        if writer is not None and "corpus_flushed" not in markers:
             writer.write_marker("corpus_flushed")
     return EngineResult(report=report, telemetry=telemetry, shards=shards,
-                        corpus_entries=entries)
+                        corpus_entries=entries, coverage=coverage)
 
 
-def _run_inline(scenario, spec, params, pending, complete, reporter) -> None:
+def _run_inline(scenario, spec, params, pending, complete, reporter,
+                deadline=None) -> None:
     for sid, shard in pending:
+        if deadline is not None and time.time() >= deadline:
+            reporter.on_skipped(sid, "run budget exhausted")
+            continue
         attempt = 1
         while True:
             try:
                 report, entries = _explore_shard(scenario, spec, shard,
-                                                 params)
+                                                 params, shard_id=sid,
+                                                 attempt=attempt,
+                                                 deadline=deadline)
                 break
             except Exception as err:  # noqa: BLE001 — requeue any failure
                 reporter.on_retry(sid, attempt, repr(err))
@@ -241,7 +369,8 @@ def _run_inline(scenario, spec, params, pending, complete, reporter) -> None:
         complete(sid, report, entries, os.getpid())
 
 
-def _make_executor(scenario, spec, params, n_tasks):
+def _make_executor(scenario, spec, params, n_tasks, deadline=None,
+                   heartbeat_dir=None):
     methods = multiprocessing.get_all_start_methods()
     if "fork" in methods:
         ctx = multiprocessing.get_context("fork")
@@ -253,65 +382,156 @@ def _make_executor(scenario, spec, params, n_tasks):
         init_scenario = None
     return ProcessPoolExecutor(
         max_workers=min(params.workers, max(n_tasks, 1)), mp_context=ctx,
-        initializer=_init_worker, initargs=(init_scenario, spec, params))
+        initializer=_init_worker,
+        initargs=(init_scenario, spec, params, deadline, heartbeat_dir))
 
 
-def _run_pool(scenario, spec, params, pending, complete, reporter) -> None:
-    executor = _make_executor(scenario, spec, params, len(pending))
+def _worker_pids(executor) -> Set[int]:
+    return set(getattr(executor, "_processes", None) or ())
+
+
+def _teardown_executor(executor) -> None:
+    """Shut a pool down without leaking children.
+
+    ``shutdown(wait=False, cancel_futures=True)`` never terminates a
+    *running* task, so an abandoned pool is swept explicitly: every
+    worker is killed and joined (reaped).  Results already retrieved are
+    unaffected — a recycled pool's in-flight shards are requeued anyway.
+    """
+    # Snapshot first: shutdown() drops the executor's process table.
+    procs = list((getattr(executor, "_processes", None) or {}).values())
+    executor.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.kill()
+        except (OSError, ValueError):
+            pass
+    for proc in procs:
+        try:
+            proc.join(timeout=5.0)
+        except (OSError, ValueError, AssertionError):
+            pass
+
+
+def _run_pool(scenario, spec, params, pending, complete, reporter,
+              deadline=None) -> None:
+    heartbeat_dir = tempfile.mkdtemp(prefix="repro-hb-")
+    monitor = HeartbeatMonitor(heartbeat_dir, timeout=params.shard_timeout)
+    executor = _make_executor(scenario, spec, params, len(pending),
+                              deadline, heartbeat_dir)
     if executor is None:  # cannot ship the scenario to workers
-        _run_inline(scenario, spec, params, pending, complete, reporter)
+        shutil.rmtree(heartbeat_dir, ignore_errors=True)
+        _run_inline(scenario, spec, params, pending, complete, reporter,
+                    deadline)
         return
     shard_by_id = dict(pending)
     attempts = {sid: 0 for sid, _ in pending}
-    queue = [sid for sid, _ in pending]
-    futures = {}
+    futures: Dict = {}
 
-    def submit(sid: int) -> None:
-        attempts[sid] += 1
-        futures[executor.submit(_run_shard_task, sid,
-                                shard_by_id[sid])] = sid
+    def submit(sid: int, charge: bool = True) -> None:
+        if charge:
+            attempts[sid] += 1
+        futures[executor.submit(_run_shard_task, sid, shard_by_id[sid],
+                                attempts[sid])] = sid
 
-    def recycle_pool(reason: str) -> None:
-        nonlocal executor, futures
-        lost = sorted(futures.values())
-        executor.shutdown(wait=False, cancel_futures=True)
-        futures = {}
-        executor = _make_executor(scenario, spec, params, len(lost))
+    def fail_if_spent(sid: int, reason: str) -> None:
+        if attempts[sid] > params.max_retries:
+            raise ShardFailed(
+                f"shard {sid} ({shard_by_id[sid]}) failed "
+                f"{attempts[sid]} times: {reason}")
+
+    def recycle_pool(reason: str, charged: Set[int],
+                     extra: Set[int] = frozenset()) -> None:
+        """Replace a broken/stalled pool.  Only ``charged`` shards spend
+        retry budget; innocent in-flight shards are requeued for free."""
+        nonlocal executor
+        lost = sorted(set(futures.values()) | set(extra))
+        _teardown_executor(executor)
+        futures.clear()
+        executor = _make_executor(scenario, spec, params, len(lost),
+                                  deadline, heartbeat_dir)
         for sid in lost:
-            reporter.on_retry(sid, attempts[sid], reason)
-            if attempts[sid] > params.max_retries:
-                raise ShardFailed(
-                    f"shard {sid} ({shard_by_id[sid]}) failed "
-                    f"{attempts[sid]} times: {reason}")
-            submit(sid)
+            if sid in charged:
+                reporter.on_retry(sid, attempts[sid], reason)
+                fail_if_spent(sid, reason)
+                submit(sid, charge=True)
+            else:
+                submit(sid, charge=False)
 
+    # Poll fast enough for the watchdog to be responsive, but never
+    # faster than the heartbeat cadence makes meaningful.
+    poll = params.shard_timeout
+    if poll is not None:
+        poll = max(min(poll / 4, 1.0), params.heartbeat_interval)
+    last_progress = time.time()
     try:
-        for sid in queue:
+        for sid, _ in pending:
             submit(sid)
         while futures:
-            done, _ = wait(list(futures), timeout=params.shard_timeout,
+            done, _ = wait(list(futures), timeout=poll,
                            return_when=FIRST_COMPLETED)
-            if not done:  # stalled: recycle the pool, requeue in-flight
-                recycle_pool(f"no completion within "
-                             f"{params.shard_timeout}s")
+            # Snapshot now: on a broken pool the executor's manager
+            # thread empties this table while it cleans up, racing the
+            # crash-attribution read below.
+            procs = dict(getattr(executor, "_processes", None) or {})
+            now = time.time()
+            if deadline is not None and now >= deadline:
+                # Run budget spent: shed everything not yet running;
+                # running shards stop themselves at the same deadline.
+                for fut in [f for f in list(futures) if f.cancel()]:
+                    reporter.on_skipped(futures.pop(fut),
+                                        "run budget exhausted")
+            if not done:
+                if params.shard_timeout is None:
+                    continue
+                in_flight = set(futures.values())
+                beats = monitor.read()
+                hung = monitor.hung(beats, in_flight,
+                                    _worker_pids(executor))
+                if hung:
+                    for b in hung:
+                        reporter.on_hung_worker(b.pid, b.shard, b.age(now))
+                        kill_worker(b.pid)
+                        monitor.ignore(b.pid)
+                    recycle_pool(
+                        f"worker hung (no heartbeat within "
+                        f"{params.shard_timeout}s)",
+                        charged={b.shard for b in hung})
+                    last_progress = time.time()
+                elif max(monitor.freshest(beats), last_progress) \
+                        + params.shard_timeout <= now:
+                    # No completion *and* no heartbeat at all: a worker
+                    # died or hung before it could identify itself.
+                    recycle_pool(
+                        f"no completion within {params.shard_timeout}s",
+                        charged=set(in_flight))
+                    last_progress = time.time()
                 continue
+            last_progress = now
             for fut in done:
-                sid = futures.pop(fut)
+                sid = futures.pop(fut, None)
+                if sid is None:
+                    continue  # already shed by a recycle or cancel
+                if fut.cancelled():
+                    reporter.on_skipped(sid, "run budget exhausted")
+                    continue
                 try:
-                    rid, report, entries, pid = fut.result()
+                    rid, blob, crc, pid = fut.result()
+                    report, entries = _decode_result(rid, blob, crc)
                 except BrokenExecutor:
-                    # The dead worker also took this future's shard down;
-                    # recycle requeues the rest, then requeue this one.
-                    reporter.on_retry(sid, attempts[sid],
-                                      "worker process died")
-                    if attempts[sid] > params.max_retries:
-                        raise ShardFailed(
-                            f"shard {sid} ({shard_by_id[sid]}) failed "
-                            f"{attempts[sid]} times: worker process died")
-                    recycle_pool("worker process died")
-                    submit(sid)
+                    # A worker died hard.  Its last heartbeat names the
+                    # shard it took down; only that shard is charged,
+                    # every other in-flight shard requeues for free.
+                    in_flight = set(futures.values()) | {sid}
+                    dead = monitor.crashed_worker_shards(
+                        procs, monitor.read(), in_flight)
+                    charged = set(dead.values()) or in_flight
+                    recycle_pool("worker process died", charged,
+                                 extra={sid})
                     break
                 except Exception as err:  # noqa: BLE001 — requeue
+                    if isinstance(err, ResultCorrupt):
+                        reporter.on_corrupt_result(sid)
                     reporter.on_retry(sid, attempts[sid], repr(err))
                     if attempts[sid] > params.max_retries:
                         raise ShardFailed(
@@ -321,6 +541,7 @@ def _run_pool(scenario, spec, params, pending, complete, reporter) -> None:
                 else:
                     complete(rid, report, entries, pid)
     finally:
-        # Join workers on the way out; a broken/hung pool was already shut
-        # down non-blocking by recycle_pool.
-        executor.shutdown(wait=True, cancel_futures=True)
+        # Sweep the pool on every exit path; kill+join guarantees no
+        # leaked children even when a worker is wedged.
+        _teardown_executor(executor)
+        shutil.rmtree(heartbeat_dir, ignore_errors=True)

@@ -49,6 +49,13 @@ class Shard:
     def sort_key(self):
         return self.prefix if self.kind == "prefix" else (self.seed,)
 
+    def describe(self) -> str:
+        """Short human-readable identity for coverage accounting."""
+        if self.kind == "prefix":
+            return ("prefix " + ".".join(map(str, self.prefix))
+                    if self.prefix else "prefix <root>")
+        return f"seeds [{self.seed}, {self.seed + self.runs})"
+
     def to_json(self):
         if self.kind == "prefix":
             return {"kind": "prefix", "prefix": list(self.prefix)}

@@ -24,6 +24,16 @@ class TelemetrySummary:
     executions: int = 0
     steps: int = 0
     retries: int = 0
+    #: Hung workers the watchdog SIGKILLed (their shards were requeued).
+    hung_killed: int = 0
+    #: Shard results that failed the driver-side CRC check.
+    corrupt_results: int = 0
+    #: Shards never started because a run budget ran out.
+    shards_skipped: int = 0
+    #: Shards that stopped early on a per-shard budget breach.
+    budget_stops: int = 0
+    #: Corrupt checkpoint/corpus lines quarantined on load.
+    quarantined_lines: int = 0
     wall_seconds: float = 0.0
     #: shards completed per worker pid (pid 0 = inline/resumed).
     worker_shards: Dict[int, int] = field(default_factory=dict)
@@ -77,6 +87,32 @@ class ProgressReporter:
             print(f"[{self.label}] shard {shard_id} failed "
                   f"(attempt {attempt}): {error}; requeued",
                   file=self.out, flush=True)
+
+    def on_hung_worker(self, pid: int, shard_id: int, age: float) -> None:
+        self.summary.hung_killed += 1
+        if self.enabled:
+            print(f"[{self.label}] worker {pid} hung on shard {shard_id} "
+                  f"(no heartbeat for {age:.1f}s); killed and requeued",
+                  file=self.out, flush=True)
+
+    def on_corrupt_result(self, shard_id: int) -> None:
+        self.summary.corrupt_results += 1
+        if self.enabled:
+            print(f"[{self.label}] shard {shard_id} returned a corrupt "
+                  f"result (CRC mismatch); requeued",
+                  file=self.out, flush=True)
+
+    def on_skipped(self, shard_id: int, reason: str) -> None:
+        self.summary.shards_skipped += 1
+        if self.enabled:
+            print(f"[{self.label}] shard {shard_id} skipped: {reason}",
+                  file=self.out, flush=True)
+
+    def on_budget_stop(self, shard_id: int) -> None:
+        self.summary.budget_stops += 1
+
+    def on_quarantined(self, count: int) -> None:
+        self.summary.quarantined_lines += count
 
     def finish(self) -> TelemetrySummary:
         self.summary.wall_seconds = time.perf_counter() - self._start

@@ -73,6 +73,43 @@ class TestOutcomeEntries:
         assert out.reproduced
 
 
+class TestTolerantLoading:
+    def test_torn_and_blank_lines_are_skipped_with_diagnostics(
+            self, tmp_path):
+        """A corpus with a line torn mid-write (kill -9 during append)
+        used to crash ``load_corpus``; now the damage is skipped,
+        quarantined, and counted."""
+        spec = ScenarioSpec("mp-queue",
+                            kwargs={"impl": "ms", "use_flag": False})
+        corpus = tmp_path / "mp.corpus.jsonl"
+        run_with_corpus(spec, corpus, runs=40, max_steps=100_000)
+        intact = len(load_corpus(str(corpus)))
+        with open(corpus, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "outcome", "trace": [[3, 0\n')  # torn
+            fh.write("\n")                                     # blank
+            fh.write("}}garbage{{\n")                          # rot
+        entries = load_corpus(str(corpus))
+        assert len(entries) == intact
+        assert entries.diagnostics.corrupt == 2
+        assert entries.diagnostics.rejected_path == str(corpus) + ".rejected"
+        for entry in entries:
+            assert replay_entry(entry).reproduced
+
+    def test_replay_cli_reports_skipped_lines(self, tmp_path, capsys):
+        from repro.__main__ import main
+        spec = ScenarioSpec("mp-queue",
+                            kwargs={"impl": "ms", "use_flag": False})
+        corpus = tmp_path / "mp.corpus.jsonl"
+        run_with_corpus(spec, corpus, runs=40, max_steps=100_000)
+        n = len(load_corpus(str(corpus)))
+        with open(corpus, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "outcome", "tor\n')
+        assert main(["replay", str(corpus)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 1 corrupt corpus line(s)" in captured.err
+        assert f"{n}/{n} reproduced" in captured.out
+
+
 class TestEntrySerialization:
     def test_json_roundtrip(self):
         entry = CorpusEntry(

@@ -1,0 +1,88 @@
+"""Durable JSONL framing: CRC tags, torn writes, quarantine on load."""
+
+import os
+
+import pytest
+
+from repro.engine.durable import (REJECTED_SUFFIX, CorruptLine,
+                                  append_line, canonical, decode_line,
+                                  encode_line, read_records)
+from repro.engine.faults import Fault, FaultPlan
+
+
+class TestLineFraming:
+    def test_round_trip(self):
+        payload = {"shard": 3, "report": {"executions": 9}}
+        line = encode_line(payload)
+        decoded, legacy = decode_line(line)
+        assert decoded == payload
+        assert not legacy
+
+    def test_legacy_line_without_crc_loads(self):
+        decoded, legacy = decode_line('{"shard": 1}')
+        assert decoded == {"shard": 1}
+        assert legacy
+
+    def test_crc_mismatch_detected(self):
+        line = encode_line({"shard": 3, "n": 100})
+        tampered = line.replace("100", "999")
+        with pytest.raises(CorruptLine):
+            decode_line(tampered)
+
+    def test_garbage_detected(self):
+        with pytest.raises(CorruptLine):
+            decode_line('{"shard": 3, "repo')
+        with pytest.raises(CorruptLine):
+            decode_line("[1, 2, 3]")
+
+    def test_canonical_is_key_order_independent(self):
+        assert canonical({"b": 1, "a": 2}) == canonical({"a": 2, "b": 1})
+
+
+class TestAppendAndRead:
+    def test_append_then_read(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        append_line(path, {"shard": 0}, site="checkpoint.append")
+        append_line(path, {"shard": 1}, site="checkpoint.append")
+        records, diag = read_records(path)
+        assert records == [{"shard": 0}, {"shard": 1}]
+        assert (diag.total, diag.loaded, diag.corrupt) == (2, 2, 0)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        records, diag = read_records(str(tmp_path / "absent.jsonl"))
+        assert records == [] and diag.total == 0
+
+    def test_corrupt_lines_skipped_and_quarantined(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        append_line(path, {"shard": 0}, site="checkpoint.append")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"shard": 1, "torn-off-mid\n')
+            fh.write("\n")  # blank lines are not corruption
+            fh.write("not json at all\n")
+        append_line(path, {"shard": 2}, site="checkpoint.append")
+        records, diag = read_records(path)
+        assert records == [{"shard": 0}, {"shard": 2}]
+        assert diag.corrupt == 2
+        assert diag.rejected_path == path + REJECTED_SUFFIX
+        with open(diag.rejected_path, encoding="utf-8") as fh:
+            assert len(fh.readlines()) == 2
+
+    def test_quarantine_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("broken line\n")
+        read_records(path)
+        read_records(path)  # same bad line must not be re-quarantined
+        with open(path + REJECTED_SUFFIX, encoding="utf-8") as fh:
+            assert fh.readlines() == ["broken line\n"]
+
+    def test_torn_fault_tears_exactly_one_append(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        plan = FaultPlan((Fault("corpus.append", "torn"),), seed=5)
+        with plan:
+            append_line(path, {"entry": 0}, site="corpus.append")
+            append_line(path, {"entry": 1}, site="corpus.append")
+        records, diag = read_records(path)
+        # The fault is one-shot: first write torn, second intact.
+        assert records == [{"entry": 1}]
+        assert diag.corrupt == 1

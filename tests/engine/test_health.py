@@ -1,0 +1,126 @@
+"""Heartbeats and the hung/crashed-worker watchdog logic."""
+
+import json
+import os
+import signal
+import time
+
+from repro.engine.health import (Heartbeat, HeartbeatMonitor,
+                                 HeartbeatWriter, pid_alive)
+
+
+def _write_beat(dirpath, pid, shard, ts):
+    path = os.path.join(str(dirpath), f"hb-{pid}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"pid": pid, "shard": shard, "execs": 1, "ts": ts}, fh)
+
+
+class _FakeProc:
+    def __init__(self, alive, exitcode=None):
+        self._alive = alive
+        self.exitcode = exitcode
+
+    def is_alive(self):
+        return self._alive
+
+
+class TestHeartbeatWriter:
+    def test_beat_round_trips(self, tmp_path):
+        writer = HeartbeatWriter(str(tmp_path), interval=0.0)
+        writer.beat(shard=3, execs=17, force=True)
+        beats = HeartbeatMonitor(str(tmp_path), timeout=5.0).read()
+        me = os.getpid()
+        assert beats[me].shard == 3
+        assert beats[me].execs == 17
+        assert beats[me].age() < 5.0
+
+    def test_throttled_between_intervals(self, tmp_path):
+        writer = HeartbeatWriter(str(tmp_path), interval=3600.0)
+        writer.beat(shard=0, execs=1, force=True)
+        first = os.path.getmtime(writer.path)
+        writer.beat(shard=0, execs=2)  # throttled: no rewrite
+        assert os.path.getmtime(writer.path) == first
+
+    def test_torn_beat_is_skipped(self, tmp_path):
+        with open(tmp_path / "hb-12345.json", "w", encoding="utf-8") as fh:
+            fh.write('{"pid": 12345, "sha')
+        beats = HeartbeatMonitor(str(tmp_path), timeout=5.0).read()
+        assert 12345 not in beats
+
+
+class TestHungDetection:
+    def test_stale_beat_on_live_pid_is_hung(self, tmp_path):
+        me = os.getpid()  # guaranteed alive
+        _write_beat(tmp_path, me, shard=2, ts=time.time() - 60)
+        monitor = HeartbeatMonitor(str(tmp_path), timeout=5.0)
+        hung = monitor.hung(monitor.read(), in_flight={2},
+                            worker_pids={me})
+        assert [b.shard for b in hung] == [2]
+
+    def test_fresh_beat_is_not_hung(self, tmp_path):
+        me = os.getpid()
+        _write_beat(tmp_path, me, shard=2, ts=time.time())
+        monitor = HeartbeatMonitor(str(tmp_path), timeout=5.0)
+        assert monitor.hung(monitor.read(), {2}, {me}) == []
+
+    def test_completed_shard_is_not_hung(self, tmp_path):
+        me = os.getpid()
+        _write_beat(tmp_path, me, shard=2, ts=time.time() - 60)
+        monitor = HeartbeatMonitor(str(tmp_path), timeout=5.0)
+        assert monitor.hung(monitor.read(), in_flight={7},
+                            worker_pids={me}) == []
+
+    def test_handled_pid_is_never_flagged_twice(self, tmp_path):
+        me = os.getpid()
+        _write_beat(tmp_path, me, shard=2, ts=time.time() - 60)
+        monitor = HeartbeatMonitor(str(tmp_path), timeout=5.0)
+        monitor.ignore(me)
+        assert monitor.hung(monitor.read(), {2}, {me}) == []
+
+    def test_no_timeout_means_no_watchdog(self, tmp_path):
+        me = os.getpid()
+        _write_beat(tmp_path, me, shard=2, ts=time.time() - 60)
+        monitor = HeartbeatMonitor(str(tmp_path), timeout=None)
+        assert monitor.hung(monitor.read(), {2}, {me}) == []
+
+
+class TestCrashAttribution:
+    def test_crashed_worker_charged_sigterm_victims_spared(self, tmp_path):
+        """Only the worker that died of something *other* than the pool's
+        own SIGTERM cleanup is attributed — its shard alone is charged."""
+        _write_beat(tmp_path, 101, shard=1, ts=time.time())
+        _write_beat(tmp_path, 102, shard=2, ts=time.time())
+        _write_beat(tmp_path, 103, shard=3, ts=time.time())
+        monitor = HeartbeatMonitor(str(tmp_path), timeout=5.0)
+        procs = {101: _FakeProc(alive=False, exitcode=86),  # crashed
+                 102: _FakeProc(alive=False,
+                                exitcode=-signal.SIGTERM),  # cleanup
+                 103: _FakeProc(alive=True)}                # still fine
+        crashed = monitor.crashed_worker_shards(procs, monitor.read(),
+                                                in_flight={1, 2, 3})
+        assert crashed == {101: 1}
+
+    def test_attribution_is_once_per_pid(self, tmp_path):
+        _write_beat(tmp_path, 101, shard=1, ts=time.time())
+        monitor = HeartbeatMonitor(str(tmp_path), timeout=5.0)
+        procs = {101: _FakeProc(alive=False, exitcode=9)}
+        assert monitor.crashed_worker_shards(procs, monitor.read(),
+                                             {1}) == {101: 1}
+        assert monitor.crashed_worker_shards(procs, monitor.read(),
+                                             {1}) == {}
+
+    def test_freshest(self, tmp_path):
+        monitor = HeartbeatMonitor(str(tmp_path), timeout=5.0)
+        assert monitor.freshest({}) == 0.0
+        beats = {1: Heartbeat(1, 0, 0, ts=10.0),
+                 2: Heartbeat(2, 1, 0, ts=20.0)}
+        assert monitor.freshest(beats) == 20.0
+
+
+class TestPidAlive:
+    def test_own_pid(self):
+        assert pid_alive(os.getpid())
+
+    def test_bogus_pid(self):
+        # PID near the max is vanishingly unlikely to exist in CI.
+        assert not pid_alive(2 ** 22 - 17)
