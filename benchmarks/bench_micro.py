@@ -2,19 +2,24 @@
 
 Measures the knobs DESIGN.md calls out: machine step throughput, the cost
 of race detection, the cost of event/ghost instrumentation, view-join
-cost, exploration throughput, and the parallel engine's serial-vs-N-workers
-scaling.  Most are true repeated-timing benchmarks (pytest-benchmark
-statistics apply); the scaling row is a single timed run per worker count.
+cost, exploration throughput, the parallel engine's serial-vs-N-workers
+scaling, and the sleep-set DPOR tree reduction.  Most are true
+repeated-timing benchmarks (pytest-benchmark statistics apply); the
+scaling and reduction rows are single timed runs recorded — via
+``bench_record`` — into ``BENCH_micro.json`` at the repo root.
 """
 
 import os
+import time
 
 import pytest
 
 from repro.checking import mixed_stress
-from repro.libs import MSQueue, RELACQ
-from repro.rmc import (ACQ, REL, RLX, Load, Program, RandomDecider, Store,
-                       View, explore_all)
+from repro.libs import MSQueue, RELACQ, VyukovQueue
+from repro.rmc import (ACQ, REL, RLX, DporStats, Load, Program,
+                       RandomDecider, Store, View, explore_all,
+                       explore_all_dpor)
+from repro.rmc.litmus import CATALOGUE
 
 
 def counter_program(ops=200):
@@ -109,8 +114,86 @@ class TestExplorationThroughput:
         assert count > 10
 
 
+class TestDporReduction:
+    def test_tree_reduction(self, report, bench_record):
+        """Naive vs sleep-set-DPOR execution counts on three
+        representative scenarios, at equal final-outcome coverage.
+
+        The independent-writer scenario is the paper-style best case
+        (n! schedules collapse to one); the litmus and queue scenarios
+        show the reduction on real workloads with genuine data
+        nondeterminism mixed in.
+        """
+        def writers(n):
+            def setup(mem):
+                return [mem.alloc(f"x{i}", 0) for i in range(n)]
+
+            def writer(i):
+                def body(env):
+                    yield Store(env[i], 1, RLX)
+                return body
+            return lambda: Program(setup, [writer(i) for i in range(n)])
+
+        scenarios = [
+            ("writers-3-independent", writers(3), 2_000),
+            ("litmus:IRIW+acq", CATALOGUE["IRIW+acq"], 2_000),
+            ("vyukov-queue[t2xo1]",
+             mixed_stress(lambda m: VyukovQueue.setup(m, "q", capacity=16),
+                          "queue", threads=2, ops_per_thread=1, seed=0),
+             400),
+        ]
+        rows = []
+        recorded = []
+        for name, factory, max_steps in scenarios:
+            def outcome_key(result):
+                return tuple(repr(result.returns[t])
+                             for t in sorted(result.returns))
+
+            t0 = time.perf_counter()
+            naive_out = set()
+            naive = 0
+            for r in explore_all(factory, max_steps=max_steps):
+                naive += 1
+                if r.ok:
+                    naive_out.add(outcome_key(r))
+            naive_s = time.perf_counter() - t0
+            stats = DporStats()
+            t0 = time.perf_counter()
+            dpor_out = set()
+            reduced = 0
+            for r in explore_all_dpor(factory, max_steps=max_steps,
+                                      stats=stats):
+                reduced += 1
+                if r.ok:
+                    dpor_out.add(outcome_key(r))
+            dpor_s = time.perf_counter() - t0
+            assert dpor_out == naive_out  # equal outcome coverage
+            assert reduced <= naive
+            ratio = naive / reduced if reduced else float("inf")
+            rows.append(
+                f"{name:<24} naive {naive:>5} ({naive / max(naive_s, 1e-9):>9,.0f}/s)"  # noqa: E501
+                f"  dpor {reduced:>5} ({reduced / max(dpor_s, 1e-9):>9,.0f}/s)"  # noqa: E501
+                f"  pruned {stats.pruned_subtrees:>5}  {ratio:5.1f}x")
+            recorded.append({
+                "scenario": name,
+                "naive_executions": naive,
+                "dpor_executions": reduced,
+                "pruned_subtrees": stats.pruned_subtrees,
+                "reduction_factor": round(ratio, 3),
+                "naive_exec_per_sec": round(naive / max(naive_s, 1e-9), 1),
+                "dpor_exec_per_sec": round(reduced / max(dpor_s, 1e-9), 1),
+            })
+        # The acceptance bar: >= 2x fewer executions on at least one
+        # 3-thread scenario (the independent writers give 6x).
+        assert any(r["naive_executions"] >= 2 * r["dpor_executions"]
+                   for r in recorded)
+        bench_record("dpor-tree-reduction", scenarios=recorded)
+        report("E9 DPOR tree reduction (naive vs sleep sets)",
+               "\n".join(rows))
+
+
 class TestEngineScaling:
-    def test_serial_vs_parallel_throughput(self, report):
+    def test_serial_vs_parallel_throughput(self, report, bench_record):
         """Serial-vs-N-workers executions/sec on one exhaustive scenario.
 
         The same decision tree (ms-queue/ra, 3 threads x 1 op: ~9.5k
@@ -147,6 +230,10 @@ class TestEngineScaling:
         # Sharded enumerations cover exactly the serial tree.
         assert execs[2] == execs[1] and execs[4] == execs[1]
         cores = os.cpu_count() or 1
+        bench_record("engine-scaling", scenario=scenario.name, cores=cores,
+                     executions=execs[1],
+                     exec_per_sec={str(w): round(rates[w], 1)
+                                   for w in rates})
         report(f"E9 engine scaling — {scenario.name} ({cores} cores)",
                "\n".join(rows))
         if cores >= 4:

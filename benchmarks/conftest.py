@@ -1,13 +1,30 @@
-"""Benchmark helpers: uncaptured table reporting.
+"""Benchmark helpers: uncaptured table reporting + machine-readable rows.
 
 Every bench regenerates one of the paper's artifacts (DESIGN.md's
 per-experiment index) and prints its rows through ``capsys.disabled()`` so
 they reach the terminal (and ``tee``) even under pytest's capture.
+
+Benches that also record structured rows through the ``bench_record``
+fixture get them persisted to ``BENCH_micro.json`` at the repo root when
+the session ends — the machine-readable face of the E9 tables
+(executions/sec, engine scaling, DPOR tree reduction).
 """
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
+
+#: Structured rows collected by ``bench_record`` during this session,
+#: keyed by row name (later records with the same name overwrite).
+_RESULTS: dict = {}
+
+#: Where the machine-readable results land (repo root).
+RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_micro.json")
 
 
 @pytest.fixture
@@ -18,3 +35,23 @@ def report(capsys):
             print(f"\n=== {title} ===")
             print(text)
     return emit
+
+
+@pytest.fixture
+def bench_record():
+    """``bench_record(name, **fields)`` adds one row to BENCH_micro.json."""
+    def record(name: str, **fields) -> None:
+        _RESULTS[name] = {"name": name, **fields}
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS:
+        return
+    payload = {
+        "generated_by": "benchmarks (pytest session)",
+        "rows": [_RESULTS[name] for name in sorted(_RESULTS)],
+    }
+    with open(RESULTS_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

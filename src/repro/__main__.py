@@ -25,6 +25,8 @@ the parallel-engine flag group:
     --shard-timeout S hung-worker watchdog window
     --shard-seconds / --run-seconds / --max-rss-mb
                       graceful-degradation budgets (docs/robustness.md)
+    --dpor/--no-dpor  sleep-set partial-order reduction for exhaustive
+                      exploration (docs/dpor.md; default: on)
 """
 
 from __future__ import annotations
@@ -42,6 +44,7 @@ def _engine_kwargs(args) -> dict:
         "shard_seconds": args.shard_seconds,
         "run_seconds": args.run_seconds,
         "max_rss_mb": args.max_rss_mb,
+        "dpor": args.dpor,
     }
     if args.shard_timeout is not None:
         kwargs["shard_timeout"] = (None if args.shard_timeout <= 0
@@ -86,7 +89,7 @@ def cmd_mp(args) -> int:
 def cmd_matrix(args) -> int:
     from .checking import run_matrix
     print(run_matrix(runs=args.runs, workers=args.workers,
-                     progress=args.progress).render())
+                     progress=args.progress, dpor=args.dpor).render())
     return 0
 
 
@@ -280,6 +283,11 @@ def main(argv=None) -> int:
     engine.add_argument("--max-rss-mb", type=float, default=None,
                         metavar="MIB",
                         help="peak-RSS ceiling per worker process")
+    engine.add_argument("--dpor", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="sleep-set partial-order reduction for "
+                             "exhaustive exploration (default: on; "
+                             "--no-dpor for the naive enumeration)")
     args = parser.parse_args(argv)
     return COMMANDS[args.command](args)
 

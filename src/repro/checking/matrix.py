@@ -166,6 +166,7 @@ def run_matrix(
     exhaustive_small: bool = True,
     workers: int = 1,
     progress: bool = False,
+    dpor: Optional[bool] = None,
 ) -> MatrixReport:
     """Fill the matrix: random workloads + one exhaustive tiny workload.
 
@@ -174,6 +175,10 @@ def run_matrix(
     and each tiny exhaustive pass runs through the sharded engine
     (`repro.engine`) with the same worker count.  Cell reports merge in
     a fixed order, so the rendered matrix is identical to the serial one.
+
+    ``dpor`` threads the sleep-set reduction switch (`repro.rmc.dpor`)
+    into the exhaustive passes (default: on); the randomized cells
+    ignore it.
     """
     impls = list(implementations) if implementations is not None \
         else default_implementations()
@@ -226,7 +231,8 @@ def run_matrix(
             scen = impl.scenario(2, 2, 0)
             rep = check_scenario(scen, styles=styles, exhaustive=True,
                                  max_executions=4_000, max_steps=400,
-                                 workers=workers, progress=progress)
+                                 workers=workers, progress=progress,
+                                 dpor=dpor)
             _merge(report.rows[impl.name], rep)
     return report
 

@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..core.graph import Graph
 from ..core.spec_styles import SpecStyle, check_style
+from ..rmc.dpor import DporStats, explore_all_dpor
 from ..rmc.explore import explore_all, explore_random
 from ..rmc.machine import ExecutionResult
 
@@ -131,6 +132,10 @@ class ScenarioReport:
     #: Engine-attached `repro.engine.budget.Coverage` describing which
     #: shard subtrees completed (None on serial, budget-free runs).
     coverage: Optional[object] = None
+    #: Branches skipped by sleep-set DPOR (`repro.rmc.dpor`); 0 when the
+    #: reduction is off.  ``executions + pruned_subtrees`` at a fully
+    #: enumerated frontier is the naive tree size.
+    pruned_subtrees: int = 0
     styles: Dict[SpecStyle, StyleTally] = field(default_factory=dict)
     outcome_failures: int = 0
     outcome_examples: List[str] = field(default_factory=list)
@@ -163,6 +168,7 @@ class ScenarioReport:
         self.exhausted = self.exhausted and other.exhausted
         self.budget_exhausted = (self.budget_exhausted
                                  or other.budget_exhausted)
+        self.pruned_subtrees += other.pruned_subtrees
         for style, tally in other.styles.items():
             if style in self.styles:
                 self.styles[style].merge(tally)
@@ -180,6 +186,7 @@ class ScenarioReport:
     def __add__(self, other: "ScenarioReport") -> "ScenarioReport":
         out = ScenarioReport(scenario=self.scenario, exhausted=self.exhausted)
         out.budget_exhausted = self.budget_exhausted
+        out.pruned_subtrees = self.pruned_subtrees
         out.styles = {s: t + StyleTally() for s, t in self.styles.items()}
         out.executions = self.executions
         out.complete = self.complete
@@ -201,6 +208,8 @@ class ScenarioReport:
             f"{self.seconds:.2f}s"
             + (", exhausted" if self.exhausted else "")
             + (", budget exhausted" if self.budget_exhausted else "")
+            + (f", {self.pruned_subtrees} pruned (DPOR)"
+               if self.pruned_subtrees else "")
         ]
         if self.coverage is not None \
                 and getattr(self.coverage, "degraded", False):
@@ -287,6 +296,7 @@ def check_scenario(
     shard_seconds: Optional[float] = None,
     run_seconds: Optional[float] = None,
     max_rss_mb: Optional[float] = None,
+    dpor: Optional[bool] = None,
 ) -> ScenarioReport:
     """Explore the scenario and check every complete execution.
 
@@ -307,6 +317,11 @@ def check_scenario(
     accounting instead of dying.  ``shard_timeout`` is the hung-worker
     watchdog window (pass None for wait-forever; the default sentinel
     keeps the engine's default).
+
+    ``dpor`` controls sleep-set partial-order reduction
+    (`repro.rmc.dpor`): on by default in exhaustive mode, ignored in
+    randomized mode.  Pruned-branch counts land in
+    ``report.pruned_subtrees``.
     """
     budgets = (shard_seconds is not None or run_seconds is not None
                or max_rss_mb is not None)
@@ -315,9 +330,16 @@ def check_scenario(
         report = ScenarioReport(scenario=scenario.name)
         report.styles = {s: StyleTally() for s in styles}
         start = time.perf_counter()
+        dstats = DporStats()
         if exhaustive:
-            source = explore_all(scenario.factory, max_steps=max_steps,
-                                 max_executions=max_executions)
+            if dpor is not False:
+                source = explore_all_dpor(scenario.factory,
+                                          max_steps=max_steps,
+                                          max_executions=max_executions,
+                                          stats=dstats)
+            else:
+                source = explore_all(scenario.factory, max_steps=max_steps,
+                                     max_executions=max_executions)
         else:
             source = explore_random(scenario.factory, runs=runs, seed=seed,
                                     max_steps=max_steps)
@@ -325,6 +347,7 @@ def check_scenario(
             record_result(report, scenario, result, styles)
             if report.executions >= max_executions:
                 break
+        report.pruned_subtrees = dstats.pruned_subtrees
         report.exhausted = exhaustive and report.executions < max_executions
         report.seconds = time.perf_counter() - start
         return report
@@ -336,7 +359,7 @@ def check_scenario(
         workers=workers, split_depth=split_depth,
         checkpoint_path=checkpoint, corpus_path=corpus, progress=progress,
         max_retries=max_retries, shard_seconds=shard_seconds,
-        run_seconds=run_seconds, max_rss_mb=max_rss_mb)
+        run_seconds=run_seconds, max_rss_mb=max_rss_mb, dpor=dpor)
     if shard_timeout is None or shard_timeout >= 0:
         params.shard_timeout = shard_timeout
     return run_scenario(scenario, params, spec=spec).report

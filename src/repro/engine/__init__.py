@@ -40,21 +40,27 @@ from .faults import (CRASH_EXIT_CODE, FAULT_PLAN_ENV, Fault, FaultInjected,
 from .health import (Heartbeat, HeartbeatMonitor, HeartbeatWriter,
                      kill_worker, pid_alive)
 from .merge import (merge_reports, report_from_json, report_to_json,
-                    tally_from_json, tally_to_json, trace_from_json)
+                    stats_from_json, stats_to_json, tally_from_json,
+                    tally_to_json, trace_from_json)
 from .pool import (DEFAULT_SHARD_TIMEOUT, EngineParams, EngineResult,
-                   ResultCorrupt, ShardFailed, plan_shards, run_scenario)
+                   ResultCorrupt, ShardFailed, plan_shards, plan_shards_ex,
+                   run_scenario)
 from .registry import (ScenarioSpec, build_scenario, register_scenario,
                        registered_builders)
 from .shard import (SHARDS_PER_WORKER, Shard, iter_shard,
-                    plan_exhaustive_shards, plan_random_shards)
+                    plan_exhaustive_shards, plan_exhaustive_shards_dpor,
+                    plan_random_shards)
 from .telemetry import ProgressReporter, TelemetrySummary
 
 __all__ = [
     "EngineParams", "EngineResult", "ShardFailed", "ResultCorrupt",
-    "run_scenario", "plan_shards", "DEFAULT_SHARD_TIMEOUT",
-    "Shard", "iter_shard", "plan_exhaustive_shards", "plan_random_shards",
+    "run_scenario", "plan_shards", "plan_shards_ex",
+    "DEFAULT_SHARD_TIMEOUT",
+    "Shard", "iter_shard", "plan_exhaustive_shards",
+    "plan_exhaustive_shards_dpor", "plan_random_shards",
     "SHARDS_PER_WORKER",
     "merge_reports", "report_to_json", "report_from_json",
+    "stats_to_json", "stats_from_json",
     "tally_to_json", "tally_from_json", "trace_from_json",
     "CheckpointWriter", "load_completed", "load_completed_ex",
     "run_fingerprint",

@@ -21,6 +21,7 @@ from typing import Any, Dict, Iterable, List, Optional
 
 from ..checking.runner import ScenarioReport, StyleTally
 from ..core.spec_styles import SpecStyle
+from ..rmc.explore import ExplorationStats
 
 
 def merge_reports(scenario_name: str,
@@ -77,6 +78,7 @@ def report_to_json(report: ScenarioReport) -> Dict[str, Any]:
         "seconds": report.seconds,
         "exhausted": report.exhausted,
         "budget_exhausted": report.budget_exhausted,
+        "pruned_subtrees": report.pruned_subtrees,
         "styles": {style.name: tally_to_json(tally)
                    for style, tally in report.styles.items()},
         "outcome_failures": report.outcome_failures,
@@ -97,6 +99,7 @@ def report_from_json(data: Dict[str, Any]) -> ScenarioReport:
         seconds=data["seconds"],
         exhausted=data["exhausted"],
         budget_exhausted=data.get("budget_exhausted", False),
+        pruned_subtrees=data.get("pruned_subtrees", 0),
         outcome_failures=data["outcome_failures"],
         outcome_examples=list(data["outcome_examples"]),
         outcome_traces=[trace_from_json(t) for t in data["outcome_traces"]],
@@ -104,3 +107,31 @@ def report_from_json(data: Dict[str, Any]) -> ScenarioReport:
     report.styles = {SpecStyle[name]: tally_from_json(t)
                      for name, t in data["styles"].items()}
     return report
+
+
+def stats_to_json(stats: ExplorationStats) -> Dict[str, Any]:
+    """`ExplorationStats` in the same wire idiom as the reports."""
+    return {
+        "executions": stats.executions,
+        "complete": stats.complete,
+        "truncated": stats.truncated,
+        "raced": stats.raced,
+        "steps": stats.steps,
+        "exhausted": stats.exhausted,
+        "race_traces": [_trace_to_json(t) for t in stats.race_traces],
+        "race_traces_dropped": stats.race_traces_dropped,
+        "pruned_subtrees": stats.pruned_subtrees,
+    }
+
+
+def stats_from_json(data: Dict[str, Any]) -> ExplorationStats:
+    return ExplorationStats(
+        executions=data["executions"],
+        complete=data["complete"],
+        truncated=data["truncated"],
+        raced=data["raced"],
+        steps=data["steps"],
+        exhausted=data["exhausted"],
+        race_traces=[trace_from_json(t) for t in data["race_traces"]],
+        race_traces_dropped=data.get("race_traces_dropped", 0),
+        pruned_subtrees=data.get("pruned_subtrees", 0))

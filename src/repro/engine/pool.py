@@ -55,8 +55,10 @@ from .faults import fault_point, mutate_blob
 from .health import HeartbeatMonitor, HeartbeatWriter, kill_worker
 from .merge import merge_reports, report_from_json, report_to_json
 from .registry import ScenarioSpec, build_scenario
+from ..rmc.dpor import DporStats
 from .shard import (SHARDS_PER_WORKER, Shard, iter_shard,
-                    plan_exhaustive_shards, plan_random_shards)
+                    plan_exhaustive_shards, plan_exhaustive_shards_dpor,
+                    plan_random_shards)
 from .telemetry import ProgressReporter, TelemetrySummary
 
 #: Seconds a worker may go without a heartbeat (or, before its first
@@ -102,6 +104,13 @@ class EngineParams:
     run_seconds: Optional[float] = None
     #: Peak-RSS ceiling per worker process, in MiB.
     max_rss_mb: Optional[float] = None
+    #: Sleep-set partial-order reduction (`repro.rmc.dpor`).  None
+    #: resolves to "on in exhaustive mode"; randomized mode ignores it.
+    dpor: Optional[bool] = None
+
+    def dpor_on(self) -> bool:
+        """The resolved DPOR switch: defaults to on for exhaustive mode."""
+        return self.exhaustive and self.dpor is not False
 
     def fingerprint_json(self) -> Dict:
         """The parameters that determine exploration results.
@@ -118,6 +127,7 @@ class EngineParams:
             "seed": self.seed,
             "max_steps": self.max_steps,
             "max_executions": self.max_executions,
+            "dpor": self.dpor_on(),
         }
 
     def budget_spec(self, deadline: Optional[float]) -> BudgetSpec:
@@ -162,8 +172,10 @@ def _explore_shard(scenario: Scenario, spec: Optional[ScenarioSpec],
     if beat is not None:
         beat.beat(shard_id, 0, force=True)
     start = time.perf_counter()
+    dstats = DporStats()
     for result in iter_shard(scenario.factory, shard, params.max_steps,
-                             params.max_executions):
+                             params.max_executions,
+                             dpor=params.dpor_on(), stats=dstats):
         fault_point("worker.explore", shard=shard_id, attempt=attempt,
                     execs=report.executions + 1)
         record_result(report, scenario, result, params.styles, sink)
@@ -174,6 +186,7 @@ def _explore_shard(scenario: Scenario, spec: Optional[ScenarioSpec],
         if budget.breach() is not None:
             report.budget_exhausted = True
             break
+    report.pruned_subtrees = dstats.pruned_subtrees
     report.exhausted = (params.exhaustive and not report.budget_exhausted
                         and report.executions < params.max_executions)
     report.seconds = time.perf_counter() - start
@@ -232,8 +245,15 @@ def _decode_result(shard_id: int, blob: str, crc: int) \
 # The driver
 # ----------------------------------------------------------------------
 
-def plan_shards(scenario: Scenario, params: EngineParams) -> List[Shard]:
-    """Deterministically split the run into disjoint work items."""
+def plan_shards_ex(scenario: Scenario,
+                   params: EngineParams) -> Tuple[List[Shard], int]:
+    """Deterministically split the run into disjoint work items.
+
+    Returns ``(shards, planner_pruned)``: under DPOR the planner itself
+    prunes asleep branches at nodes it pins into shard prefixes (see
+    `repro.engine.shard.plan_exhaustive_shards_dpor`); the count is
+    folded into the merged report so serial and sharded telemetry agree.
+    """
     if params.target_shards is not None:
         target = max(1, params.target_shards)
     else:
@@ -244,13 +264,21 @@ def plan_shards(scenario: Scenario, params: EngineParams) -> List[Shard]:
             target = max(target, 2 * SHARDS_PER_WORKER)
     if params.exhaustive:
         if target == 1:
-            return [Shard(kind="prefix")]
+            return [Shard(kind="prefix")], 0
         kwargs = {}
         if params.split_depth is not None:
             kwargs["max_split_depth"] = params.split_depth
+        if params.dpor_on():
+            return plan_exhaustive_shards_dpor(scenario.factory, target,
+                                               params.max_steps, **kwargs)
         return plan_exhaustive_shards(scenario.factory, target,
-                                      params.max_steps, **kwargs)
-    return plan_random_shards(params.runs, params.seed, target)
+                                      params.max_steps, **kwargs), 0
+    return plan_random_shards(params.runs, params.seed, target), 0
+
+
+def plan_shards(scenario: Scenario, params: EngineParams) -> List[Shard]:
+    """Deterministically split the run into disjoint work items."""
+    return plan_shards_ex(scenario, params)[0]
 
 
 def run_scenario(scenario: Optional[Scenario], params: EngineParams,
@@ -260,7 +288,7 @@ def run_scenario(scenario: Optional[Scenario], params: EngineParams,
         if spec is None:
             raise ValueError("need a scenario or a registry spec")
         scenario = build_scenario(spec)
-    shards = plan_shards(scenario, params)
+    shards, planner_pruned = plan_shards_ex(scenario, params)
     fingerprint = run_fingerprint(scenario.name, spec,
                                   params.fingerprint_json(), shards)
     deadline = (time.time() + params.run_seconds
@@ -281,8 +309,10 @@ def run_scenario(scenario: Optional[Scenario], params: EngineParams,
                                 enabled=params.progress,
                                 label=f"engine:{scenario.name}")
     reporter.on_quarantined(quarantined)
+    reporter.on_planner_pruned(planner_pruned)
     for report, _entries in results.values():
-        reporter.on_resumed(report.executions, report.steps)
+        reporter.on_resumed(report.executions, report.steps,
+                            report.pruned_subtrees)
 
     writer = CheckpointWriter(params.checkpoint_path, fingerprint) \
         if params.checkpoint_path else None
@@ -298,7 +328,8 @@ def run_scenario(scenario: Optional[Scenario], params: EngineParams,
             reporter.on_budget_stop(sid)
         elif writer is not None:
             writer.write_shard(sid, report, entries)
-        reporter.on_shard_done(sid, pid, report.executions, report.steps)
+        reporter.on_shard_done(sid, pid, report.executions, report.steps,
+                               report.pruned_subtrees)
 
     if params.workers > 1 and len(pending) > 1:
         _run_pool(scenario, spec, params, pending, complete, reporter,
@@ -312,6 +343,9 @@ def run_scenario(scenario: Optional[Scenario], params: EngineParams,
     report = merge_reports(scenario.name,
                            (results[sid][0] for sid in ordered),
                            params.exhaustive)
+    # Branches the planner itself pruned at pinned prefix nodes: charged
+    # here, exactly once, so sharded totals equal the serial DPOR run.
+    report.pruned_subtrees += planner_pruned
     complete_sids = {sid for sid in results
                      if not results[sid][0].budget_exhausted}
     coverage = Coverage(

@@ -23,10 +23,13 @@ and workers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
+from ..rmc.dpor import (DporStats, SleepSetCut, SleepSetDecider,
+                        explore_all_dpor, independent)
 from ..rmc.explore import ProgramFactory, explore_all, explore_random
 from ..rmc.machine import ExecutionResult
+from ..rmc.ops import Footprint
 from ..rmc.scheduler import PrefixDecider
 
 #: Shards to aim for per worker: enough slack that one slow subtree does
@@ -39,12 +42,20 @@ PROBE_CAP = 512
 
 @dataclass(frozen=True)
 class Shard:
-    """One unit of work: a subtree root or a seed range."""
+    """One unit of work: a subtree root or a seed range.
+
+    ``sleep`` is the subtree root's inherited sleep set under DPOR
+    (`repro.rmc.dpor`): the pending-op footprints of threads whose step
+    at the root is already covered by an earlier shard.  Empty for naive
+    planning, and omitted from the JSON form when empty so pre-DPOR
+    checkpoints keep their shard encoding.
+    """
 
     kind: str  # "prefix" | "seeds"
     prefix: Tuple[int, ...] = ()
     seed: int = 0
     runs: int = 0
+    sleep: Tuple[Footprint, ...] = ()
 
     def sort_key(self):
         return self.prefix if self.kind == "prefix" else (self.seed,)
@@ -58,13 +69,18 @@ class Shard:
 
     def to_json(self):
         if self.kind == "prefix":
-            return {"kind": "prefix", "prefix": list(self.prefix)}
+            data = {"kind": "prefix", "prefix": list(self.prefix)}
+            if self.sleep:
+                data["sleep"] = [fp.to_json() for fp in self.sleep]
+            return data
         return {"kind": "seeds", "seed": self.seed, "runs": self.runs}
 
     @staticmethod
     def from_json(data) -> "Shard":
         if data["kind"] == "prefix":
-            return Shard(kind="prefix", prefix=tuple(data["prefix"]))
+            return Shard(kind="prefix", prefix=tuple(data["prefix"]),
+                         sleep=tuple(Footprint.from_json(fp)
+                                     for fp in data.get("sleep", ())))
         return Shard(kind="seeds", seed=data["seed"], runs=data["runs"])
 
 
@@ -108,6 +124,102 @@ def plan_exhaustive_shards(
     return [Shard(kind="prefix", prefix=p) for p in prefixes]
 
 
+def plan_exhaustive_shards_dpor(
+    factory: ProgramFactory,
+    target: int,
+    max_steps: int,
+    max_split_depth: int = 12,
+    probe_cap: int = PROBE_CAP,
+) -> Tuple[List[Shard], int]:
+    """DPOR-aware counterpart of :func:`plan_exhaustive_shards`.
+
+    Splits the *reduced* decision tree into >= ``target`` disjoint
+    subtrees.  Probes descend leftmost-awake under a `SleepSetDecider`,
+    and each frontier node carries the sleep set the serial DPOR
+    enumeration would have on entering it — the sleep set is a pure
+    function of the path, so shipping it inside the `Shard` makes the
+    sharded union *exactly* the serial DPOR enumeration, prune for
+    prune.
+
+    Returns ``(shards, planner_pruned)``.  ``planner_pruned`` counts the
+    asleep branches at nodes the planner pinned into shard prefixes
+    (stem nodes and split nodes): those nodes are inside every child's
+    prefix and are never backtracked by any shard, so the planner must
+    account for their pruned branches or the merged telemetry would
+    undercount the reduction.  Nodes *below* a shard root are recounted
+    by the shard itself, so probes charge nothing for them.
+    """
+    frontier: List[Tuple[Tuple[int, ...], Tuple[Footprint, ...]]] = [((), ())]
+    done: List[Tuple[Tuple[int, ...], Tuple[Footprint, ...]]] = []
+    planner_pruned = 0
+    probes = 0
+    while frontier and len(frontier) + len(done) < target \
+            and probes < probe_cap:
+        prefix, sleep = frontier.pop(0)  # shallowest first
+        if len(prefix) >= max_split_depth:
+            done.append((prefix, sleep))
+            continue
+        decider = SleepSetDecider(prefix, pin=len(prefix),
+                                  entry_sleep={fp.thread: fp
+                                               for fp in sleep})
+        try:
+            factory().run(decider, max_steps=max_steps)
+        except SleepSetCut:
+            pass  # the whole residue is redundant; the shard recounts it
+        probes += 1
+        trace, fps, sleeps = (decider.trace, decider.footprints,
+                              decider.entry_sleeps)
+        split: Optional[int] = None
+        for i in range(len(prefix), len(trace)):
+            n = trace[i][0]
+            f = fps[i]
+            if f is None:
+                if n > 1:  # read decisions: every branch is awake
+                    split = i
+                    break
+            elif sum(1 for k in range(n)
+                     if f[k].thread not in sleeps[i]) > 1:
+                split = i
+                break
+        if split is None:
+            # At most one awake branch per node below this prefix: a
+            # subtree the shard enumerates (and prune-counts) alone.
+            done.append((prefix, sleep))
+            continue
+        # Stem nodes end up inside every child prefix; charge their
+        # asleep branches to the planner (exactly once, here).
+        for i in range(len(prefix), split):
+            if fps[i] is not None and trace[i][0] > 1:
+                planner_pruned += trace[i][0] - 1
+        stem = tuple(trace[i][1] for i in range(len(prefix), split))
+        arity = trace[split][0]
+        f = fps[split]
+        if f is None:
+            frontier.extend((prefix + stem + (k,), sleep_tuple(sleeps[split]))
+                            for k in range(arity))
+            continue
+        sleep_now = dict(sleeps[split])
+        for k in range(arity):
+            fk = f[k]
+            if fk.thread in sleep_now:
+                planner_pruned += 1  # asleep at the split: pruned here
+                continue
+            child = {t: fu for t, fu in sleep_now.items()
+                     if independent(fu, fk)}
+            frontier.append((prefix + stem + (k,), sleep_tuple(child)))
+            sleep_now[fk.thread] = fk
+    pairs = sorted(done + frontier, key=lambda item: item[0])
+    return ([Shard(kind="prefix", prefix=p, sleep=s) for p, s in pairs],
+            planner_pruned)
+
+
+def sleep_tuple(sleep) -> Tuple[Footprint, ...]:
+    """A sleep dict/tuple as a canonical (thread-ordered) tuple."""
+    if isinstance(sleep, dict):
+        return tuple(sleep[t] for t in sorted(sleep))
+    return tuple(sorted(sleep, key=lambda fp: fp.thread))
+
+
 def plan_random_shards(runs: int, seed: int, target: int) -> List[Shard]:
     """Split ``runs`` seeded executions into ~``target`` contiguous
     seed-range chunks."""
@@ -129,12 +241,25 @@ def iter_shard(
     shard: Shard,
     max_steps: int,
     max_executions: int,
+    dpor: bool = False,
+    stats: Optional[DporStats] = None,
 ) -> Iterator[ExecutionResult]:
-    """Enumerate one shard's executions (the single-worker core loops)."""
+    """Enumerate one shard's executions (the single-worker core loops).
+
+    With ``dpor`` the prefix subtree is enumerated under sleep-set
+    reduction rooted at the shard's inherited sleep set; skipped
+    branches accumulate into ``stats``.
+    """
     if shard.kind == "prefix":
-        yield from explore_all(factory, max_steps=max_steps,
-                               max_executions=max_executions,
-                               prefix=shard.prefix)
+        if dpor:
+            yield from explore_all_dpor(factory, max_steps=max_steps,
+                                        max_executions=max_executions,
+                                        prefix=shard.prefix,
+                                        sleep=shard.sleep, stats=stats)
+        else:
+            yield from explore_all(factory, max_steps=max_steps,
+                                   max_executions=max_executions,
+                                   prefix=shard.prefix)
     else:
         yield from explore_random(factory, runs=shard.runs, seed=shard.seed,
                                   max_steps=max_steps)

@@ -34,6 +34,9 @@ class TelemetrySummary:
     budget_stops: int = 0
     #: Corrupt checkpoint/corpus lines quarantined on load.
     quarantined_lines: int = 0
+    #: Branches skipped by sleep-set DPOR (`repro.rmc.dpor`), planner
+    #: charges included; 0 when DPOR is off.
+    pruned_subtrees: int = 0
     wall_seconds: float = 0.0
     #: shards completed per worker pid (pid 0 = inline/resumed).
     worker_shards: Dict[int, int] = field(default_factory=dict)
@@ -45,6 +48,12 @@ class TelemetrySummary:
         if self.wall_seconds <= 0:
             return 0.0
         return self.executions / self.wall_seconds
+
+    @property
+    def effective_tree_size(self) -> int:
+        """Executions the naive enumeration would have visited at the
+        explored frontier: actual executions plus DPOR-pruned branches."""
+        return self.executions + self.pruned_subtrees
 
 
 class ProgressReporter:
@@ -61,25 +70,32 @@ class ProgressReporter:
         self._start = time.perf_counter()
         self._last_emit = 0.0
 
-    def on_resumed(self, executions: int, steps: int) -> None:
+    def on_resumed(self, executions: int, steps: int,
+                   pruned: int = 0) -> None:
         s = self.summary
         s.shards_done += 1
         s.shards_resumed += 1
         s.executions += executions
         s.steps += steps
+        s.pruned_subtrees += pruned
         s.worker_shards[0] = s.worker_shards.get(0, 0) + 1
         s.worker_executions[0] = s.worker_executions.get(0, 0) + executions
 
     def on_shard_done(self, shard_id: int, pid: int, executions: int,
-                      steps: int) -> None:
+                      steps: int, pruned: int = 0) -> None:
         s = self.summary
         s.shards_done += 1
         s.executions += executions
         s.steps += steps
+        s.pruned_subtrees += pruned
         s.worker_shards[pid] = s.worker_shards.get(pid, 0) + 1
         s.worker_executions[pid] = \
             s.worker_executions.get(pid, 0) + executions
         self._emit()
+
+    def on_planner_pruned(self, count: int) -> None:
+        """Branches the DPOR-aware planner pruned at pinned prefix nodes."""
+        self.summary.pruned_subtrees += count
 
     def on_retry(self, shard_id: int, attempt: int, error: str) -> None:
         self.summary.retries += 1
@@ -139,7 +155,10 @@ class ProgressReporter:
         workers = " ".join(
             f"w{pid}:{n}" for pid, n in sorted(s.worker_shards.items()))
         tag = "done" if final else "running"
+        dpor_txt = (f" | pruned {s.pruned_subtrees} "
+                    f"(tree {s.effective_tree_size})"
+                    if s.pruned_subtrees else "")
         print(f"[{self.label}] {tag}: shards {s.shards_done}/"
               f"{s.shards_total} ({s.shards_resumed} resumed) | "
               f"{s.executions} exec ({rate:,.0f}/s) | {s.steps} steps"
-              f"{eta_txt} | {workers}", file=self.out, flush=True)
+              f"{dpor_txt}{eta_txt} | {workers}", file=self.out, flush=True)

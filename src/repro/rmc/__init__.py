@@ -12,13 +12,16 @@ Public surface:
 * the litmus catalogue (`repro.rmc.litmus`) validating the model
 """
 
+from .dpor import (DporStats, SleepSetCut, SleepSetDecider, child_sleep,
+                   explore_all_dpor, independent)
 from .explore import (ExplorationStats, check_all, explore_all,
                       explore_random, replay)
 from .machine import CommitCtx, ExecutionResult, Machine, ThreadState, run
 from .memory import Memory
 from .message import Location, Message
 from .modes import ACQ, ACQ_REL, NA, REL, RLX, SC, Mode
-from .ops import Alloc, Cas, Faa, Fence, GhostCommit, Load, Store, Xchg
+from .ops import (Alloc, Cas, Faa, Fence, Footprint, GhostCommit, Load,
+                  Store, Xchg, op_footprint)
 from .program import Program
 from .races import RaceError, RmcError, SteppingError
 from .scheduler import (Decider, FixedDecider, PrefixDecider, RandomDecider,
@@ -34,6 +37,8 @@ __all__ = [
     "RoundRobinDecider",
     "explore_all", "explore_random", "check_all", "replay",
     "ExplorationStats",
+    "explore_all_dpor", "DporStats", "SleepSetDecider", "SleepSetCut",
+    "independent", "child_sleep", "Footprint", "op_footprint",
     "Memory", "Message", "Location", "View", "EMPTY_VIEW", "join_all",
     "RaceError", "RmcError", "SteppingError",
 ]

@@ -16,8 +16,9 @@ scales the same checks to larger scenarios.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence
 
+from .dpor import DporStats, explore_all_dpor
 from .machine import ExecutionResult
 from .program import Program
 from .scheduler import FixedDecider, PrefixDecider, RandomDecider
@@ -40,6 +41,12 @@ class ExplorationStats:
     steps: int = 0
     exhausted: bool = False  # True iff the whole tree was enumerated
     race_traces: List[List] = field(default_factory=list)
+    #: Race traces not stored because :data:`RACE_TRACE_CAP` was reached
+    #: — honest accounting for the capped list above.
+    race_traces_dropped: int = 0
+    #: Branches skipped by sleep-set DPOR (`repro.rmc.dpor`); 0 for
+    #: naive enumeration.
+    pruned_subtrees: int = 0
 
     def record(self, result: ExecutionResult) -> None:
         self.executions += 1
@@ -48,6 +55,8 @@ class ExplorationStats:
             self.raced += 1
             if len(self.race_traces) < RACE_TRACE_CAP:
                 self.race_traces.append(list(result.trace))
+            else:
+                self.race_traces_dropped += 1
         elif result.truncated:
             self.truncated += 1
         else:
@@ -66,15 +75,21 @@ class ExplorationStats:
         self.steps += other.steps
         self.exhausted = self.exhausted and other.exhausted
         room = RACE_TRACE_CAP - len(self.race_traces)
-        if room > 0:
-            self.race_traces.extend(other.race_traces[:room])
+        taken = max(0, min(room, len(other.race_traces)))
+        if taken:
+            self.race_traces.extend(other.race_traces[:taken])
+        self.race_traces_dropped += (other.race_traces_dropped
+                                     + len(other.race_traces) - taken)
+        self.pruned_subtrees += other.pruned_subtrees
         return self
 
     def __add__(self, other: "ExplorationStats") -> "ExplorationStats":
         out = ExplorationStats(
             executions=self.executions, complete=self.complete,
             truncated=self.truncated, raced=self.raced, steps=self.steps,
-            exhausted=self.exhausted, race_traces=list(self.race_traces))
+            exhausted=self.exhausted, race_traces=list(self.race_traces),
+            race_traces_dropped=self.race_traces_dropped,
+            pruned_subtrees=self.pruned_subtrees)
         return out.merge(other)
 
 
@@ -141,17 +156,29 @@ def check_all(
     seed: int = 0,
     max_steps: int = 2_000,
     max_executions: int = 200_000,
+    dpor: Optional[bool] = None,
 ) -> ExplorationStats:
     """Explore and apply ``check`` to every non-raced complete execution.
 
     ``check`` should raise (e.g. ``AssertionError``) on a violation; the
     offending execution's decision trace is replayable with
     :func:`replay`.
+
+    ``dpor`` controls sleep-set partial-order reduction
+    (`repro.rmc.dpor`): on by default in exhaustive mode (every final
+    outcome is still checked; redundant interleavings are skipped and
+    counted in ``stats.pruned_subtrees``), ignored in randomized mode.
     """
     stats = ExplorationStats()
+    dstats = DporStats()
     if exhaustive:
-        source = explore_all(factory, max_steps=max_steps,
-                             max_executions=max_executions)
+        if dpor is not False:
+            source = explore_all_dpor(factory, max_steps=max_steps,
+                                      max_executions=max_executions,
+                                      stats=dstats)
+        else:
+            source = explore_all(factory, max_steps=max_steps,
+                                 max_executions=max_executions)
     else:
         source = explore_random(factory, runs=runs, seed=seed,
                                 max_steps=max_steps)
@@ -164,6 +191,7 @@ def check_all(
             exhausted = False
             break
     stats.exhausted = exhaustive and exhausted
+    stats.pruned_subtrees = dstats.pruned_subtrees
     return stats
 
 

@@ -29,7 +29,8 @@ from typing import Any, Dict, Generator, List, Optional
 from .memory import Memory
 from .message import Message
 from .modes import FENCE_MODES, Mode, READ_MODES, RMW_MODES, WRITE_MODES
-from .ops import Alloc, Cas, Faa, Fence, GhostCommit, Load, Op, Store, Xchg
+from .ops import (Alloc, Cas, Faa, Fence, GhostCommit, Load, Op, Store,
+                  Xchg, op_footprint)
 from .races import RaceError, SteppingError
 from .scheduler import Decider
 from .view import EMPTY_VIEW, View
@@ -150,7 +151,13 @@ class Machine:
                 if self.steps >= self.max_steps:
                     truncated = True
                     break
-                tid = self.decider.choose_thread(enabled)
+                if self.decider.wants_footprints:
+                    fps = tuple(
+                        op_footprint(t, self.threads[t].pending,
+                                     self.sc_upgrade) for t in enabled)
+                    tid = self.decider.choose_thread(enabled, fps)
+                else:
+                    tid = self.decider.choose_thread(enabled)
                 self._step(self.threads[tid])
         except RaceError as err:
             race = err

@@ -133,3 +133,77 @@ class GhostCommit:
 
 
 Op = Any  # union of the above, kept loose for speed
+
+
+# ----------------------------------------------------------------------
+# Operation footprints (the DPOR interface; see `repro.rmc.dpor`)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Footprint:
+    """What one pending operation can touch, as seen by the scheduler.
+
+    The machine computes a footprint for every enabled thread's *pending*
+    operation before each scheduling decision (threads yield their next
+    op before being scheduled, so the footprint is known ahead of time).
+    The partial-order-reduction layer (`repro.rmc.dpor`) decides from two
+    footprints alone whether the corresponding steps commute.
+
+    ``sc`` marks operations that read/write the global seq-cst view;
+    ``hooked`` marks operations carrying a commit hook (hooks share the
+    global commit sequence and the library event registry, so hooked
+    steps never commute with each other).
+    """
+
+    thread: int
+    kind: str  # "read" | "write" | "rmw" | "fence" | "alloc" | "ghost"
+    loc: Optional[int] = None
+    mode: str = ""
+    sc: bool = False
+    hooked: bool = False
+
+    def to_json(self):
+        return {"t": self.thread, "k": self.kind, "l": self.loc,
+                "m": self.mode, "sc": self.sc, "h": self.hooked}
+
+    @staticmethod
+    def from_json(data) -> "Footprint":
+        return Footprint(thread=data["t"], kind=data["k"], loc=data["l"],
+                         mode=data["m"], sc=data["sc"], hooked=data["h"])
+
+
+def op_footprint(tid: int, op: Op, sc_upgrade: bool = False) -> Footprint:
+    """The footprint of thread ``tid``'s pending operation ``op``.
+
+    ``sc_upgrade`` mirrors the machine's ablation knob: every non-NA
+    access executes at seq-cst, so the footprint must account for the
+    upgraded mode *before* the machine mutates the op at execution time.
+    """
+    mode = getattr(op, "mode", None)
+    if sc_upgrade and mode is not None and mode is not Mode.NA:
+        mode = Mode.SC
+    sc = mode is Mode.SC
+    mode_str = mode.value if mode is not None else ""
+    if isinstance(op, Load):
+        return Footprint(tid, "read", op.loc, mode_str, sc,
+                         op.commit is not None)
+    if isinstance(op, Store):
+        return Footprint(tid, "write", op.loc, mode_str, sc,
+                         op.commit is not None)
+    if isinstance(op, Cas):
+        fail = Mode.SC if (sc_upgrade and op.fail_mode is not Mode.NA) \
+            else op.fail_mode
+        return Footprint(tid, "rmw", op.loc, mode_str,
+                         sc or fail is Mode.SC,
+                         op.commit is not None or op.commit_fail is not None)
+    if isinstance(op, (Faa, Xchg)):
+        return Footprint(tid, "rmw", op.loc, mode_str, sc,
+                         op.commit is not None)
+    if isinstance(op, Fence):
+        return Footprint(tid, "fence", None, mode_str, sc, False)
+    if isinstance(op, Alloc):
+        # Allocation bumps the global location/component counters; keep
+        # it dependent with everything rather than model those.
+        return Footprint(tid, "alloc", None, "", False, True)
+    # GhostCommit and anything unknown: an arbitrary hook — conservative.
+    return Footprint(tid, "ghost", None, "", False, True)

@@ -26,14 +26,24 @@ Choice = Tuple[int, int]  # (arity, chosen)
 class Decider:
     """Base class; subclasses override :meth:`_choose`."""
 
+    #: Deciders that set this ask the machine to compute per-branch
+    #: operation footprints (`repro.rmc.ops.op_footprint`) for every
+    #: scheduling decision — the DPOR hook (`repro.rmc.dpor`).
+    wants_footprints = False
+
     def __init__(self) -> None:
         self.trace: List[Choice] = []
 
     def _choose(self, n: int) -> int:
         raise NotImplementedError
 
-    def choose(self, n: int) -> int:
-        """Resolve an ``n``-ary decision and record it in the trace."""
+    def choose(self, n: int, footprints=None) -> int:
+        """Resolve an ``n``-ary decision and record it in the trace.
+
+        ``footprints`` is only supplied (and only meaningful) for
+        scheduling decisions when :attr:`wants_footprints` is set: a
+        tuple of one `repro.rmc.ops.Footprint` per branch.
+        """
         if n <= 0:
             raise ValueError("decision with no alternatives")
         c = 0 if n == 1 else self._choose(n)
@@ -44,8 +54,8 @@ class Decider:
 
     # The machine distinguishes the two kinds only for readability;
     # both funnel through :meth:`choose`.
-    def choose_thread(self, enabled: Sequence[int]) -> int:
-        return enabled[self.choose(len(enabled))]
+    def choose_thread(self, enabled: Sequence[int], footprints=None) -> int:
+        return enabled[self.choose(len(enabled), footprints)]
 
     def choose_read(self, n: int) -> int:
         return self.choose(n)
@@ -107,7 +117,7 @@ class RoundRobinDecider(Decider):
         self.quantum = max(1, quantum)
         self._step = 0
 
-    def choose_thread(self, enabled: Sequence[int]) -> int:
+    def choose_thread(self, enabled: Sequence[int], footprints=None) -> int:
         idx = (self._step // self.quantum) % len(enabled)
         self._step += 1
         self.choose(len(enabled))  # keep the trace aligned

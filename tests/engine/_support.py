@@ -25,7 +25,7 @@ def assert_reports_equal(a: ScenarioReport, b: ScenarioReport) -> None:
     assert a.scenario == b.scenario
     for name in ("executions", "complete", "truncated", "raced", "steps",
                  "exhausted", "outcome_failures", "outcome_examples",
-                 "metrics"):
+                 "metrics", "pruned_subtrees"):
         assert getattr(a, name) == getattr(b, name), name
     assert [list(t) for t in a.outcome_traces] \
         == [list(t) for t in b.outcome_traces]
