@@ -239,6 +239,75 @@ class TestEngineScaling:
         if cores >= 4:
             assert rates[4] / rates[1] > 1.5
 
+    def test_dist_scaling(self, report, bench_record):
+        """Coordinator + N localhost nodes vs the serial run.
+
+        The same exhaustive tree (ms-queue/ra, 3 threads x 1 op) is
+        enumerated through the distributed layer with one and two worker
+        node *processes* on localhost.  The merged counts must equal the
+        serial run exactly — the throughput row then shows what the
+        lease/TCP round-trips cost (and recover, with a second core)
+        relative to the in-process pool.
+        """
+        import multiprocessing
+        import threading
+
+        from repro.engine import (EngineParams, ScenarioSpec,
+                                  build_scenario, run_scenario)
+        from repro.engine.chaos import _dist_node_main
+        from repro.engine.dist import Coordinator, DistParams
+
+        spec = ScenarioSpec("mixed-stress",
+                            kwargs={"impl": "ms-queue/ra", "threads": 3,
+                                    "ops": 1, "seed": 0})
+        scenario = build_scenario(spec)
+        base = dict(styles=(), exhaustive=True, max_steps=400,
+                    max_executions=100_000)
+        serial = run_scenario(scenario, EngineParams(**base), spec=spec)
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        rates = {0: serial.telemetry.executions_per_sec}
+        rows = [f"serial : {serial.report.executions:>6} exec = "
+                f"{rates[0]:>8,.0f} exec/s"]
+        for nodes in (1, 2):
+            coord = Coordinator(
+                EngineParams(target_shards=8, **base), spec,
+                DistParams(lease_seconds=30.0, node_wait_seconds=30.0,
+                           tick=0.05))
+            box = {}
+            serve = threading.Thread(
+                target=lambda c=coord, b=box: b.update(result=c.serve()),
+                daemon=True)
+            serve.start()
+            procs = [ctx.Process(target=_dist_node_main,
+                                 args=(coord.host, coord.port, f"b{i}"),
+                                 daemon=True) for i in range(nodes)]
+            for proc in procs:
+                proc.start()
+            serve.join(timeout=120.0)
+            for proc in procs:
+                proc.join(timeout=10.0)
+            assert "result" in box, "coordinator never settled"
+            result = box["result"]
+            assert result.report.executions == serial.report.executions
+            assert result.report.steps == serial.report.steps
+            t = result.telemetry
+            rates[nodes] = t.executions_per_sec
+            rows.append(
+                f"{nodes} node{'s' if nodes > 1 else ' '}: "
+                f"{t.executions:>6} exec in {t.wall_seconds:6.2f}s = "
+                f"{t.executions_per_sec:>8,.0f} exec/s "
+                f"[{rates[nodes] / rates[0]:.2f}x vs serial]")
+        cores = os.cpu_count() or 1
+        bench_record("dist-scaling", scenario=scenario.name, cores=cores,
+                     executions=serial.report.executions,
+                     exec_per_sec={"serial": round(rates[0], 1),
+                                   "nodes-1": round(rates[1], 1),
+                                   "nodes-2": round(rates[2], 1)})
+        report(f"E9 distributed scaling — {scenario.name} "
+               f"({cores} cores)", "\n".join(rows))
+
     def test_fault_recovery_overhead(self, report):
         """What one injected worker crash costs a 2-worker run.
 

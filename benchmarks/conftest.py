@@ -48,9 +48,21 @@ def bench_record():
 def pytest_sessionfinish(session, exitstatus):
     if not _RESULTS:
         return
+    # Merge with rows already on disk: a partial bench run (one file, one
+    # -k selection) must refresh only the rows it regenerated, not wipe
+    # the rest of the table.
+    rows = {}
+    try:
+        with open(RESULTS_PATH, encoding="utf-8") as fh:
+            for row in json.load(fh).get("rows", []):
+                if isinstance(row, dict) and "name" in row:
+                    rows[row["name"]] = row
+    except (OSError, ValueError):
+        pass
+    rows.update(_RESULTS)
     payload = {
         "generated_by": "benchmarks (pytest session)",
-        "rows": [_RESULTS[name] for name in sorted(_RESULTS)],
+        "rows": [rows[name] for name in sorted(rows)],
     }
     with open(RESULTS_PATH, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)

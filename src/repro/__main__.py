@@ -12,6 +12,8 @@ Gives downstream users the paper's experiments without writing code:
     python -m repro loc               # source inventory
     python -m repro replay corpus.jsonl   # re-execute counterexamples
     python -m repro chaos             # fault-injection self-test matrix
+    python -m repro serve             # distributed coordinator
+    python -m repro work --connect HOST:PORT   # distributed worker node
 
 The exploration commands (``mp``, ``matrix``, ``spsc``, ``elim``) accept
 the parallel-engine flag group:
@@ -23,6 +25,8 @@ the parallel-engine flag group:
     --corpus PATH     persist every failing trace as a replayable
                       JSONL corpus entry
     --shard-timeout S hung-worker watchdog window
+    --max-retries N   per-shard retry budget (with jittered exponential
+                      backoff between attempts)
     --shard-seconds / --run-seconds / --max-rss-mb
                       graceful-degradation budgets (docs/robustness.md)
     --dpor/--no-dpor  sleep-set partial-order reduction for exhaustive
@@ -45,6 +49,7 @@ def _engine_kwargs(args) -> dict:
         "run_seconds": args.run_seconds,
         "max_rss_mb": args.max_rss_mb,
         "dpor": args.dpor,
+        "max_retries": args.max_retries,
     }
     if args.shard_timeout is not None:
         kwargs["shard_timeout"] = (None if args.shard_timeout <= 0
@@ -199,6 +204,58 @@ def cmd_chaos(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_serve(args) -> int:
+    """Coordinate a distributed exploration (docs/distributed.md)."""
+    import json
+    from .core.spec_styles import SpecStyle
+    from .engine import ScenarioSpec
+    from .engine.dist import DistParams, serve_scenario
+    from .engine.merge import report_to_json
+    from .engine.pool import EngineParams
+    spec = ScenarioSpec("mixed-stress",
+                        kwargs={"impl": args.impl, "threads": args.threads,
+                                "ops": args.ops, "seed": args.seed})
+    params = EngineParams(
+        styles=(SpecStyle.LAT_HB,), exhaustive=True,
+        seed=args.seed, target_shards=args.target_shards,
+        checkpoint_path=args.resume, corpus_path=args.corpus,
+        progress=args.progress, max_retries=args.max_retries,
+        run_seconds=args.run_seconds, dpor=args.dpor)
+    dist = DistParams(host=args.host, port=args.port,
+                      lease_seconds=args.lease_seconds,
+                      node_wait_seconds=args.node_wait)
+    result = serve_scenario(
+        params, spec, dist,
+        on_listening=lambda host, port: print(
+            f"serve: coordinating {spec.kwargs['impl']} on {host}:{port} "
+            f"(connect with: python -m repro work --connect {host}:{port})",
+            flush=True))
+    rep = result.report
+    print(f"serve: {rep.executions} executions, "
+          f"{result.coverage.shards_complete}/"
+          f"{result.coverage.shards_total} shards, "
+          f"exhausted={rep.exhausted}")
+    _print_coverage(rep)
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(report_to_json(rep), fh, sort_keys=True, indent=2)
+        print(f"serve: report written to {args.report_json}")
+    # Exit honestly: a degraded merge is not the full answer.
+    return 1 if result.coverage.degraded else 0
+
+
+def cmd_work(args) -> int:
+    """Join a coordinator as a worker node (docs/distributed.md)."""
+    from .engine.dist import run_node
+    from .engine.dist.protocol import parse_hostport
+    if not args.connect:
+        print("work: pass --connect HOST:PORT", file=sys.stderr)
+        return 2
+    host, port = parse_hostport(args.connect, default_port=7671)
+    return run_node(host, port, node_id=args.node_id,
+                    max_reconnects=args.max_reconnects)
+
+
 def cmd_effort(_args) -> int:
     import importlib.util
     import os
@@ -241,6 +298,8 @@ COMMANDS = {
     "loc": cmd_loc,
     "replay": cmd_replay,
     "chaos": cmd_chaos,
+    "serve": cmd_serve,
+    "work": cmd_work,
 }
 
 
@@ -288,6 +347,47 @@ def main(argv=None) -> int:
                         help="sleep-set partial-order reduction for "
                              "exhaustive exploration (default: on; "
                              "--no-dpor for the naive enumeration)")
+    engine.add_argument("--max-retries", type=int, default=2,
+                        metavar="N",
+                        help="per-shard retry budget before the shard is "
+                             "declared failed (jittered exponential "
+                             "backoff between attempts; default 2)")
+    dist = parser.add_argument_group(
+        "distributed engine (serve, work — docs/distributed.md)")
+    dist.add_argument("--host", default="127.0.0.1",
+                      help="serve: interface to bind (default 127.0.0.1)")
+    dist.add_argument("--port", type=int, default=7671,
+                      help="serve: TCP port (0 for an ephemeral port)")
+    dist.add_argument("--impl", default="vyukov-queue/rlx",
+                      help="serve: mixed-stress implementation to explore")
+    dist.add_argument("--threads", type=int, default=2,
+                      help="serve: mixed-stress worker threads")
+    dist.add_argument("--ops", type=int, default=1,
+                      help="serve: operations per thread")
+    dist.add_argument("--seed", type=int, default=0,
+                      help="serve: scenario seed")
+    dist.add_argument("--target-shards", type=int, default=8,
+                      metavar="N", help="serve: shard-count target")
+    dist.add_argument("--lease-seconds", type=float, default=10.0,
+                      metavar="S",
+                      help="serve: lease deadline; a node that stops "
+                           "heartbeating loses its shard after this")
+    dist.add_argument("--node-wait", type=float, default=30.0,
+                      metavar="S",
+                      help="serve: how long to wait with zero connected "
+                           "nodes before degrading to partial coverage")
+    dist.add_argument("--report-json", metavar="PATH", default=None,
+                      help="serve: write the merged report as JSON "
+                           "(for equivalence checks against a serial run)")
+    dist.add_argument("--connect", metavar="HOST:PORT", default=None,
+                      help="work: coordinator address to join")
+    dist.add_argument("--node-id", default=None,
+                      help="work: stable node identity "
+                           "(default hostname:pid)")
+    dist.add_argument("--max-reconnects", type=int, default=8,
+                      metavar="N",
+                      help="work: consecutive failed reconnect attempts "
+                           "before the node gives up")
     args = parser.parse_args(argv)
     return COMMANDS[args.command](args)
 

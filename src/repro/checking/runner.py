@@ -292,6 +292,8 @@ def check_scenario(
     corpus: Optional[str] = None,
     progress: bool = False,
     max_retries: int = 2,
+    retry_backoff: float = 0.05,
+    start_method: Optional[str] = None,
     shard_timeout: Optional[float] = -1.0,
     shard_seconds: Optional[float] = None,
     run_seconds: Optional[float] = None,
@@ -358,7 +360,8 @@ def check_scenario(
         max_steps=max_steps, max_executions=max_executions,
         workers=workers, split_depth=split_depth,
         checkpoint_path=checkpoint, corpus_path=corpus, progress=progress,
-        max_retries=max_retries, shard_seconds=shard_seconds,
+        max_retries=max_retries, retry_backoff=retry_backoff,
+        start_method=start_method, shard_seconds=shard_seconds,
         run_seconds=run_seconds, max_rss_mb=max_rss_mb, dpor=dpor)
     if shard_timeout is None or shard_timeout >= 0:
         params.shard_timeout = shard_timeout

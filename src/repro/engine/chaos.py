@@ -22,6 +22,16 @@ fuzzer.  Faults that take the driver process itself down (crash/hang)
 are only scheduled for pool cells (``workers >= 2``): inline execution
 shares the driver's process, where "kill the worker" would mean "kill
 the test".
+
+A second, **distributed** section (`build_dist_cases`) runs the same
+workload through the coordinator/node transport (`repro.engine.dist`)
+with real node *processes* on localhost: each network fault kind
+(``drop`` / ``delay`` / ``sever`` / ``duplicate``) injected at a
+protocol send site, plus a node SIGKILLed mid-shard.  Every row must
+still merge to the fault-free serial report, and rows assert the
+telemetry counter of the failure path they target (``leases_expired``,
+``nodes_lost``, ``results_fenced``) so a fault that silently missed
+cannot pass.
 """
 
 from __future__ import annotations
@@ -29,7 +39,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import shutil
+import signal
 import tempfile
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -255,6 +268,162 @@ def build_cases(max_workers: int = 2) -> List[ChaosCase]:
     return cases
 
 
+# ----------------------------------------------------------------------
+# Distributed rows: coordinator + real node processes over TCP
+# ----------------------------------------------------------------------
+
+#: Short leases so the expiry/requeue path resolves in test time.
+DIST_LEASE_SECONDS = 1.5
+DIST_NODE_WAIT = 30.0
+
+
+@dataclass(frozen=True)
+class DistChaosCase:
+    """One distributed cell: network faults and/or a node killed."""
+
+    name: str
+    plan: FaultPlan
+    #: SIGKILL the first node mid-shard (a hang fault pins it there
+    #: deterministically) and let a late-joining node finish the run.
+    kill_node: bool = False
+    #: Telemetry counter that must be non-zero — proof the intended
+    #: failure path actually ran, not that the fault missed.
+    want_counter: Optional[str] = None
+
+
+def _dist_node_main(host: str, port: int, node_id: str) -> None:
+    from .dist.node import run_node
+    raise SystemExit(run_node(host, port, node_id=node_id,
+                              emit=lambda *_args: None))
+
+
+def build_dist_cases() -> List[DistChaosCase]:
+    """The distributed matrix: every network fault kind, plus a kill.
+
+    Each row must still merge to the fault-free serial report — message
+    loss, delay, duplication, severed connections, and a node dying
+    mid-shard are all recoverable by leases + fencing + requeue.
+    """
+    return [
+        # Node SIGKILLed while mid-shard (hang pins it inside shard 0's
+        # exploration): its lease must expire, the shard requeue, and a
+        # late-joining replacement node finish the run exactly.
+        DistChaosCase(
+            name="dist/node-sigkill",
+            plan=FaultPlan((Fault("worker.explore", "hang",
+                                  shard=0, attempt=1),)),
+            kill_node=True, want_counter="leases_expired"),
+        # A grant lost in flight: the node re-asks and the coordinator
+        # re-grants the *same* lease idempotently.
+        DistChaosCase(
+            name="dist/drop-grant",
+            plan=FaultPlan((Fault("net.send.grant", "drop",
+                                  shard=1, attempt=1),))),
+        # A result lost in flight: the node re-asks, re-explores the
+        # same lease, and the resend lands.
+        DistChaosCase(
+            name="dist/drop-result",
+            plan=FaultPlan((Fault("net.send.result", "drop",
+                                  shard=0, attempt=1),))),
+        # A result delayed in flight: slower, never wrong.
+        DistChaosCase(
+            name="dist/delay-result",
+            plan=FaultPlan((Fault("net.send.result", "delay", shard=1,
+                                  attempt=1, delay_seconds=0.4),))),
+        # The connection severed while submitting: the node reconnects
+        # with backoff, the shard requeues to another node.
+        DistChaosCase(
+            name="dist/sever-result",
+            plan=FaultPlan((Fault("net.send.result", "sever",
+                                  shard=2, attempt=1),)),
+            want_counter="nodes_lost"),
+        # Duplicate delivery: the second copy presents a settled lease's
+        # token and must be fenced off, not double-counted.
+        DistChaosCase(
+            name="dist/duplicate-result",
+            plan=FaultPlan((Fault("net.send.result", "duplicate",
+                                  shard=1, attempt=1),)),
+            want_counter="results_fenced"),
+    ]
+
+
+def run_dist_case(case: DistChaosCase,
+                  baseline: ScenarioReport) -> ChaosOutcome:
+    """Run one distributed cell: coordinator in-thread, nodes as
+    processes, convergence checked against the serial baseline."""
+    from .dist import Coordinator, DistParams
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+    before = {p.pid for p in multiprocessing.active_children()}
+    params = EngineParams(styles=CHAOS_STYLES, exhaustive=True,
+                          runs=CHAOS_RUNS, seed=0, max_steps=100_000,
+                          target_shards=4,
+                          heartbeat_interval=CHAOS_HEARTBEAT)
+    procs: List = []
+    box: Dict = {}
+
+    def start_node(name: str):
+        proc = ctx.Process(target=_dist_node_main,
+                           args=(coord.host, coord.port, name),
+                           daemon=True)
+        proc.start()
+        procs.append(proc)
+        return proc
+
+    try:
+        with case.plan:
+            coord = Coordinator(params, CHAOS_SPEC,
+                                DistParams(lease_seconds=DIST_LEASE_SECONDS,
+                                           node_wait_seconds=DIST_NODE_WAIT,
+                                           tick=0.05))
+            serve = threading.Thread(
+                target=lambda: box.update(result=coord.serve()),
+                daemon=True)
+            serve.start()
+            first = start_node("cn0")
+            if case.kill_node:
+                # Let cn0 lease shard 0 and hang inside it, then let the
+                # lease actually expire (the federated-heartbeat path)
+                # before the SIGKILL also severs its connection.
+                time.sleep(DIST_LEASE_SECONDS + 1.0)
+                if first.pid is not None:
+                    os.kill(first.pid, signal.SIGKILL)
+                first.join(timeout=5.0)
+            start_node("cn1")
+            serve.join(timeout=90.0)
+        if serve.is_alive() or "result" not in box:
+            return ChaosOutcome(case, ok=False,
+                                detail="coordinator did not settle")
+        result: EngineResult = box["result"]
+        mismatches = report_mismatches(result.report, baseline)
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+    tel = result.telemetry
+    if case.want_counter and not getattr(tel, case.want_counter, 0):
+        mismatches.append(f"expected telemetry {case.want_counter} > 0 "
+                          f"(the intended failure path never ran)")
+    leaked = _leaked_children(before)
+    if leaked:
+        mismatches.append(f"leaked child processes: {leaked}")
+    if mismatches:
+        return ChaosOutcome(case, ok=False, detail=mismatches[0],
+                            mismatches=mismatches)
+    seen = [f"{tel.nodes_joined} nodes"]
+    if tel.nodes_lost:
+        seen.append(f"{tel.nodes_lost} lost")
+    if tel.leases_expired:
+        seen.append(f"{tel.leases_expired} leases expired")
+    if tel.results_fenced:
+        seen.append(f"{tel.results_fenced} results fenced")
+    if tel.retries:
+        seen.append(f"{tel.retries} retries")
+    return ChaosOutcome(case, ok=True, detail=", ".join(seen))
+
+
 def run_chaos(max_workers: int = 2,
               emit: Optional[Callable[[str], None]] = None) \
         -> List[ChaosOutcome]:
@@ -268,6 +437,13 @@ def run_chaos(max_workers: int = 2,
         outcomes.append(outcome)
         status = "ok" if outcome.ok else "FAIL"
         say(f"  {case.name:<34} {status:<4} {outcome.detail}")
+        for extra in outcome.mismatches[1:]:
+            say(f"    {extra}")
+    for dist_case in build_dist_cases():
+        outcome = run_dist_case(dist_case, baselines[True])
+        outcomes.append(outcome)
+        status = "ok" if outcome.ok else "FAIL"
+        say(f"  {dist_case.name:<34} {status:<4} {outcome.detail}")
         for extra in outcome.mismatches[1:]:
             say(f"    {extra}")
     return outcomes

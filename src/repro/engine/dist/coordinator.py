@@ -1,0 +1,315 @@
+"""The distributed driver: plan shards, lease them out, merge honestly.
+
+The coordinator is the local pool driver (`repro.engine.pool`) with the
+process pool swapped for a lease table over TCP.  Everything
+result-determining is unchanged: shards come from `plan_shards_ex`,
+resumed shards come from the same fingerprinted checkpoint, and the
+merge is literally `finalize_run` — which is why a distributed run is
+byte-for-byte the serial report, and why a degraded run (nodes lost,
+retry budgets spent) reports truncated `Coverage` instead of lying.
+
+Liveness federates through the protocol's in-band heartbeats: a node
+beat names the ``(shard_id, token)`` it is working under, and renews
+exactly that lease (`LeaseTable.renew`).  A node that dies mid-shard
+stops beating, its lease expires on the next tick, and the shard is
+requeued to another node with the dead one excluded.  A node that was
+merely paused and submits after expiry presents a fenced-off token and
+is counted once — as `results_fenced`, not as coverage.
+
+Failure handling is three nested safety nets:
+
+1. connection loss -> `release_node` requeues the node's leases now;
+2. silent hang -> the lease deadline expires without renewal;
+3. repeated failure -> the per-shard retry budget marks the shard
+   FAILED, and `finalize_run` degrades coverage instead of raising.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...checking.runner import ScenarioReport
+from ..checkpoint import CheckpointWriter, load_completed_ex, run_fingerprint
+from ..corpus import CorpusEntry
+from ..pool import (EngineParams, EngineResult, ResultCorrupt, _decode_result,
+                    finalize_run, plan_shards_ex)
+from ..registry import ScenarioSpec, build_scenario
+from ..telemetry import ProgressReporter
+from .lease import ACCEPTED, LeaseTable
+from .protocol import (MSG_BEAT, MSG_DONE, MSG_FAIL, MSG_GRANT, MSG_HELLO,
+                       MSG_IDLE, MSG_RESULT, MSG_WANT, MSG_WELCOME,
+                       PROTOCOL_VERSION, Channel)
+
+
+@dataclass
+class DistParams:
+    """Coordinator-side knobs; nothing here affects the merged report."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 -> ephemeral; the bound port is `Coordinator.port`
+    lease_seconds: float = 10.0
+    #: How long to keep waiting with zero connected nodes before
+    #: degrading to a truncated-coverage result.
+    node_wait_seconds: float = 30.0
+    tick: float = 0.2
+    idle_wait: float = 0.25
+
+
+class Coordinator:
+    """Serve one scenario's shards to remote nodes and merge the run."""
+
+    def __init__(self, params: EngineParams, spec: ScenarioSpec,
+                 dist: Optional[DistParams] = None):
+        if spec is None:
+            raise ValueError("distributed runs need a registry spec: "
+                             "nodes rebuild the scenario from its "
+                             "to_json() form")
+        self.params = params
+        self.spec = spec
+        self.dist = dist or DistParams()
+        self.scenario = build_scenario(spec)
+        self.shards, self.planner_pruned = plan_shards_ex(self.scenario,
+                                                          params)
+        self._fingerprint = run_fingerprint(self.scenario.name, spec,
+                                            params.fingerprint_json(),
+                                            self.shards)
+        self.table = LeaseTable(len(self.shards),
+                                max_retries=params.max_retries,
+                                lease_seconds=self.dist.lease_seconds,
+                                backoff_base=params.retry_backoff)
+        self.results: Dict[int, Tuple[ScenarioReport,
+                                      List[CorpusEntry]]] = {}
+        self._markers: set = set()
+        quarantined = 0
+        if params.checkpoint_path:
+            done, self._markers, diag = load_completed_ex(
+                params.checkpoint_path, self._fingerprint)
+            quarantined = diag.corrupt
+            for sid, (report, entries) in done.items():
+                if 0 <= sid < len(self.shards):
+                    self.results[sid] = (report, entries)
+                    self.table.mark_done(sid)
+        self.reporter = ProgressReporter(
+            total_shards=len(self.shards), enabled=params.progress,
+            label=f"dist:{self.scenario.name}")
+        self.reporter.on_quarantined(quarantined)
+        self.reporter.on_planner_pruned(self.planner_pruned)
+        for report, _entries in self.results.values():
+            self.reporter.on_resumed(report.executions, report.steps,
+                                     report.pruned_subtrees)
+        self._writer = (CheckpointWriter(params.checkpoint_path,
+                                         self._fingerprint)
+                        if params.checkpoint_path else None)
+        self._lock = threading.Lock()
+        self._nodes: Dict[str, Channel] = {}
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((self.dist.host, self.dist.port))
+        self._listener.listen()
+        self.host, self.port = self._listener.getsockname()[:2]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def serve(self) -> EngineResult:
+        """Accept nodes, lease shards until settled, merge, return."""
+        deadline = (time.time() + self.params.run_seconds
+                    if self.params.run_seconds is not None else None)
+        acceptor = threading.Thread(target=self._accept_loop,
+                                    name="dist-accept", daemon=True)
+        acceptor.start()
+        last_node_seen = time.time()
+        try:
+            while True:
+                time.sleep(self.dist.tick)
+                now = time.time()
+                with self._lock:
+                    for lease in self.table.expire(now):
+                        self.reporter.on_lease_expired(lease.shard_id,
+                                                       lease.node_id)
+                    if self.table.settled:
+                        break
+                    have_nodes = bool(self._nodes)
+                if have_nodes:
+                    last_node_seen = now
+                elif now - last_node_seen >= self.dist.node_wait_seconds:
+                    break  # degrade: merge what came back
+                if deadline is not None and now >= deadline:
+                    break
+        finally:
+            self._shutdown()
+        with self._lock:
+            for sid in range(len(self.shards)):
+                if sid in self.results:
+                    continue
+                reason = self.table.failure_reason(sid) \
+                    or "no live node returned this shard"
+                self.reporter.on_skipped(sid, reason)
+            return finalize_run(self.scenario.name, self.params,
+                                self.shards, self.planner_pruned,
+                                self.results, self._markers,
+                                self.reporter, self._writer)
+
+    def _shutdown(self) -> None:
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            channels = list(self._nodes.values())
+        for ch in channels:
+            try:
+                ch.send(MSG_DONE)
+            except ConnectionError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        self._listener.settimeout(0.2)
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            thread = threading.Thread(target=self._serve_conn,
+                                      args=(Channel(conn),),
+                                      name="dist-conn", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def _serve_conn(self, ch: Channel) -> None:
+        node_id = None
+        try:
+            hello = ch.recv(timeout=5.0)
+            if (hello is None or hello.get("t") != MSG_HELLO
+                    or hello.get("proto") != PROTOCOL_VERSION):
+                return
+            node_id = str(hello["node"])
+            with self._lock:
+                self._nodes[node_id] = ch
+                self.reporter.on_node_joined(node_id)
+            ch.send(MSG_WELCOME, spec=self.spec.to_json(),
+                    params=self.params.wire_json(),
+                    lease=self.dist.lease_seconds,
+                    heartbeat=self.params.heartbeat_interval)
+            while not self._stop.is_set():
+                msg = ch.recv(timeout=0.5)
+                if msg is None:
+                    continue
+                self._dispatch(ch, node_id, msg)
+        except ConnectionError:
+            pass
+        finally:
+            if node_id is not None:
+                with self._lock:
+                    if self._nodes.get(node_id) is ch:
+                        del self._nodes[node_id]
+                    lost = self.table.release_node(node_id, time.time())
+                    # A node leaving after the table settled was *told*
+                    # to go (`done` reply): that is a graceful exit,
+                    # not a lost node — only count losses mid-run.
+                    if not self._stop.is_set() and not self.table.settled:
+                        self.reporter.on_node_lost(
+                            node_id, f"connection lost "
+                                     f"({len(lost)} leases requeued)")
+            ch.close()
+
+    def _dispatch(self, ch: Channel, node_id: str, msg: Dict) -> None:
+        mtype = msg.get("t")
+        if mtype == MSG_WANT:
+            self._on_want(ch, node_id)
+        elif mtype == MSG_BEAT:
+            if msg.get("shard_id") is not None:
+                with self._lock:
+                    self.table.renew(node_id, msg["shard_id"],
+                                     msg["token"], time.time())
+        elif mtype == MSG_RESULT:
+            self._on_result(node_id, msg)
+        elif mtype == MSG_FAIL:
+            self._on_fail(node_id, msg)
+
+    def _on_want(self, ch: Channel, node_id: str) -> None:
+        with self._lock:
+            # With a single live node, exclusion must not starve a
+            # requeued shard: lenient grants ignore the exclusion set.
+            lenient = len(self._nodes) <= 1
+            lease = self.table.grant(node_id, time.time(),
+                                     lenient=lenient)
+            settled = self.table.settled
+        if lease is None:
+            ch.send(MSG_DONE if settled else MSG_IDLE,
+                    wait=self.dist.idle_wait)
+            return
+        ch.send(MSG_GRANT, fault_shard=lease.shard_id,
+                fault_attempt=lease.attempt, shard_id=lease.shard_id,
+                shard=self.shards[lease.shard_id].to_json(),
+                token=lease.token, attempt=lease.attempt)
+
+    def _on_result(self, node_id: str, msg: Dict) -> None:
+        sid, token = msg["shard_id"], msg["token"]
+        # Decode *before* settling the lease: a corrupt blob must spend
+        # a retry, not permanently settle the shard as done.
+        try:
+            report, entries = _decode_result(sid, msg["blob"],
+                                             msg["blob_crc"])
+        except ResultCorrupt:
+            with self._lock:
+                self.reporter.on_corrupt_result(sid)
+                self.table.fail(sid, token, node_id, time.time(),
+                                "result failed its CRC check")
+            return
+        with self._lock:
+            verdict = self.table.complete(sid, token, node_id)
+            if verdict != ACCEPTED:
+                # A resurrected node's stale submission: fence it off.
+                self.reporter.on_fenced(sid, node_id)
+                return
+            self._complete(sid, report, entries, int(msg.get("pid", 0)))
+
+    def _on_fail(self, node_id: str, msg: Dict) -> None:
+        sid, token = msg["shard_id"], msg["token"]
+        error = str(msg.get("error", "unknown error"))
+        with self._lock:
+            if self.table.fail(sid, token, node_id, time.time(), error):
+                self.reporter.on_retry(sid, self.table.attempts(sid),
+                                       error)
+            else:
+                self.reporter.on_fenced(sid, node_id)
+
+    def _complete(self, sid: int, report: ScenarioReport,
+                  entries: List[CorpusEntry], pid: int) -> None:
+        self.results[sid] = (report, entries)
+        if report.budget_exhausted:
+            # Not checkpointed: a later, better-funded resume should
+            # re-explore a truncated shard rather than trust its stub.
+            self.reporter.on_budget_stop(sid)
+        elif self._writer is not None:
+            self._writer.write_shard(sid, report, entries)
+        self.reporter.on_shard_done(sid, pid, report.executions,
+                                    report.steps, report.pruned_subtrees)
+
+
+def serve_scenario(params: EngineParams, spec: ScenarioSpec,
+                   dist: Optional[DistParams] = None,
+                   on_listening=None) -> EngineResult:
+    """One-call coordinator: bind, serve until settled, merge."""
+    coord = Coordinator(params, spec, dist)
+    if on_listening is not None:
+        on_listening(coord.host, coord.port)
+    return coord.serve()

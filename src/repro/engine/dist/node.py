@@ -1,0 +1,170 @@
+"""The worker node: the pool's single-shard path behind a socket.
+
+A node is deliberately thin — connect, introduce itself, then loop
+``want -> grant -> explore -> result``.  Exploration is literally the
+local pool's `repro.engine.pool._explore_shard`, with two remote-shaped
+differences:
+
+* the heartbeat duck-type (`NetBeat`) streams beats *upstream* over the
+  channel instead of to a local file, each naming the
+  ``(shard_id, token)`` lease it renews — that is heartbeat federation,
+  and it means a lease the node never learned about is never renewed;
+* the result blob is the same CRC'd JSON the pool's workers return
+  (including the in-flight-corruption fault site ``worker.result``), so
+  the coordinator's integrity check is one shared code path.
+
+An exploration error becomes an explicit ``fail`` message (spending a
+retry on the coordinator) rather than a silent drop, so a
+deterministically poisoned shard cannot loop forever.  A connection
+error becomes a reconnect with jittered exponential backoff; the
+coordinator requeues our lease when it notices, and any result we
+submit from before the drop is fenced off by its stale token.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import zlib
+from typing import Callable, Optional
+
+from ..faults import mutate_blob
+from ..merge import report_to_json
+from ..pool import EngineParams, _explore_shard
+from ..registry import ScenarioSpec, build_scenario
+from ..retry import jittered_backoff
+from ..shard import Shard
+from .protocol import (MSG_BEAT, MSG_DONE, MSG_FAIL, MSG_GRANT, MSG_HELLO,
+                       MSG_IDLE, MSG_RESULT, MSG_WANT, MSG_WELCOME,
+                       PROTOCOL_VERSION, Channel)
+
+
+class NetBeat:
+    """Heartbeat duck-type streaming beats upstream over the channel."""
+
+    def __init__(self, channel: Channel, node_id: str, shard_id: int,
+                 token: int, interval: float):
+        self._channel = channel
+        self._node_id = node_id
+        self._shard_id = shard_id
+        self._token = token
+        self._interval = interval
+        self._last = 0.0
+
+    def beat(self, shard: int, execs: int, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last < self._interval:
+            return
+        self._last = now
+        self._channel.send(MSG_BEAT, node=self._node_id,
+                           shard_id=self._shard_id, token=self._token,
+                           execs=execs)
+
+
+def _default_node_id() -> str:
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def _serve_grants(ch: Channel, node_id: str, emit: Callable) -> bool:
+    """Work one connection until ``done``; True means run finished."""
+    ch.send(MSG_HELLO, node=node_id, pid=os.getpid(),
+            proto=PROTOCOL_VERSION)
+    welcome = ch.recv(timeout=10.0)
+    if welcome is None or welcome.get("t") != MSG_WELCOME:
+        raise ConnectionError("no welcome from coordinator")
+    spec = ScenarioSpec.from_json(welcome["spec"])
+    params = EngineParams.from_wire(welcome["params"])
+    heartbeat = float(welcome.get("heartbeat", 0.25))
+    scenario = build_scenario(spec)
+    while True:
+        ch.send(MSG_WANT, node=node_id)
+        # A short reply window on purpose: a grant lost in flight is
+        # recovered by re-asking — the coordinator re-grants the same
+        # lease idempotently — so waiting longer only adds stall.
+        msg = ch.recv(timeout=2.0)
+        if msg is None:
+            continue  # reply lost or coordinator busy; re-ask
+        mtype = msg.get("t")
+        if mtype == MSG_DONE:
+            return True
+        if mtype == MSG_IDLE:
+            time.sleep(float(msg.get("wait", 0.25)))
+            continue
+        if mtype != MSG_GRANT:
+            continue
+        sid = int(msg["shard_id"])
+        token = int(msg["token"])
+        attempt = int(msg.get("attempt", 1))
+        shard = Shard.from_json(msg["shard"])
+        emit(f"[node {node_id}] shard {sid} leased "
+             f"(token {token}, attempt {attempt})")
+        beat = NetBeat(ch, node_id, sid, token, heartbeat)
+        try:
+            report, entries = _explore_shard(scenario, spec, shard,
+                                             params, shard_id=sid,
+                                             attempt=attempt, beat=beat)
+        except ConnectionError:
+            raise  # a severed beat: reconnect, lease will be requeued
+        except Exception as err:  # noqa: BLE001 — spend a retry upstream
+            ch.send(MSG_FAIL, fault_shard=sid, fault_attempt=attempt,
+                    node=node_id, shard_id=sid, token=token,
+                    error=repr(err))
+            continue
+        payload = {"report": report_to_json(report),
+                   "corpus": [e.to_json() for e in entries]}
+        blob = json.dumps(payload, sort_keys=True)
+        crc = zlib.crc32(blob.encode("utf-8"))
+        # Same in-flight-damage fault site as the local pool's workers:
+        # the CRC is taken first, so injected corruption must be caught
+        # by the coordinator's check, never merged.
+        blob = mutate_blob("worker.result", blob, shard=sid,
+                           attempt=attempt)
+        ch.send(MSG_RESULT, fault_shard=sid, fault_attempt=attempt,
+                node=node_id, shard_id=sid, token=token, attempt=attempt,
+                blob=blob, blob_crc=crc, pid=os.getpid())
+
+
+def run_node(host: str, port: int, node_id: Optional[str] = None,
+             max_reconnects: int = 8, reconnect_base: float = 0.2,
+             emit: Callable = print) -> int:
+    """Work for ``host:port`` until the coordinator says ``done``.
+
+    Reconnects with jittered exponential backoff on any connection
+    failure (including injected ``sever`` faults); gives up — exit
+    code 1 — once ``max_reconnects`` consecutive attempts fail to
+    reach a coordinator.
+    """
+    node_id = node_id or _default_node_id()
+    failures = 0
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+        except OSError:
+            failures += 1
+            if failures > max_reconnects:
+                emit(f"[node {node_id}] giving up after "
+                     f"{failures - 1} reconnect attempts")
+                return 1
+            time.sleep(jittered_backoff(failures, reconnect_base, 5.0,
+                                        key=f"node-{node_id}"))
+            continue
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(None)
+        failures = 0  # reachable again: the give-up budget resets
+        ch = Channel(sock)
+        try:
+            if _serve_grants(ch, node_id, emit):
+                emit(f"[node {node_id}] coordinator done; exiting")
+                return 0
+        except ConnectionError as err:
+            failures += 1
+            emit(f"[node {node_id}] connection lost ({err}); "
+                 f"reconnect {failures}/{max_reconnects}")
+            if failures > max_reconnects:
+                return 1
+            time.sleep(jittered_backoff(failures, reconnect_base, 5.0,
+                                        key=f"node-{node_id}"))
+        finally:
+            ch.close()

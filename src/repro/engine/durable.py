@@ -110,8 +110,18 @@ def append_line(path: str, payload: Dict, site: str) -> None:
         os.close(fd)
 
 
+def _line_crc(line: str) -> int:
+    return zlib.crc32(line.encode("utf-8"))
+
+
 def _quarantine(path: str, bad_lines: Iterable[str]) -> Optional[str]:
-    """Append corrupt raw lines (once each) to the ``.rejected`` sidecar."""
+    """Append corrupt raw lines (once each) to the ``.rejected`` sidecar.
+
+    Dedupe is by line CRC against everything already in the sidecar
+    *and* within the incoming batch, so re-loading the same damaged log
+    — or a log whose corruption repeats — never grows the sidecar: the
+    quarantine is idempotent across reloads.
+    """
     bad = [ln for ln in bad_lines if ln]
     if not bad:
         return None
@@ -119,8 +129,14 @@ def _quarantine(path: str, bad_lines: Iterable[str]) -> Optional[str]:
     seen = set()
     if os.path.exists(sidecar):
         with open(sidecar, "r", encoding="utf-8") as fh:
-            seen = {ln.rstrip("\n") for ln in fh}
-    fresh = [ln for ln in bad if ln not in seen]
+            seen = {_line_crc(ln.rstrip("\n")) for ln in fh}
+    fresh: List[str] = []
+    for ln in bad:
+        crc = _line_crc(ln)
+        if crc in seen:
+            continue
+        seen.add(crc)
+        fresh.append(ln)
     if fresh:
         fd = os.open(sidecar, os.O_WRONLY | os.O_APPEND | os.O_CREAT,
                      0o644)

@@ -15,6 +15,8 @@ site                  instrumented where
                       pipe back to the driver (corrupt)
 ``checkpoint.append``  each checkpoint JSONL line (torn write)
 ``corpus.append``     each corpus JSONL line (torn write)
+``net.send.<type>``   each distributed-protocol message send
+                      (drop/delay/sever/duplicate; `repro.engine.dist`)
 ====================  =====================================================
 
 Coordinates are ``(shard, attempt, exec_at)``; ``None`` matches anything,
@@ -46,7 +48,12 @@ FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 #: Exit code of an injected hard crash (distinguishable in waitpid logs).
 CRASH_EXIT_CODE = 86
 
-KINDS = ("crash", "hang", "raise", "corrupt", "torn")
+KINDS = ("crash", "hang", "raise", "corrupt", "torn",
+         # Network faults, consulted by the distributed transport's send
+         # path (`repro.engine.dist.protocol`): a message silently lost,
+         # delayed in flight, the whole connection cut, or delivered
+         # twice.
+         "drop", "delay", "sever", "duplicate")
 
 
 class FaultInjected(RuntimeError):
@@ -65,6 +72,8 @@ class Fault:
     #: Seeded firing probability, an alternative to exact coordinates.
     prob: Optional[float] = None
     hang_seconds: float = 3600.0
+    #: How long a ``delay`` network fault holds a message.
+    delay_seconds: float = 0.1
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -96,6 +105,8 @@ class Fault:
                 out[key] = val
         if self.hang_seconds != 3600.0:
             out["hang_seconds"] = self.hang_seconds
+        if self.delay_seconds != 0.1:
+            out["delay_seconds"] = self.delay_seconds
         return out
 
     @staticmethod
@@ -103,7 +114,8 @@ class Fault:
         return Fault(site=data["site"], kind=data["kind"],
                      shard=data.get("shard"), attempt=data.get("attempt"),
                      exec_at=data.get("exec_at"), prob=data.get("prob"),
-                     hang_seconds=data.get("hang_seconds", 3600.0))
+                     hang_seconds=data.get("hang_seconds", 3600.0),
+                     delay_seconds=data.get("delay_seconds", 0.1))
 
 
 @dataclass(frozen=True)
@@ -204,6 +216,45 @@ def mutate_blob(site: str, blob: str, shard: Optional[int] = None,
         flipped = chr((ord(blob[pos]) ^ 0x20) or 0x21)
         blob = blob[:pos] + flipped + blob[pos + 1:]
     return blob
+
+
+def net_fault_actions(site: str, shard: Optional[int] = None,
+                      attempt: Optional[int] = None,
+                      seq: Optional[int] = None) -> list:
+    """Network faults matching this message send, in plan order.
+
+    ``site`` is ``net.send.<message type>``; ``shard``/``attempt`` are
+    the lease coordinates of the message (None for messages not tied to
+    a shard) and ``seq`` is the connection's send sequence number, which
+    lets seeded-probability faults fire independently per message.
+    Returns the matching `Fault` objects so the transport can read
+    ``delay_seconds``; the caller interprets the kinds (drop / delay /
+    sever / duplicate).
+
+    One-shot accounting deliberately ignores ``seq`` for
+    exact-coordinate faults: a retransmission of the same lease's
+    message arrives with a fresh sequence number, and if that opened a
+    fresh one-shot slot a "drop this result" fault would drop every
+    resend too — the recovery it exists to exercise could never win.
+    Seeded-probability faults keep ``seq`` in the key so each message
+    rolls its own dice.
+    """
+    plan = _active_plan()
+    if plan is None:
+        return []
+    actions = []
+    for idx, fault in enumerate(plan.faults):
+        if fault.kind not in ("drop", "delay", "sever", "duplicate"):
+            continue
+        if not fault.matches(site, shard, attempt, seq, plan.seed):
+            continue
+        key = (idx, site, shard, attempt) if fault.prob is None \
+            else (idx, site, shard, attempt, seq)
+        if key in _FIRED:
+            continue
+        _FIRED.add(key)
+        actions.append(fault)
+    return actions
 
 
 def torn_text(site: str, text: str) -> str:

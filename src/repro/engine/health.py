@@ -70,6 +70,40 @@ def kill_worker(pid: int) -> bool:
     return True
 
 
+def sweep_stale(dirpath: str) -> List[int]:
+    """Remove beat files left by dead pids of prior runs.
+
+    Heartbeat directories are normally per-run temporaries, but a pinned
+    directory (``REPRO_HB_DIR``, shared machines, an interrupted run
+    that never cleaned up) can carry beats whose pids have since died —
+    or been recycled by an unrelated process.  Sweeping at pool startup
+    guarantees `HeartbeatMonitor.read` never attributes an old run's
+    beat to a fresh worker.  Unparseable beat filenames are removed too.
+    Returns the pids whose files were swept.
+    """
+    removed: List[int] = []
+    try:
+        names = os.listdir(dirpath)
+    except OSError:
+        return removed
+    for name in names:
+        if not name.startswith(_PREFIX) or not name.endswith(".json"):
+            continue
+        path = os.path.join(dirpath, name)
+        try:
+            pid = int(name[len(_PREFIX):-len(".json")])
+        except ValueError:
+            pid = -1  # junk filename: sweep it
+        if pid > 0 and pid_alive(pid):
+            continue
+        try:
+            os.remove(path)
+        except OSError:
+            continue
+        removed.append(pid)
+    return removed
+
+
 class HeartbeatWriter:
     """Worker side: publish this process's beat, throttled."""
 

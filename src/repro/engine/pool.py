@@ -52,9 +52,11 @@ from .checkpoint import (CheckpointWriter, load_completed_ex,
 from .corpus import (CORPUS_CAP, CorpusEntry, CorpusSink, append_entries,
                      entry_hash)
 from .faults import fault_point, mutate_blob
-from .health import HeartbeatMonitor, HeartbeatWriter, kill_worker
+from .health import (HeartbeatMonitor, HeartbeatWriter, kill_worker,
+                     sweep_stale)
 from .merge import merge_reports, report_from_json, report_to_json
 from .registry import ScenarioSpec, build_scenario
+from .retry import BACKOFF_CAP, jittered_backoff
 from ..rmc.dpor import DporStats
 from .shard import (SHARDS_PER_WORKER, Shard, iter_shard,
                     plan_exhaustive_shards, plan_exhaustive_shards_dpor,
@@ -91,6 +93,12 @@ class EngineParams:
     corpus_cap: int = CORPUS_CAP
     progress: bool = False
     max_retries: int = 2
+    #: Base delay of the jittered exponential backoff between retry
+    #: attempts of the same shard (0 disables; `repro.engine.retry`).
+    retry_backoff: float = 0.05
+    #: ``multiprocessing`` start method for pool workers (None = fork
+    #: when available, else spawn).  ``spawn`` requires a registry spec.
+    start_method: Optional[str] = None
     #: Seconds without a heartbeat before a worker is declared hung,
     #: killed, and its shard requeued (None = wait forever).
     shard_timeout: Optional[float] = DEFAULT_SHARD_TIMEOUT
@@ -134,6 +142,29 @@ class EngineParams:
         return BudgetSpec(shard_seconds=self.shard_seconds,
                           run_deadline=deadline,
                           max_rss_mb=self.max_rss_mb)
+
+    def wire_json(self) -> Dict:
+        """The fields a remote worker node needs to explore a shard.
+
+        A superset of `fingerprint_json` (everything result-determining)
+        plus the knobs that shape a node's local loop; budgets and
+        watchdog windows stay coordinator-side.
+        """
+        data = self.fingerprint_json()
+        data["corpus_cap"] = self.corpus_cap
+        data["heartbeat_interval"] = self.heartbeat_interval
+        return data
+
+    @staticmethod
+    def from_wire(data: Dict) -> "EngineParams":
+        """Rebuild node-side params from `wire_json` output."""
+        return EngineParams(
+            styles=tuple(SpecStyle[name] for name in data["styles"]),
+            exhaustive=data["exhaustive"], runs=data["runs"],
+            seed=data["seed"], max_steps=data["max_steps"],
+            max_executions=data["max_executions"], dpor=data["dpor"],
+            corpus_cap=data.get("corpus_cap", CORPUS_CAP),
+            heartbeat_interval=data.get("heartbeat_interval", 0.25))
 
 
 @dataclass
@@ -338,9 +369,27 @@ def run_scenario(scenario: Optional[Scenario], params: EngineParams,
         _run_inline(scenario, spec, params, pending, complete, reporter,
                     deadline)
 
+    return finalize_run(scenario.name, params, shards, planner_pruned,
+                        results, markers, reporter, writer)
+
+
+def finalize_run(scenario_name: str, params: EngineParams,
+                 shards: List[Shard], planner_pruned: int,
+                 results: Dict[int, Tuple[ScenarioReport,
+                                          List[CorpusEntry]]],
+                 markers: set, reporter: ProgressReporter,
+                 writer: Optional[CheckpointWriter]) -> EngineResult:
+    """Merge per-shard results into one honest `EngineResult`.
+
+    The shared tail of every driver — the local pool above and the
+    distributed coordinator (`repro.engine.dist.coordinator`): fold the
+    partial reports in shard order, charge planner prunes exactly once,
+    account coverage for anything truncated or missing, and flush the
+    deduplicated corpus.
+    """
     telemetry = reporter.finish()
     ordered = sorted(results)
-    report = merge_reports(scenario.name,
+    report = merge_reports(scenario_name,
                            (results[sid][0] for sid in ordered),
                            params.exhaustive)
     # Branches the planner itself pruned at pinned prefix nodes: charged
@@ -400,19 +449,33 @@ def _run_inline(scenario, spec, params, pending, complete, reporter,
                     raise ShardFailed(
                         f"shard {sid} ({shard}) failed "
                         f"{params.max_retries + 1} times: {err!r}") from err
+                _retry_sleep(params, sid, attempt)
         complete(sid, report, entries, os.getpid())
+
+
+def _retry_sleep(params: EngineParams, sid: int, attempt: int) -> None:
+    """Jittered exponential backoff before retry ``attempt`` of a shard —
+    transient failures (a flaky filesystem, memory pressure) get room to
+    clear instead of an immediate identical requeue."""
+    delay = jittered_backoff(attempt - 1, params.retry_backoff,
+                             BACKOFF_CAP, key=f"shard-{sid}")
+    if delay > 0:
+        time.sleep(delay)
 
 
 def _make_executor(scenario, spec, params, n_tasks, deadline=None,
                    heartbeat_dir=None):
     methods = multiprocessing.get_all_start_methods()
-    if "fork" in methods:
+    method = params.start_method
+    if method is None:
+        method = "fork" if "fork" in methods else "spawn"
+    if method == "fork":
         ctx = multiprocessing.get_context("fork")
         init_scenario = scenario  # inherited by memory, never pickled
-    else:  # spawn-only platform: workers rebuild from the registry
+    else:  # spawn: workers rebuild from the registry
         if spec is None:
             return None
-        ctx = multiprocessing.get_context("spawn")
+        ctx = multiprocessing.get_context(method)
         init_scenario = None
     return ProcessPoolExecutor(
         max_workers=min(params.workers, max(n_tasks, 1)), mp_context=ctx,
@@ -449,12 +512,20 @@ def _teardown_executor(executor) -> None:
 
 def _run_pool(scenario, spec, params, pending, complete, reporter,
               deadline=None) -> None:
-    heartbeat_dir = tempfile.mkdtemp(prefix="repro-hb-")
+    heartbeat_dir = os.environ.get("REPRO_HB_DIR") \
+        or tempfile.mkdtemp(prefix="repro-hb-")
+    owns_hb_dir = "REPRO_HB_DIR" not in os.environ
+    os.makedirs(heartbeat_dir, exist_ok=True)
+    # A pinned (or leaked) directory may hold beats from dead pids of a
+    # prior run; sweep them so the monitor never attributes an old run's
+    # beat to a fresh worker that recycled the pid.
+    sweep_stale(heartbeat_dir)
     monitor = HeartbeatMonitor(heartbeat_dir, timeout=params.shard_timeout)
     executor = _make_executor(scenario, spec, params, len(pending),
                               deadline, heartbeat_dir)
     if executor is None:  # cannot ship the scenario to workers
-        shutil.rmtree(heartbeat_dir, ignore_errors=True)
+        if owns_hb_dir:
+            shutil.rmtree(heartbeat_dir, ignore_errors=True)
         _run_inline(scenario, spec, params, pending, complete, reporter,
                     deadline)
         return
@@ -571,6 +642,7 @@ def _run_pool(scenario, spec, params, pending, complete, reporter,
                         raise ShardFailed(
                             f"shard {sid} ({shard_by_id[sid]}) failed "
                             f"{attempts[sid]} times: {err!r}") from err
+                    _retry_sleep(params, sid, attempts[sid] + 1)
                     submit(sid)
                 else:
                     complete(rid, report, entries, pid)
@@ -578,4 +650,5 @@ def _run_pool(scenario, spec, params, pending, complete, reporter,
         # Sweep the pool on every exit path; kill+join guarantees no
         # leaked children even when a worker is wedged.
         _teardown_executor(executor)
-        shutil.rmtree(heartbeat_dir, ignore_errors=True)
+        if owns_hb_dir:
+            shutil.rmtree(heartbeat_dir, ignore_errors=True)

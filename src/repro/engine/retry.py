@@ -1,0 +1,37 @@
+"""Jittered exponential backoff, deterministic per (key, attempt).
+
+Both the local pool (retrying a failed shard) and the distributed layer
+(a node reconnecting, a lease being requeued) need the same thing: an
+exponentially growing delay with jitter so simultaneous retriers do not
+stampede in lockstep.  The jitter is *seeded* — a hash of the caller's
+key and the attempt number — so a given retry always waits the same
+amount, which keeps chaos runs and tests deterministic the same way
+`repro.engine.faults` keeps fault firing deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Default base delay (seconds) for the first retry.
+BACKOFF_BASE = 0.05
+
+#: Default ceiling on any single delay.
+BACKOFF_CAP = 2.0
+
+
+def jittered_backoff(attempt: int, base: float = BACKOFF_BASE,
+                     cap: float = BACKOFF_CAP, key: str = "") -> float:
+    """Delay before retry number ``attempt`` (1-based), in seconds.
+
+    ``base * 2**(attempt-1)``, clamped to ``cap``, scaled by a seeded
+    jitter factor in ``[0.5, 1.5)`` derived from ``(key, attempt)`` —
+    the same inputs always produce the same delay.  ``base <= 0``
+    disables backoff entirely (returns 0.0).
+    """
+    if base <= 0:
+        return 0.0
+    delay = min(base * (2.0 ** max(attempt - 1, 0)), cap)
+    digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+    jitter = 0.5 + int.from_bytes(digest[:4], "big") / 2 ** 32
+    return delay * jitter

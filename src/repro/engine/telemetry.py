@@ -37,6 +37,14 @@ class TelemetrySummary:
     #: Branches skipped by sleep-set DPOR (`repro.rmc.dpor`), planner
     #: charges included; 0 when DPOR is off.
     pruned_subtrees: int = 0
+    #: Distributed runs (`repro.engine.dist`): worker nodes that joined.
+    nodes_joined: int = 0
+    #: Nodes declared lost (connection gone or heartbeats stopped).
+    nodes_lost: int = 0
+    #: Leases that expired and were requeued to another node.
+    leases_expired: int = 0
+    #: Stale results rejected by fencing-token checks (never merged).
+    results_fenced: int = 0
     wall_seconds: float = 0.0
     #: shards completed per worker pid (pid 0 = inline/resumed).
     worker_shards: Dict[int, int] = field(default_factory=dict)
@@ -126,6 +134,32 @@ class ProgressReporter:
 
     def on_budget_stop(self, shard_id: int) -> None:
         self.summary.budget_stops += 1
+
+    def on_node_joined(self, node_id: str) -> None:
+        self.summary.nodes_joined += 1
+        if self.enabled:
+            print(f"[{self.label}] node {node_id} joined",
+                  file=self.out, flush=True)
+
+    def on_node_lost(self, node_id: str, reason: str) -> None:
+        self.summary.nodes_lost += 1
+        if self.enabled:
+            print(f"[{self.label}] node {node_id} lost: {reason}",
+                  file=self.out, flush=True)
+
+    def on_lease_expired(self, shard_id: int, node_id: str) -> None:
+        self.summary.leases_expired += 1
+        if self.enabled:
+            print(f"[{self.label}] lease on shard {shard_id} "
+                  f"(node {node_id}) expired; requeued",
+                  file=self.out, flush=True)
+
+    def on_fenced(self, shard_id: int, node_id: str) -> None:
+        self.summary.results_fenced += 1
+        if self.enabled:
+            print(f"[{self.label}] stale result for shard {shard_id} "
+                  f"from node {node_id} fenced off",
+                  file=self.out, flush=True)
 
     def on_quarantined(self, count: int) -> None:
         self.summary.quarantined_lines += count

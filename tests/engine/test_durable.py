@@ -86,3 +86,19 @@ class TestAppendAndRead:
         # The fault is one-shot: first write torn, second intact.
         assert records == [{"entry": 1}]
         assert diag.corrupt == 1
+
+    def test_quarantine_dedupes_by_content_not_position(self, tmp_path):
+        """The ``.rejected`` sidecar dedupes on line CRC: re-reading a
+        log that grew a *new* corrupt line appends only the new one,
+        and a corrupt line repeated in the log lands exactly once."""
+        path = str(tmp_path / "log.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("first bad line\n")
+            fh.write("first bad line\n")  # repeated corruption
+        read_records(path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("second bad line\n")
+        read_records(path)
+        with open(path + REJECTED_SUFFIX, encoding="utf-8") as fh:
+            assert fh.readlines() == ["first bad line\n",
+                                      "second bad line\n"]

@@ -6,7 +6,7 @@ import signal
 import time
 
 from repro.engine.health import (Heartbeat, HeartbeatMonitor,
-                                 HeartbeatWriter, pid_alive)
+                                 HeartbeatWriter, pid_alive, sweep_stale)
 
 
 def _write_beat(dirpath, pid, shard, ts):
@@ -124,3 +124,41 @@ class TestPidAlive:
     def test_bogus_pid(self):
         # PID near the max is vanishingly unlikely to exist in CI.
         assert not pid_alive(2 ** 22 - 17)
+
+
+class TestSweepStale:
+    def test_dead_pid_beats_are_removed(self, tmp_path):
+        stale_pid = 2 ** 22 - 17  # vanishingly unlikely to be alive
+        _write_beat(tmp_path, stale_pid, shard=4, ts=time.time())
+        removed = sweep_stale(str(tmp_path))
+        assert removed == [stale_pid]
+        assert not os.path.exists(tmp_path / f"hb-{stale_pid}.json")
+
+    def test_live_pid_beats_are_kept(self, tmp_path):
+        me = os.getpid()
+        _write_beat(tmp_path, me, shard=1, ts=time.time())
+        assert sweep_stale(str(tmp_path)) == []
+        assert os.path.exists(tmp_path / f"hb-{me}.json")
+
+    def test_junk_filenames_are_swept(self, tmp_path):
+        with open(tmp_path / "hb-garbage.json", "w",
+                  encoding="utf-8") as fh:
+            fh.write("{}")
+        # Non-beat files are none of sweep_stale's business.
+        with open(tmp_path / "notes.txt", "w", encoding="utf-8") as fh:
+            fh.write("keep me")
+        assert sweep_stale(str(tmp_path)) == [-1]
+        assert not os.path.exists(tmp_path / "hb-garbage.json")
+        assert os.path.exists(tmp_path / "notes.txt")
+
+    def test_missing_directory_is_harmless(self, tmp_path):
+        assert sweep_stale(str(tmp_path / "absent")) == []
+
+    def test_swept_beat_never_reaches_the_monitor(self, tmp_path):
+        """The startup sweep is what stops a pinned REPRO_HB_DIR from
+        attributing an old run's beat to a fresh worker."""
+        stale_pid = 2 ** 22 - 19
+        _write_beat(tmp_path, stale_pid, shard=2, ts=time.time())
+        sweep_stale(str(tmp_path))
+        beats = HeartbeatMonitor(str(tmp_path), timeout=5.0).read()
+        assert stale_pid not in beats

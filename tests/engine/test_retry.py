@@ -1,0 +1,31 @@
+"""Jittered exponential backoff (`repro.engine.retry`)."""
+
+from __future__ import annotations
+
+from repro.engine.retry import BACKOFF_CAP, jittered_backoff
+
+
+class TestJitteredBackoff:
+    def test_deterministic_for_same_key_and_attempt(self):
+        assert jittered_backoff(3, 0.1, 5.0, key="shard-2") \
+            == jittered_backoff(3, 0.1, 5.0, key="shard-2")
+
+    def test_jitter_differs_across_keys(self):
+        draws = {jittered_backoff(2, 0.1, 5.0, key=f"shard-{i}")
+                 for i in range(8)}
+        assert len(draws) > 1
+
+    def test_exponential_growth_until_the_cap(self):
+        base = 0.1
+        for attempt in range(1, 6):
+            delay = jittered_backoff(attempt, base, 100.0, key="k")
+            nominal = base * 2 ** (attempt - 1)
+            # Jitter stays within [0.5, 1.5) of the nominal delay.
+            assert 0.5 * nominal <= delay < 1.5 * nominal
+
+    def test_cap_bounds_the_delay(self):
+        assert jittered_backoff(40, 1.0, BACKOFF_CAP, key="k") \
+            <= 1.5 * BACKOFF_CAP
+
+    def test_zero_base_disables_backoff(self):
+        assert jittered_backoff(5, 0.0, 5.0, key="k") == 0.0
