@@ -218,16 +218,23 @@ class Coordinator:
         finally:
             if node_id is not None:
                 with self._lock:
+                    # Only the node's *current* channel may release its
+                    # leases: a node that reconnected under the same id
+                    # (sever fault, TCP reset) must not have its fresh
+                    # lease requeued by the dying old connection.
                     if self._nodes.get(node_id) is ch:
                         del self._nodes[node_id]
-                    lost = self.table.release_node(node_id, time.time())
-                    # A node leaving after the table settled was *told*
-                    # to go (`done` reply): that is a graceful exit,
-                    # not a lost node — only count losses mid-run.
-                    if not self._stop.is_set() and not self.table.settled:
-                        self.reporter.on_node_lost(
-                            node_id, f"connection lost "
-                                     f"({len(lost)} leases requeued)")
+                        lost = self.table.release_node(node_id,
+                                                       time.time())
+                        # A node leaving after the table settled was
+                        # *told* to go (`done` reply): that is a
+                        # graceful exit, not a lost node — only count
+                        # losses mid-run.
+                        if not self._stop.is_set() \
+                                and not self.table.settled:
+                            self.reporter.on_node_lost(
+                                node_id, f"connection lost "
+                                         f"({len(lost)} leases requeued)")
             ch.close()
 
     def _dispatch(self, ch: Channel, node_id: str, msg: Dict) -> None:
@@ -246,11 +253,12 @@ class Coordinator:
 
     def _on_want(self, ch: Channel, node_id: str) -> None:
         with self._lock:
-            # With a single live node, exclusion must not starve a
-            # requeued shard: lenient grants ignore the exclusion set.
-            lenient = len(self._nodes) <= 1
+            # Exclusion must not starve a requeued shard: the table
+            # grants a shard back to an excluded node once every live
+            # node is excluded from it (spending a retry, so a
+            # deterministic crasher still degrades to FAILED).
             lease = self.table.grant(node_id, time.time(),
-                                     lenient=lenient)
+                                     live_nodes=set(self._nodes))
             settled = self.table.settled
         if lease is None:
             ch.send(MSG_DONE if settled else MSG_IDLE,

@@ -15,7 +15,12 @@ distribution-specific twists:
 
 * **exclusion** — the node that failed a shard is remembered and not
   offered it again (a deterministic crasher should land on a different
-  node), unless it is the only live node (``lenient`` grants);
+  node).  Exclusion yields to liveness, never the other way round:
+  when *every* live node is excluded from a shard (or the caller asks
+  for a ``lenient`` grant), the shard goes back to an excluded node
+  and spends a retry rather than starving the run — a shard with no
+  grantable node and no budget left would otherwise stay PENDING
+  forever and wedge the coordinator;
 * **backoff** — a requeued shard only becomes eligible again after a
   jittered exponential delay (`repro.engine.retry`), so a fast
   grant/fail loop cannot spin the budget away in milliseconds.
@@ -117,15 +122,20 @@ class LeaseTable:
         self._status[shard_id] = DONE
         self._leases.pop(shard_id, None)
 
-    def grant(self, node_id: str, now: float,
-              lenient: bool = False) -> Optional[Lease]:
+    def grant(self, node_id: str, now: float, lenient: bool = False,
+              live_nodes: Optional[Set[str]] = None) -> Optional[Lease]:
         """Lease the first eligible pending shard to ``node_id``.
 
         Idempotent per node: a node that already holds a lease (its
         earlier grant reply was lost) gets the *same* lease back,
         renewed — never a second shard it would silently abandon.
-        ``lenient`` lets the node take a shard that excluded it, for
-        when it is the only live node left.
+
+        Exclusion is advisory, not absolute: ``lenient`` lets the node
+        take any shard that excluded it, and a shard whose exclusion
+        set covers all of ``live_nodes`` is granted back to an
+        excluded node anyway — otherwise a shard that failed once on
+        every connected node would starve PENDING forever while the
+        coordinator waits for it to settle.
         """
         for lease in self._leases.values():
             if lease.node_id == node_id:
@@ -138,12 +148,14 @@ class LeaseTable:
                     or self._eligible_at[sid] > now:
                 continue
             if node_id in self._excluded[sid]:
-                if fallback is None:
+                if fallback is None and (
+                        lenient or (live_nodes is not None
+                                    and live_nodes <= self._excluded[sid])):
                     fallback = sid
                 continue
             pick = sid
             break
-        if pick is None and lenient:
+        if pick is None:
             pick = fallback
         if pick is None:
             return None

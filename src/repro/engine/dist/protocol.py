@@ -151,7 +151,10 @@ class Channel:
                 self.sock.settimeout(None)
             try:
                 chunk = self.sock.recv(65536)
-            except TimeoutError:
+            except (socket.timeout, TimeoutError):
+                # socket.timeout is only an alias of TimeoutError from
+                # 3.10; on 3.9 it must be caught by name or a routine
+                # recv timeout masquerades as a dead connection.
                 return None
             except OSError as err:
                 raise ConnectionError(f"recv failed: {err}") from err
@@ -167,8 +170,20 @@ class Channel:
 
 
 def parse_hostport(text: str, default_port: int) -> tuple:
-    """``HOST[:PORT]`` -> ``(host, port)``."""
-    host, sep, port = text.rpartition(":")
+    """``HOST[:PORT]`` -> ``(host, port)``.
+
+    IPv6 literals use the bracketed form (``[::1]:7671`` or ``[::1]``);
+    an unbracketed literal with multiple colons (``::1``) is taken as a
+    bare host, never split at its last colon.
+    """
+    if text.startswith("["):
+        host, sep, rest = text[1:].partition("]")
+        if not sep or (rest and not rest.startswith(":")):
+            raise ValueError(f"malformed [host]:port address: {text!r}")
+        return host, int(rest[1:]) if rest else default_port
+    if text.count(":") > 1:
+        return text, default_port  # bare IPv6 literal, no port
+    host, sep, port = text.partition(":")
     if not sep:
         return text, default_port
     return host or "127.0.0.1", int(port)

@@ -24,7 +24,7 @@ from repro.engine.chaos import _dist_node_main
 from repro.engine.dist import (Channel, Coordinator, DistParams, LeaseTable,
                                Severed, run_node)
 from repro.engine.dist.lease import ACCEPTED, DONE, FAILED, PENDING, STALE
-from repro.engine.dist.protocol import parse_hostport
+from repro.engine.dist.protocol import PROTOCOL_VERSION, parse_hostport
 from repro.engine.faults import Fault, FaultPlan
 
 from ._support import assert_reports_equal, hw_spec
@@ -116,6 +116,18 @@ class TestChannel:
         assert parse_hostport("myhost", 7671) == ("myhost", 7671)
         assert parse_hostport(":9000", 7671) == ("127.0.0.1", 9000)
 
+    def test_parse_hostport_ipv6(self):
+        # Regression: rpartition(':') parsed '::1' as host '::' port 1
+        # and left the brackets on '[::1]:7671'.
+        assert parse_hostport("[::1]:9000", 7671) == ("::1", 9000)
+        assert parse_hostport("[::1]", 7671) == ("::1", 7671)
+        assert parse_hostport("::1", 7671) == ("::1", 7671)
+        assert parse_hostport("fe80::2:1", 7671) == ("fe80::2:1", 7671)
+        with pytest.raises(ValueError):
+            parse_hostport("[::1:9000", 7671)
+        with pytest.raises(ValueError):
+            parse_hostport("[::1]9000", 7671)
+
 
 class TestChannelFaults:
     def test_drop_is_one_shot_so_the_resend_lands(self):
@@ -196,6 +208,33 @@ class TestLeaseTable:
         assert table.status(0) == FAILED
         assert table.settled and table.failed_ids == [0]
 
+    def test_all_live_nodes_excluded_grants_leniently(self):
+        # Regression: with two nodes and a shard failed once on each,
+        # both were excluded and neither could be granted the shard,
+        # so it sat PENDING forever and the coordinator never settled.
+        table = LeaseTable(1, max_retries=3, lease_seconds=1.0,
+                           backoff_base=0.0)
+        live = {"a", "b"}
+        for node in ("a", "b"):
+            lease = table.grant(node, now=0.0, live_nodes=live)
+            assert lease is not None
+            table.fail(0, lease.token, node, now=0.0, reason="boom")
+        assert table.status(0) == PENDING
+        # Strict grants still honour the exclusion...
+        assert table.grant("a", now=1.0) is None
+        # ...but once every live node is excluded, liveness wins.
+        lease = table.grant("a", now=1.0, live_nodes=live)
+        assert lease is not None and lease.attempt == 3
+
+    def test_partial_exclusion_still_waits_for_the_clean_node(self):
+        table = LeaseTable(1, max_retries=3, lease_seconds=1.0,
+                           backoff_base=0.0)
+        lease = table.grant("a", now=0.0, live_nodes={"a", "b"})
+        table.fail(0, lease.token, "a", now=0.0, reason="boom")
+        # "b" is live and not excluded: "a" must not take the shard.
+        assert table.grant("a", now=1.0, live_nodes={"a", "b"}) is None
+        assert table.grant("b", now=1.0, live_nodes={"a", "b"}) is not None
+
     def test_release_node_requeues_all_its_leases(self):
         table = LeaseTable(4, lease_seconds=10.0, backoff_base=0.0)
         a1, a2 = table.grant("a", 0.0), table.grant("b", 0.0)
@@ -203,6 +242,59 @@ class TestLeaseTable:
         assert [l.shard_id for l in lost] == [a1.shard_id]
         assert table.status(a1.shard_id) == PENDING
         assert table.lease_of(a2.shard_id) is a2
+
+
+class TestCoordinatorConnections:
+    def test_stale_connection_does_not_release_reconnected_node(self):
+        """Regression: _serve_conn's finally ran release_node even when
+        the node had already reconnected under the same id, so the dying
+        old connection requeued the fresh lease and burned a retry."""
+        coord = Coordinator(_engine_params(), hw_spec(),
+                            DistParams(lease_seconds=30.0,
+                                       node_wait_seconds=30.0))
+        acceptor = threading.Thread(target=coord._accept_loop,
+                                    daemon=True)
+        acceptor.start()
+        old = new = None
+        try:
+            old = Channel(socket.create_connection(
+                (coord.host, coord.port), timeout=5.0))
+            old.send("hello", node="n0", pid=1, proto=PROTOCOL_VERSION)
+            assert old.recv(timeout=5.0)["t"] == "welcome"
+            # Same node id reconnects (sever fault, TCP reset) and
+            # leases a shard on the fresh connection.
+            new = Channel(socket.create_connection(
+                (coord.host, coord.port), timeout=5.0))
+            new.send("hello", node="n0", pid=1, proto=PROTOCOL_VERSION)
+            assert new.recv(timeout=5.0)["t"] == "welcome"
+            new.send("want", node="n0")
+            grant = new.recv(timeout=5.0)
+            assert grant["t"] == "grant"
+            # The old connection dies; its serve thread must leave the
+            # reconnected node's lease (and retry budget) alone.
+            old.close()
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                with coord._lock:
+                    if "n0" in coord._nodes:
+                        break
+                time.sleep(0.05)
+            time.sleep(0.3)  # let the old serve thread run its finally
+            with coord._lock:
+                lease = coord.table.lease_of(grant["shard_id"])
+                assert lease is not None
+                assert lease.token == grant["token"]
+                assert coord.table.attempts(grant["shard_id"]) == 1
+                assert coord._nodes.get("n0") is not None
+        finally:
+            coord._stop.set()
+            try:
+                coord._listener.close()
+            except OSError:
+                pass
+            for ch in (old, new):
+                if ch is not None:
+                    ch.close()
 
 
 class TestDistEquivalence:
@@ -273,6 +365,37 @@ class TestDistEquivalence:
         assert not result.coverage.degraded
         assert result.telemetry.leases_expired >= 1
         assert result.telemetry.nodes_lost >= 1
+
+    def test_shard_failing_on_every_node_does_not_starve(self):
+        """Regression: a shard that failed once on each of two nodes
+        had both excluded; with lenient grants gated on <=1 connected
+        node the shard stayed PENDING forever and serve() never
+        returned.  It must be re-granted to an excluded node, succeed
+        on its final attempt, and merge to the serial report."""
+        serial = _serial_report()
+        plan = FaultPlan((Fault("worker.explore", "raise",
+                                shard=0, attempt=1),
+                          Fault("worker.explore", "raise",
+                                shard=0, attempt=2)))
+        with plan:
+            coord = Coordinator(_engine_params(), hw_spec(),
+                                DistParams(lease_seconds=5.0,
+                                           node_wait_seconds=20.0,
+                                           tick=0.05))
+            thread, box = _serve_async(coord)
+            workers = [threading.Thread(
+                target=run_node, args=(coord.host, coord.port),
+                kwargs={"node_id": f"n{i}", "emit": lambda *_: None},
+                daemon=True) for i in range(2)]
+            for w in workers:
+                w.start()
+            thread.join(timeout=JOIN_TIMEOUT)
+        assert "result" in box, \
+            "coordinator wedged: exclusion starved the failing shard"
+        result = box["result"]
+        assert_reports_equal(result.report, serial)
+        assert not result.coverage.degraded
+        assert result.telemetry.retries >= 2
 
     def test_degraded_coverage_when_no_node_ever_joins(self):
         coord = Coordinator(_engine_params(), hw_spec(),
