@@ -11,6 +11,7 @@ Gives downstream users the paper's experiments without writing code:
     python -m repro effort            # E7: mechanization-effort table
     python -m repro loc               # source inventory
     python -m repro replay corpus.jsonl   # re-execute counterexamples
+    python -m repro fuzz --budget 2000 --seed 42   # scenario fuzzing
     python -m repro chaos             # fault-injection self-test matrix
     python -m repro serve             # distributed coordinator
     python -m repro work --connect HOST:PORT   # distributed worker node
@@ -24,6 +25,7 @@ the parallel-engine flag group:
                       an interrupted run from it
     --corpus PATH     persist every failing trace as a replayable
                       JSONL corpus entry
+    --corpus-cap N    cap on persisted corpus entries per run
     --shard-timeout S hung-worker watchdog window
     --max-retries N   per-shard retry budget (with jittered exponential
                       backoff between attempts)
@@ -50,6 +52,7 @@ def _engine_kwargs(args) -> dict:
         "max_rss_mb": args.max_rss_mb,
         "dpor": args.dpor,
         "max_retries": args.max_retries,
+        "corpus_cap": args.corpus_cap,
     }
     if args.shard_timeout is not None:
         kwargs["shard_timeout"] = (None if args.shard_timeout <= 0
@@ -193,6 +196,28 @@ def cmd_replay(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_fuzz(args) -> int:
+    """Run a budgeted fuzz campaign (docs/fuzzing.md)."""
+    from .fuzz import FuzzParams, GrammarConfig, run_campaign
+    config = GrammarConfig(max_threads=args.max_threads,
+                           max_ops=args.max_ops,
+                           include_broken=args.include_broken)
+    params = FuzzParams(
+        budget=args.budget, seconds=args.budget_seconds, seed=args.seed,
+        workers=args.workers, per_case=args.per_case,
+        exhaustive=args.exhaustive, config=config,
+        corpus_path=args.corpus, shrink_budget=args.shrink_budget,
+        max_shrinks=args.max_shrinks, progress=args.progress)
+    if args.corpus_cap is not None:
+        params.corpus_cap = args.corpus_cap
+    report = run_campaign(
+        params, emit=lambda line: print(line, file=sys.stderr, flush=True))
+    print(report.summary())
+    # Exit honestly: violations on clean (non-broken) signatures are
+    # findings in the checkers/machine, not fuzzing business as usual.
+    return 1 if report.unexpected else 0
+
+
 def cmd_chaos(args) -> int:
     from .engine.chaos import run_chaos
     workers = max(2, args.workers)
@@ -297,6 +322,7 @@ COMMANDS = {
     "effort": cmd_effort,
     "loc": cmd_loc,
     "replay": cmd_replay,
+    "fuzz": cmd_fuzz,
     "chaos": cmd_chaos,
     "serve": cmd_serve,
     "work": cmd_work,
@@ -325,6 +351,10 @@ def main(argv=None) -> int:
     engine.add_argument("--corpus", metavar="PATH", default=None,
                         help="append every failing trace to PATH as a "
                              "replayable corpus entry")
+    engine.add_argument("--corpus-cap", type=int, default=None,
+                        metavar="N",
+                        help="cap on corpus entries persisted per run "
+                             "(default 100)")
     engine.add_argument("--entry", type=int, default=None,
                         help="replay: only this corpus entry index")
     engine.add_argument("--shard-timeout", type=float, default=None,
@@ -365,7 +395,8 @@ def main(argv=None) -> int:
     dist.add_argument("--ops", type=int, default=1,
                       help="serve: operations per thread")
     dist.add_argument("--seed", type=int, default=0,
-                      help="serve: scenario seed")
+                      help="serve/fuzz: scenario seed / campaign "
+                           "master seed")
     dist.add_argument("--target-shards", type=int, default=8,
                       metavar="N", help="serve: shard-count target")
     dist.add_argument("--lease-seconds", type=float, default=10.0,
@@ -388,6 +419,39 @@ def main(argv=None) -> int:
                       metavar="N",
                       help="work: consecutive failed reconnect attempts "
                            "before the node gives up")
+    fuzz = parser.add_argument_group(
+        "scenario fuzzing (fuzz — docs/fuzzing.md; also honours "
+        "--seed, --workers, --corpus, --corpus-cap, --progress)")
+    fuzz.add_argument("--budget", type=int, default=2000,
+                      help="fuzz: total execution budget for the "
+                           "campaign (default 2000)")
+    fuzz.add_argument("--budget-seconds", type=float, default=None,
+                      metavar="S",
+                      help="fuzz: optional wall-clock stop (flagged "
+                           "'time limited' in the report; makes the "
+                           "run non-deterministic)")
+    fuzz.add_argument("--per-case", type=int, default=30, metavar="N",
+                      help="fuzz: randomized executions per generated "
+                           "case (default 30)")
+    fuzz.add_argument("--exhaustive", action="store_true",
+                      help="fuzz: explore each case exhaustively "
+                           "(DPOR on) instead of randomized")
+    fuzz.add_argument("--include-broken", action="store_true",
+                      help="fuzz: include the deliberately broken "
+                           "signatures (positive control; their "
+                           "violations are expected)")
+    fuzz.add_argument("--max-threads", type=int, default=3, metavar="N",
+                      help="fuzz: grammar thread-count ceiling "
+                           "(default 3)")
+    fuzz.add_argument("--max-ops", type=int, default=4, metavar="N",
+                      help="fuzz: grammar ops-per-thread ceiling "
+                           "(default 4)")
+    fuzz.add_argument("--shrink-budget", type=int, default=250,
+                      metavar="N",
+                      help="fuzz: oracle calls per shrink (default 250)")
+    fuzz.add_argument("--max-shrinks", type=int, default=25, metavar="N",
+                      help="fuzz: failures shrunk and persisted per "
+                           "campaign; the rest are counted (default 25)")
     args = parser.parse_args(argv)
     return COMMANDS[args.command](args)
 

@@ -299,6 +299,7 @@ def check_scenario(
     run_seconds: Optional[float] = None,
     max_rss_mb: Optional[float] = None,
     dpor: Optional[bool] = None,
+    corpus_cap: Optional[int] = None,
 ) -> ScenarioReport:
     """Explore the scenario and check every complete execution.
 
@@ -324,6 +325,11 @@ def check_scenario(
     (`repro.rmc.dpor`): on by default in exhaustive mode, ignored in
     randomized mode.  Pruned-branch counts land in
     ``report.pruned_subtrees``.
+
+    ``corpus_cap`` bounds how many counterexample entries the run
+    persists to ``corpus`` (``None`` keeps the engine default,
+    `repro.engine.corpus.CORPUS_CAP`); it only matters when a corpus
+    path is given.
     """
     budgets = (shard_seconds is not None or run_seconds is not None
                or max_rss_mb is not None)
@@ -363,6 +369,8 @@ def check_scenario(
         max_retries=max_retries, retry_backoff=retry_backoff,
         start_method=start_method, shard_seconds=shard_seconds,
         run_seconds=run_seconds, max_rss_mb=max_rss_mb, dpor=dpor)
+    if corpus_cap is not None:
+        params.corpus_cap = corpus_cap
     if shard_timeout is None or shard_timeout >= 0:
         params.shard_timeout = shard_timeout
     return run_scenario(scenario, params, spec=spec).report

@@ -70,6 +70,8 @@ def build_scenario(spec: ScenarioSpec) -> Scenario:
 
 
 def _ensure_catalog() -> None:
-    """Standard builders live in `repro.engine.catalog`; import lazily
-    (catalog imports the checking layer, which imports us)."""
+    """Standard builders live in `repro.engine.catalog` and the fuzz
+    builders in `repro.fuzz.executor`; both are imported lazily (they
+    import the checking layer, which imports us)."""
     from . import catalog  # noqa: F401
+    from ..fuzz import executor  # noqa: F401

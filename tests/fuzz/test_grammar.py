@@ -1,0 +1,78 @@
+"""The fuzz grammar: determinism, legality, serialization."""
+
+import pytest
+
+from repro.fuzz import (FuzzProgram, GrammarConfig, SIGNATURES,
+                        generate_program)
+
+
+def test_generation_is_deterministic():
+    cfg = GrammarConfig(include_broken=True)
+    for index in range(50):
+        a = generate_program(7, index, cfg)
+        b = generate_program(7, index, cfg)
+        assert a.to_json() == b.to_json()
+
+
+def test_different_indices_differ():
+    programs = {generate_program(7, i).digest() for i in range(40)}
+    assert len(programs) > 10  # digests collide only for equal programs
+
+
+def test_generated_programs_are_legal():
+    cfg = GrammarConfig(include_broken=True)
+    for index in range(200):
+        fp = generate_program(3, index, cfg)
+        fp.validate()  # roles, value arity, library indices
+        threads, ops = fp.size()
+        assert 2 <= threads <= cfg.max_threads
+        assert 1 <= ops <= threads * cfg.max_ops
+        assert 1 <= len(fp.libs) <= cfg.max_libs
+
+
+def test_json_round_trip():
+    for index in range(30):
+        fp = generate_program(11, index)
+        again = FuzzProgram.from_json(fp.to_json())
+        assert again == fp
+        assert again.digest() == fp.digest()
+
+
+def test_digest_ignores_coordinates():
+    fp = generate_program(11, 4)
+    moved = FuzzProgram(libs=fp.libs, threads=fp.threads, seed=999,
+                        index=123)
+    assert moved.digest() == fp.digest()
+
+
+def test_broken_signatures_are_gated():
+    for index in range(100):
+        fp = generate_program(5, index)  # include_broken defaults False
+        assert not any(SIGNATURES[inst.sig].broken for inst in fp.libs)
+    cfg = GrammarConfig(include_broken=True,
+                        only=("ms-queue-broken",))
+    fp = generate_program(5, 0, cfg)
+    assert all(inst.sig == "ms-queue-broken" for inst in fp.libs)
+
+
+def test_only_filter_restricts_pool():
+    cfg = GrammarConfig(only=("treiber", "exchanger"))
+    for index in range(40):
+        fp = generate_program(2, index, cfg)
+        assert all(inst.sig in ("treiber", "exchanger")
+                   for inst in fp.libs)
+    with pytest.raises(ValueError):
+        GrammarConfig(only=("no-such-signature",)).pool()
+
+
+def test_validate_rejects_illegal_programs():
+    fp = generate_program(1, 0, GrammarConfig(only=("spsc-ring",)))
+    inst = fp.libs[0]
+    wrong = [t for t in range(len(fp.threads)) if t != inst.owner][0]
+    bad = FuzzProgram(
+        libs=fp.libs,
+        threads=tuple(
+            ((0, "enq", 101),) if t == wrong else ()
+            for t in range(len(fp.threads))))
+    with pytest.raises(ValueError):
+        bad.validate()

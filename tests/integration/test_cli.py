@@ -43,3 +43,53 @@ def test_elim_command(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_help_covers_every_subcommand(capsys):
+    from repro.__main__ import COMMANDS
+    with pytest.raises(SystemExit) as exc:
+        main(["--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    for command in COMMANDS:
+        assert command in out, f"--help does not mention {command!r}"
+
+
+def test_fuzz_command(capsys):
+    assert main(["fuzz", "--budget", "120", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "fuzz campaign seed=7" in out
+    assert "grammar coverage:" in out
+    assert "0 UNEXPECTED" in out
+
+
+def test_fuzz_command_finds_shrinks_and_replays(tmp_path, capsys):
+    """End to end through the CLI: the broken positive control is found,
+    shrunk, persisted, and the corpus replays to the same verdict."""
+    path = str(tmp_path / "fuzz.jsonl")
+    code = main(["fuzz", "--budget", "2000", "--seed", "42",
+                 "--include-broken", "--corpus", path])
+    assert code == 0  # broken-signature failures are expected, not findings
+    out = capsys.readouterr().out
+    assert "UNEXPECTED" in out and "0 UNEXPECTED" in out
+    assert "newly persisted" in out
+    assert main(["replay", path]) == 0
+    replay_out = capsys.readouterr().out
+    assert "NOT reproduced" not in replay_out
+
+
+def test_corpus_cap_flag(tmp_path, capsys):
+    """--corpus-cap threads through check_scenario into the engine: each
+    failing configuration persists at most N entries."""
+    path = str(tmp_path / "cap.jsonl")
+    assert main(["mp", "--runs", "60", "--corpus", path,
+                 "--corpus-cap", "1"]) == 0
+    capsys.readouterr()
+    from repro.engine.corpus import load_corpus
+    entries = load_corpus(path)
+    assert entries, "the no-flag MP configurations should fail"
+    per_scenario = {}
+    for entry in entries:
+        per_scenario[entry.scenario_name] = \
+            per_scenario.get(entry.scenario_name, 0) + 1
+    assert all(n <= 1 for n in per_scenario.values()), per_scenario
