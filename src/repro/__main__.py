@@ -15,6 +15,8 @@ Gives downstream users the paper's experiments without writing code:
     python -m repro chaos             # fault-injection self-test matrix
     python -m repro serve             # distributed coordinator
     python -m repro work --connect HOST:PORT   # distributed worker node
+    python -m repro service serve     # crash-resumable campaign daemon
+    python -m repro service submit    # submit a campaign to the daemon
 
 The exploration commands (``mp``, ``matrix``, ``spsc``, ``elim``) accept
 the parallel-engine flag group:
@@ -152,11 +154,17 @@ def cmd_elim(args) -> int:
 
 
 def cmd_replay(args) -> int:
+    import os
     from .engine import load_corpus, replay_entry
     path = args.target or args.corpus
     if not path:
         print("replay: pass a corpus file "
               "(python -m repro replay corpus.jsonl)", file=sys.stderr)
+        return 2
+    if not os.path.exists(path):
+        # Exit 2, one line: a missing file is a usage error, not a
+        # stack trace and not the same thing as an empty corpus.
+        print(f"replay: no such corpus file: {path}", file=sys.stderr)
         return 2
     try:
         entries = load_corpus(path)
@@ -186,7 +194,15 @@ def cmd_replay(args) -> int:
         selected = list(enumerate(entries))
     failures = 0
     for i, entry in selected:
-        out = replay_entry(entry)
+        try:
+            out = replay_entry(entry)
+        except KeyError as err:
+            # A corpus written by a newer catalogue: the entry names a
+            # scenario builder this checkout does not register.
+            print(f"replay: entry {i} needs unknown scenario builder "
+                  f"{err.args[0] if err.args else err!r}",
+                  file=sys.stderr)
+            return 2
         what = entry.kind + (f" {entry.style}" if entry.style else "")
         status = "reproduced" if out.reproduced else "NOT reproduced"
         print(f"entry {i} [{entry.scenario_name}] {what}: {status}"
@@ -281,6 +297,143 @@ def cmd_work(args) -> int:
                     max_reconnects=args.max_reconnects)
 
 
+SERVICE_VERBS = ("serve", "submit", "status", "cancel", "drain")
+
+
+def _service_spec_params(args) -> tuple:
+    """The (spec, params) wire forms a submit verb sends."""
+    from .core.spec_styles import SpecStyle
+    from .engine import ScenarioSpec
+    from .engine.pool import EngineParams
+    spec = ScenarioSpec("mixed-stress",
+                        kwargs={"impl": args.impl, "threads": args.threads,
+                                "ops": args.ops, "seed": args.seed})
+    params = EngineParams(styles=(SpecStyle.LAT_HB,), exhaustive=True,
+                          seed=args.seed, dpor=args.dpor)
+    wire = params.wire_json()
+    wire["target_shards"] = args.target_shards
+    return spec.to_json(), wire
+
+
+def _service_client(args):
+    """Find the daemon (service.json beats flags) and build a client."""
+    import json as _json
+    import os
+    from .service import ServiceClient
+    host, port = args.host, args.api_port
+    discovery = os.path.join(args.data_dir, "service.json")
+    if os.path.exists(discovery):
+        with open(discovery, "r", encoding="utf-8") as fh:
+            info = _json.load(fh)
+        host = info.get("host", host)
+        port = info.get("api_port", port)
+    if not port:
+        print(f"service: no daemon found (no {discovery}; start one "
+              f"with: python -m repro service serve --data-dir "
+              f"{args.data_dir})", file=sys.stderr)
+        return None
+    return ServiceClient(host, int(port))
+
+
+def cmd_service(args) -> int:
+    """Campaign-service verbs (docs/service.md)."""
+    from .service import ServiceError
+    verb = args.target
+    if verb not in SERVICE_VERBS:
+        print(f"service: pass a verb: {'|'.join(SERVICE_VERBS)}",
+              file=sys.stderr)
+        return 2
+    if verb == "serve":
+        from .service import CampaignDaemon, ServiceConfig
+        config = ServiceConfig(
+            data_dir=args.data_dir, host=args.host,
+            api_port=args.api_port or 0, node_port=args.node_port,
+            local_nodes=args.local_nodes,
+            lease_seconds=args.lease_seconds,
+            node_wait_seconds=args.node_wait,
+            crash_loop_window=args.crash_loop_window,
+            target_shards=args.target_shards,
+            max_retries=args.max_retries, progress=args.progress)
+        return CampaignDaemon(config).run()
+    client = _service_client(args)
+    if client is None:
+        return 2
+    try:
+        if verb == "submit":
+            spec_json, params_json = _service_spec_params(args)
+            resp = client.submit(name=args.job or spec_json["builder"],
+                                 spec_json=spec_json,
+                                 params_json=params_json,
+                                 dedupe_key=args.dedupe_key or "")
+            job_id = resp["job"]
+            if args.quiet:
+                print(job_id)
+            else:
+                word = "submitted" if resp.get("created") else "deduped to"
+                print(f"service: {word} {job_id} "
+                      f"(state {resp.get('state')})")
+            if args.wait:
+                return _service_wait(client, job_id, quiet=args.quiet)
+            return 0
+        if verb == "status":
+            resp = client.status(args.job)
+            if resp.get("draining"):
+                print("service: draining")
+            for job in resp.get("jobs", []):
+                line = (f"{job['job']} [{job['state']}] {job['name']}: "
+                        f"{job['merged']} merged / {job['grants']} "
+                        f"granted shards")
+                summary = job.get("summary") or {}
+                if summary:
+                    line += (f" — {summary.get('executions', 0)} "
+                             f"executions, "
+                             f"{summary.get('shards_complete', 0)}/"
+                             f"{summary.get('shards_total', 0)} shards")
+                if job.get("error"):
+                    line += f" — {job['error']}"
+                print(line)
+            return 0
+        if verb == "cancel":
+            if not args.job:
+                print("service: cancel needs --job JOB_ID",
+                      file=sys.stderr)
+                return 2
+            resp = client.cancel(args.job)
+            print(f"service: {args.job} "
+                  f"{'cancelled' if resp.get('cancelled') else 'already ' + str(resp.get('state'))}")
+            return 0
+        # drain
+        client.drain()
+        print("service: drain requested (daemon exits 0 once in-flight "
+              "leases finish)")
+        return 0
+    except ServiceError as err:
+        print(f"service: {err}", file=sys.stderr)
+        return 1
+
+
+def _service_wait(client, job_id: str, quiet: bool) -> int:
+    import time as _time
+    from .service import DONE, ServiceError
+    while True:
+        try:
+            resp = client.status(job_id)
+        except ServiceError as err:
+            print(f"service: {err}", file=sys.stderr)
+            return 1
+        job = resp["jobs"][0]
+        if job["state"] in ("done", "failed", "cancelled"):
+            summary = job.get("summary") or {}
+            if not quiet:
+                print(f"service: {job_id} finished [{job['state']}] — "
+                      f"{summary.get('executions', 0)} executions, "
+                      f"{summary.get('shards_complete', 0)}/"
+                      f"{summary.get('shards_total', 0)} shards")
+            ok = job["state"] == DONE and not summary.get("degraded")
+            return 0 if ok else 1
+        _time.sleep(0.3)
+
+
 def cmd_effort(_args) -> int:
     import importlib.util
     import os
@@ -326,6 +479,7 @@ COMMANDS = {
     "chaos": cmd_chaos,
     "serve": cmd_serve,
     "work": cmd_work,
+    "service": cmd_service,
 }
 
 
@@ -335,7 +489,9 @@ def main(argv=None) -> int:
         description="Run the Compass-reproduction experiments.")
     parser.add_argument("command", choices=sorted(COMMANDS))
     parser.add_argument("target", nargs="?", default=None,
-                        help="replay: path to a corpus JSONL file")
+                        help="replay: path to a corpus JSONL file; "
+                             "service: verb (serve|submit|status|"
+                             "cancel|drain)")
     parser.add_argument("--runs", type=int, default=200,
                         help="randomized executions per configuration")
     engine = parser.add_argument_group(
@@ -419,6 +575,47 @@ def main(argv=None) -> int:
                       metavar="N",
                       help="work: consecutive failed reconnect attempts "
                            "before the node gives up")
+    service = parser.add_argument_group(
+        "campaign service (service serve|submit|status|cancel|drain — "
+        "docs/service.md; serve/submit also honour --impl, --threads, "
+        "--ops, --seed, --target-shards, --lease-seconds, --node-wait, "
+        "--max-retries, --progress)")
+    service.add_argument("--data-dir", default=".repro-service",
+                         metavar="DIR",
+                         help="service: daemon state directory (WAL, "
+                              "per-job checkpoints, service.json "
+                              "discovery file; default .repro-service)")
+    service.add_argument("--api-port", type=int, default=0,
+                         metavar="PORT",
+                         help="service serve: client API port (default "
+                              "ephemeral, persisted in service.json)")
+    service.add_argument("--node-port", type=int, default=0,
+                         metavar="PORT",
+                         help="service serve: worker-node port (default "
+                              "ephemeral, persisted in service.json)")
+    service.add_argument("--local-nodes", type=int, default=2,
+                         metavar="N",
+                         help="service serve: worker-node subprocesses "
+                              "spawned per job (default 2; remote nodes "
+                              "can attach on top)")
+    service.add_argument("--job", default=None, metavar="JOB_ID",
+                         help="service: job to show (status) / cancel; "
+                              "submit: campaign name")
+    service.add_argument("--dedupe-key", default=None, metavar="KEY",
+                         help="service submit: idempotency key — a "
+                              "retried submit with the same key lands "
+                              "on the same job")
+    service.add_argument("--wait", action="store_true",
+                         help="service submit: block until the job "
+                              "settles; exit 0 only on an undegraded "
+                              "DONE")
+    service.add_argument("--quiet", action="store_true",
+                         help="service submit: print only the job id")
+    service.add_argument("--crash-loop-window", type=float, default=60.0,
+                         metavar="S",
+                         help="service serve: restart-backoff window of "
+                              "the crash-loop guard (0 disables; "
+                              "default 60)")
     fuzz = parser.add_argument_group(
         "scenario fuzzing (fuzz — docs/fuzzing.md; also honours "
         "--seed, --workers, --corpus, --corpus-cap, --progress)")

@@ -32,6 +32,13 @@ still merge to the fault-free serial report, and rows assert the
 telemetry counter of the failure path they target (``leases_expired``,
 ``nodes_lost``, ``results_fenced``) so a fault that silently missed
 cannot pass.
+
+A final **service** row (`run_service_case`) drives the whole campaign
+service (`repro.service`): the daemon is crashed mid-grant by an
+injected fault (the moral equivalent of ``kill -9``), restarted over
+the same data directory, and must WAL-replay its way to the fault-free
+serial report without double-charging a shard — then drain to exit 0
+on SIGTERM.
 """
 
 from __future__ import annotations
@@ -424,6 +431,129 @@ def run_dist_case(case: DistChaosCase,
     return ChaosOutcome(case, ok=True, detail=", ".join(seen))
 
 
+# ----------------------------------------------------------------------
+# Service row: kill -9 the campaign daemon mid-grant, restart, converge
+# ----------------------------------------------------------------------
+
+
+def run_service_case(baseline: ScenarioReport) -> ChaosOutcome:
+    """The ``service-restart-recovery`` row: WAL replay under crash.
+
+    A campaign daemon (`repro.service`) is started with a ``crash``
+    fault injected inside the WAL's grant transition, a campaign is
+    submitted, and the daemon dies mid-run (the injected ``os._exit``
+    is indistinguishable from ``kill -9``).  A clean restart over the
+    same data directory must replay the WAL, resume the job, and merge
+    to the fault-free serial report — with every shard charged exactly
+    once and a final SIGTERM drain exiting 0.
+    """
+    import json
+    import subprocess
+    import sys
+    from .durable import read_records
+    from .merge import report_from_json
+    case = DistChaosCase(
+        name="service-restart-recovery",
+        plan=FaultPlan((Fault("service.grant", "crash",
+                              shard=1, attempt=1),)))
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-svc-")
+    data_dir = os.path.join(workdir, "svc")
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    cmd = [sys.executable, "-m", "repro", "service", "serve",
+           "--data-dir", data_dir, "--crash-loop-window", "0",
+           "--local-nodes", "2"]
+    log = open(os.path.join(workdir, "daemon.log"), "ab")
+    daemon = None
+    mismatches: List[str] = []
+    try:
+        crash_env = dict(env)
+        crash_env["REPRO_FAULT_PLAN"] = case.plan.encode()
+        daemon = subprocess.Popen(cmd, env=crash_env, stdout=log,
+                                  stderr=subprocess.STDOUT)
+        client = _service_discover(data_dir, daemon)
+        params = EngineParams(styles=CHAOS_STYLES, exhaustive=True,
+                              runs=CHAOS_RUNS, seed=0, max_steps=100_000)
+        wire = params.wire_json()
+        wire["target_shards"] = 4
+        resp = client.submit(name="chaos", spec_json=CHAOS_SPEC.to_json(),
+                             params_json=wire, dedupe_key="chaos-svc")
+        job_id = resp["job"]
+        # The injected crash fires at shard 1's first grant.
+        rc = daemon.wait(timeout=60.0)
+        if rc != 86:
+            mismatches.append(f"daemon exited {rc}, expected the "
+                              f"injected crash (86)")
+        # Clean restart: WAL replay must resume and finish the job.
+        daemon = subprocess.Popen(cmd, env=env, stdout=log,
+                                  stderr=subprocess.STDOUT)
+        client = _service_discover(data_dir, daemon)
+        deadline = time.time() + 90.0
+        job = None
+        while time.time() < deadline:
+            job = client.status(job_id)["jobs"][0]
+            if job["state"] not in ("submitted", "running"):
+                break
+            time.sleep(0.3)
+        if job is None or job["state"] != "done":
+            state = job["state"] if job else "unknown"
+            mismatches.append(f"resumed job ended {state}, not done")
+        else:
+            report_path = os.path.join(data_dir, "jobs", job_id,
+                                       "report.json")
+            with open(report_path, "r", encoding="utf-8") as fh:
+                got = report_from_json(json.load(fh))
+            mismatches.extend(report_mismatches(got, baseline))
+            records, _diag = read_records(
+                os.path.join(data_dir, "wal.jsonl"))
+            merges = [r["shard"] for r in records
+                      if r.get("rec") == "merge"]
+            if len(merges) != len(set(merges)):
+                mismatches.append(f"shards double-charged in the WAL: "
+                                  f"{sorted(merges)}")
+        daemon.send_signal(signal.SIGTERM)
+        rc = daemon.wait(timeout=30.0)
+        if rc != 0:
+            mismatches.append(f"SIGTERM drain exited {rc}, expected 0")
+        daemon = None
+    except Exception as err:  # noqa: BLE001 — a row fails, chaos goes on
+        mismatches.append(f"service row error: {err!r}")
+    finally:
+        if daemon is not None and daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+        log.close()
+        shutil.rmtree(workdir, ignore_errors=True)
+    if mismatches:
+        return ChaosOutcome(case, ok=False, detail=mismatches[0],
+                            mismatches=mismatches)
+    return ChaosOutcome(case, ok=True,
+                        detail="killed mid-grant, resumed, converged, "
+                               "drained clean")
+
+
+def _service_discover(data_dir: str, daemon) -> "object":
+    """Wait for the daemon's discovery file; return a client for it."""
+    import json
+    from ..service import ServiceClient
+    path = os.path.join(data_dir, "service.json")
+    deadline = time.time() + 30.0
+    while time.time() < deadline:
+        if daemon.poll() is not None:
+            raise RuntimeError(f"daemon died during startup "
+                               f"(exit {daemon.returncode})")
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                info = json.load(fh)
+            if info.get("pid") == daemon.pid:
+                return ServiceClient(info["host"], info["api_port"])
+        time.sleep(0.1)
+    raise RuntimeError("daemon never wrote its discovery file")
+
+
 def run_chaos(max_workers: int = 2,
               emit: Optional[Callable[[str], None]] = None) \
         -> List[ChaosOutcome]:
@@ -446,4 +576,10 @@ def run_chaos(max_workers: int = 2,
         say(f"  {dist_case.name:<34} {status:<4} {outcome.detail}")
         for extra in outcome.mismatches[1:]:
             say(f"    {extra}")
+    outcome = run_service_case(baselines[True])
+    outcomes.append(outcome)
+    status = "ok" if outcome.ok else "FAIL"
+    say(f"  {outcome.case.name:<34} {status:<4} {outcome.detail}")
+    for extra in outcome.mismatches[1:]:
+        say(f"    {extra}")
     return outcomes

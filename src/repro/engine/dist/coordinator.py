@@ -30,7 +30,7 @@ import socket
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ...checking.runner import ScenarioReport
 from ..checkpoint import CheckpointWriter, load_completed_ex, run_fingerprint
@@ -63,7 +63,10 @@ class Coordinator:
     """Serve one scenario's shards to remote nodes and merge the run."""
 
     def __init__(self, params: EngineParams, spec: ScenarioSpec,
-                 dist: Optional[DistParams] = None):
+                 dist: Optional[DistParams] = None,
+                 listener: Optional[socket.socket] = None,
+                 on_event: Optional[Callable[..., None]] = None,
+                 token_floor: int = 0):
         if spec is None:
             raise ValueError("distributed runs need a registry spec: "
                              "nodes rebuild the scenario from its "
@@ -80,7 +83,17 @@ class Coordinator:
         self.table = LeaseTable(len(self.shards),
                                 max_retries=params.max_retries,
                                 lease_seconds=self.dist.lease_seconds,
-                                backoff_base=params.retry_backoff)
+                                backoff_base=params.retry_backoff,
+                                token_floor=token_floor)
+        # Observability hook for the campaign service: called as
+        # ``on_event(kind, **fields)`` with kinds "grant" (a fresh lease
+        # is about to go on the wire), "merge" (a result was accepted
+        # and merged), and "settled" (about to finalize) — so a WAL can
+        # record the transition *before* the action it describes.
+        self._on_event = on_event or (lambda kind, **fields: None)
+        self._grant_seen: set = set()
+        self._draining = threading.Event()
+        self._cancelled = threading.Event()
         self.results: Dict[int, Tuple[ScenarioReport,
                                       List[CorpusEntry]]] = {}
         self._markers: set = set()
@@ -108,10 +121,16 @@ class Coordinator:
         self._nodes: Dict[str, Channel] = {}
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
-        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((self.dist.host, self.dist.port))
-        self._listener.listen()
+        # The campaign daemon keeps one node port alive across many
+        # runs: it injects its own bound listener, which the run must
+        # borrow (stop accepting on shutdown) but never close.
+        self._owns_listener = listener is None
+        if listener is None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.dist.host, self.dist.port))
+            listener.listen()
+        self._listener = listener
         self.host, self.port = self._listener.getsockname()[:2]
 
     # ------------------------------------------------------------------
@@ -122,13 +141,15 @@ class Coordinator:
         """Accept nodes, lease shards until settled, merge, return."""
         deadline = (time.time() + self.params.run_seconds
                     if self.params.run_seconds is not None else None)
-        acceptor = threading.Thread(target=self._accept_loop,
-                                    name="dist-accept", daemon=True)
-        acceptor.start()
+        self._acceptor = threading.Thread(target=self._accept_loop,
+                                          name="dist-accept", daemon=True)
+        self._acceptor.start()
         last_node_seen = time.time()
         try:
             while True:
                 time.sleep(self.dist.tick)
+                if self._cancelled.is_set():
+                    break
                 now = time.time()
                 with self._lock:
                     for lease in self.table.expire(now):
@@ -136,6 +157,9 @@ class Coordinator:
                                                        lease.node_id)
                     if self.table.settled:
                         break
+                    if self._draining.is_set() \
+                            and not self.table.leases:
+                        break  # drained: in-flight work is all home
                     have_nodes = bool(self._nodes)
                 if have_nodes:
                     last_node_seen = now
@@ -152,17 +176,36 @@ class Coordinator:
                 reason = self.table.failure_reason(sid) \
                     or "no live node returned this shard"
                 self.reporter.on_skipped(sid, reason)
+            self._on_event("settled", settled=self.table.settled,
+                           drained=self._draining.is_set(),
+                           cancelled=self._cancelled.is_set())
             return finalize_run(self.scenario.name, self.params,
                                 self.shards, self.planner_pruned,
                                 self.results, self._markers,
                                 self.reporter, self._writer)
 
+    def drain(self) -> None:
+        """Stop granting new leases; `serve` returns once every
+        in-flight lease has completed, failed, or expired."""
+        if not self._draining.is_set():
+            self._draining.set()
+            self.reporter.on_drain()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def cancel(self) -> None:
+        """Stop now: abandon in-flight leases and merge what came back."""
+        self._cancelled.set()
+
     def _shutdown(self) -> None:
         self._stop.set()
-        try:
-            self._listener.close()
-        except OSError:
-            pass
+        if self._owns_listener:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
         with self._lock:
             channels = list(self._nodes.values())
         for ch in channels:
@@ -172,6 +215,11 @@ class Coordinator:
                 pass
         for thread in self._threads:
             thread.join(timeout=2.0)
+        # A borrowed listener outlives this run: the next run must not
+        # race this one's acceptor for it, so wait the acceptor out.
+        acceptor = getattr(self, "_acceptor", None)
+        if acceptor is not None:
+            acceptor.join(timeout=2.0)
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -253,6 +301,12 @@ class Coordinator:
 
     def _on_want(self, ch: Channel, node_id: str) -> None:
         with self._lock:
+            if self._draining.is_set() or self._cancelled.is_set():
+                # Draining: no fresh grants, only in-flight leases may
+                # finish.  IDLE (not DONE) so the node stays attached
+                # until `_shutdown` dismisses everyone together.
+                ch.send(MSG_IDLE, wait=self.dist.idle_wait)
+                return
             # Exclusion must not starve a requeued shard: the table
             # grants a shard back to an excluded node once every live
             # node is excluded from it (spending a retry, so a
@@ -260,6 +314,15 @@ class Coordinator:
             lease = self.table.grant(node_id, time.time(),
                                      live_nodes=set(self._nodes))
             settled = self.table.settled
+            if lease is not None \
+                    and (lease.shard_id, lease.token) not in self._grant_seen:
+                # Log the grant exactly once per lease *before* it goes
+                # on the wire (grant replies are idempotent per node,
+                # so a re-sent lease must not double-log).
+                self._grant_seen.add((lease.shard_id, lease.token))
+                self._on_event("grant", shard=lease.shard_id,
+                               token=lease.token, attempt=lease.attempt,
+                               node=node_id)
         if lease is None:
             ch.send(MSG_DONE if settled else MSG_IDLE,
                     wait=self.dist.idle_wait)
@@ -288,7 +351,8 @@ class Coordinator:
                 # A resurrected node's stale submission: fence it off.
                 self.reporter.on_fenced(sid, node_id)
                 return
-            self._complete(sid, report, entries, int(msg.get("pid", 0)))
+            self._complete(sid, report, entries, int(msg.get("pid", 0)),
+                           token)
 
     def _on_fail(self, node_id: str, msg: Dict) -> None:
         sid, token = msg["shard_id"], msg["token"]
@@ -301,7 +365,10 @@ class Coordinator:
                 self.reporter.on_fenced(sid, node_id)
 
     def _complete(self, sid: int, report: ScenarioReport,
-                  entries: List[CorpusEntry], pid: int) -> None:
+                  entries: List[CorpusEntry], pid: int,
+                  token: int = 0) -> None:
+        self._on_event("merge", shard=sid, token=token,
+                       executions=report.executions)
         self.results[sid] = (report, entries)
         if report.budget_exhausted:
             # Not checkpointed: a later, better-funded resume should

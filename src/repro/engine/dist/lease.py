@@ -67,7 +67,7 @@ class LeaseTable:
 
     def __init__(self, n_shards: int, max_retries: int = 2,
                  lease_seconds: float = 10.0, backoff_base: float = 0.1,
-                 backoff_cap: float = 5.0):
+                 backoff_cap: float = 5.0, token_floor: int = 0):
         self.n_shards = n_shards
         self.max_retries = max_retries
         self.lease_seconds = lease_seconds
@@ -81,7 +81,12 @@ class LeaseTable:
                                                for s in range(n_shards)}
         self._failure: Dict[int, str] = {}
         self._leases: Dict[int, Lease] = {}
-        self._next_token = 1
+        # ``token_floor`` lets a restarted coordinator start its counter
+        # strictly above every token the previous incarnation granted
+        # (the campaign service replays the floor from its WAL), so a
+        # node that outlived the crash and submits under a pre-crash
+        # lease is fenced STALE instead of colliding with a fresh token.
+        self._next_token = token_floor + 1
 
     # ------------------------------------------------------------------
     # Queries

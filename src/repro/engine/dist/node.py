@@ -34,7 +34,7 @@ from ..faults import mutate_blob
 from ..merge import report_to_json
 from ..pool import EngineParams, _explore_shard
 from ..registry import ScenarioSpec, build_scenario
-from ..retry import jittered_backoff
+from ..retry import RetryPolicy
 from ..shard import Shard
 from .protocol import (MSG_BEAT, MSG_DONE, MSG_FAIL, MSG_GRANT, MSG_HELLO,
                        MSG_IDLE, MSG_RESULT, MSG_WANT, MSG_WELCOME,
@@ -137,6 +137,12 @@ def run_node(host: str, port: int, node_id: Optional[str] = None,
     reach a coordinator.
     """
     node_id = node_id or _default_node_id()
+    # The same reconnect discipline the service client uses
+    # (`repro.engine.retry.RECONNECT_POLICY` shape), parameterized by
+    # this node's CLI knobs; attempts is a budget of *consecutive*
+    # failures, reset on every successful connection.
+    policy = RetryPolicy(attempts=max_reconnects + 1,
+                         base=reconnect_base, cap=5.0)
     failures = 0
     while True:
         try:
@@ -147,8 +153,7 @@ def run_node(host: str, port: int, node_id: Optional[str] = None,
                 emit(f"[node {node_id}] giving up after "
                      f"{failures - 1} reconnect attempts")
                 return 1
-            time.sleep(jittered_backoff(failures, reconnect_base, 5.0,
-                                        key=f"node-{node_id}"))
+            policy.sleep(failures, key=f"node-{node_id}")
             continue
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         sock.settimeout(None)
@@ -164,7 +169,6 @@ def run_node(host: str, port: int, node_id: Optional[str] = None,
                  f"reconnect {failures}/{max_reconnects}")
             if failures > max_reconnects:
                 return 1
-            time.sleep(jittered_backoff(failures, reconnect_base, 5.0,
-                                        key=f"node-{node_id}"))
+            policy.sleep(failures, key=f"node-{node_id}")
         finally:
             ch.close()

@@ -148,14 +148,75 @@ def _quarantine(path: str, bad_lines: Iterable[str]) -> Optional[str]:
     return sidecar
 
 
+def repair_tail(path: str) -> Optional[str]:
+    """Heal a torn final record left by a crash mid-``O_APPEND`` write.
+
+    A ``kill -9`` between the kernel accepting part of an append and the
+    newline landing leaves the log ending in a partial record with *no*
+    trailing newline.  Left alone, the **next** append glues onto that
+    tail and one corrupt line swallows a healthy record too.  This
+    repairs the file in place before anyone appends again:
+
+    * a complete record whose newline alone was torn off gets the
+      newline restored (nothing is lost);
+    * a genuinely torn tail is quarantined to the ``.rejected`` sidecar
+      and the file truncated back to the last newline boundary — the
+      rest of the log is kept, never rejected wholesale.
+
+    Returns the quarantined tail text, or None when no repair was
+    needed.  Call only when no concurrent appender is live (a loader's
+    startup, a store's open) — truncation races appends.
+    """
+    if not path or not os.path.exists(path):
+        return None
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if not data or data.endswith(b"\n"):
+        return None  # ends cleanly; torn-but-newlined lines are the
+        # loader's per-line quarantine business, not a tail repair
+    cut = data.rfind(b"\n") + 1
+    tail = data[cut:].decode("utf-8", errors="replace").strip()
+    try:
+        decode_line(tail)
+    except CorruptLine:
+        pass  # genuinely torn: truncate and quarantine below
+    else:
+        # The record survived intact; only its newline was lost.
+        fd = os.open(path, os.O_WRONLY | os.O_APPEND)
+        try:
+            os.write(fd, b"\n")
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return None
+    fd = os.open(path, os.O_WRONLY)
+    try:
+        os.truncate(fd, cut)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    _quarantine(path, [tail])
+    return tail
+
+
 def read_records(path: str, quarantine: bool = True) \
         -> Tuple[List[Dict], LineDiagnostics]:
-    """Load every intact record; skip-and-quarantine the rest."""
+    """Load every intact record; skip-and-quarantine the rest.
+
+    With ``quarantine`` on, a torn *final* record (a crash mid-append
+    left no trailing newline) is first healed by :func:`repair_tail` —
+    truncated off and quarantined — so that later appends to the same
+    log cannot glue onto the damage.
+    """
     records: List[Dict] = []
     diag = LineDiagnostics()
     bad: List[str] = []
     if not path or not os.path.exists(path):
         return records, diag
+    if quarantine and repair_tail(path) is not None:
+        diag.total += 1
+        diag.corrupt += 1
+        diag.rejected_path = path + REJECTED_SUFFIX
     with open(path, "r", encoding="utf-8") as fh:
         for raw in fh:
             line = raw.strip()

@@ -45,6 +45,9 @@ class TelemetrySummary:
     leases_expired: int = 0
     #: Stale results rejected by fencing-token checks (never merged).
     results_fenced: int = 0
+    #: The run ended by a graceful drain (campaign service SIGTERM):
+    #: in-flight leases finished, nothing new was granted.
+    drained: bool = False
     wall_seconds: float = 0.0
     #: shards completed per worker pid (pid 0 = inline/resumed).
     worker_shards: Dict[int, int] = field(default_factory=dict)
@@ -163,6 +166,12 @@ class ProgressReporter:
 
     def on_quarantined(self, count: int) -> None:
         self.summary.quarantined_lines += count
+
+    def on_drain(self) -> None:
+        self.summary.drained = True
+        if self.enabled:
+            print(f"[{self.label}] draining: no new grants, waiting for "
+                  f"in-flight leases", file=self.out, flush=True)
 
     def finish(self) -> TelemetrySummary:
         self.summary.wall_seconds = time.perf_counter() - self._start

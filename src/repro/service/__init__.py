@@ -1,0 +1,34 @@
+"""The campaign service: a crash-resumable daemon over the dist layer.
+
+The one-shot coordinator (`repro.engine.dist`) lives for a single run;
+this package promotes it into a **persistent checking service**:
+
+* `repro.service.store` — a write-ahead-logged job store on
+  `repro.engine.durable`'s CRC-framed JSONL.  Every job transition
+  (SUBMITTED -> RUNNING -> grants -> merges -> DONE/FAILED/CANCELLED)
+  is a logged record, so a ``kill -9`` at any point replays to a
+  consistent store and in-flight campaigns resume without double-
+  charging shards;
+* `repro.service.daemon` — the long-lived process: runs jobs through
+  the coordinator one at a time, spawns local worker nodes, drains
+  gracefully on SIGTERM, fast-stops on SIGINT, and guards against
+  crash loops with a jittered restart backoff;
+* `repro.service.api` — JSONL-over-TCP client API on the dist
+  protocol's `Channel` framing: idempotent submission via dedupe keys,
+  retryable errors the client backs off on (`repro.engine.retry`).
+
+CLI: ``python -m repro service serve|submit|status|cancel|drain``
+(docs/service.md).
+"""
+
+from .api import (ApiServer, RetryableServiceError, ServiceClient,
+                  ServiceError)
+from .daemon import CampaignDaemon, ServiceConfig, supervise
+from .store import (CANCELLED, DONE, FAILED, RUNNING, SUBMITTED, Job,
+                    JobStore)
+
+__all__ = [
+    "ApiServer", "CampaignDaemon", "Job", "JobStore", "ServiceClient",
+    "ServiceConfig", "ServiceError", "RetryableServiceError",
+    "supervise", "SUBMITTED", "RUNNING", "DONE", "FAILED", "CANCELLED",
+]

@@ -1,0 +1,235 @@
+"""The WAL-backed job store: every transition is a durable record.
+
+The store holds no state that is not derivable from its write-ahead
+log.  Every mutation appends one CRC-framed JSONL record
+(`repro.engine.durable`) *before* the in-memory tables change, and the
+in-memory change is made by the **same** ``_apply`` that replays the
+log on open — so a daemon killed between any two instructions restarts
+into exactly the state its log describes.  The tolerant loader heals a
+record torn by the crash itself (`durable.repair_tail`), which means
+the WAL is damaged-at-most-one-record by construction.
+
+Record kinds (the ``rec`` field)::
+
+    submit  {job, seq, name, dedupe, spec, params}
+    running {job}
+    grant   {job, shard, token, attempt, node}
+    merge   {job, shard, token, executions}
+    done    {job, ok, summary}
+    failed  {job, error}
+    cancel  {job}
+
+Two records exist purely so restarts cannot lie:
+
+* ``grant`` is written *before* the lease goes on the wire; replaying
+  the maximum granted token gives the next incarnation's lease table a
+  **token floor** (`LeaseTable(token_floor=...)`), so a node that
+  outlived the crash submits under a fenced-off token instead of
+  colliding with a fresh one;
+* ``merge`` is written *before* the result enters the merge set, so a
+  shard can be observed merged at most once — `merged_shards` is a set
+  and re-granting a merged shard after replay is a no-op upstream
+  (the checkpoint, keyed by the run fingerprint, is the result truth;
+  the WAL is the accounting truth).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..engine.durable import LineDiagnostics, append_line, read_records
+
+SUBMITTED = "submitted"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can still make progress from.
+ACTIVE_STATES = (SUBMITTED, RUNNING)
+
+#: Fault-injection site of every WAL append (torn-write chaos).
+WAL_SITE = "service.wal"
+
+
+@dataclass
+class Job:
+    """One campaign: identity, recipe, and replayed accounting."""
+
+    job_id: str
+    seq: int
+    name: str
+    dedupe_key: str
+    spec_json: Dict
+    params_json: Dict
+    state: str = SUBMITTED
+    #: shard -> highest token ever granted for it (WAL accounting).
+    grants: Dict[int, int] = field(default_factory=dict)
+    #: shards whose results were accepted and merged, exactly once.
+    merged_shards: Set[int] = field(default_factory=set)
+    error: str = ""
+    summary: Dict = field(default_factory=dict)
+
+    @property
+    def token_floor(self) -> int:
+        """Highest token any incarnation granted; new leases start above."""
+        return max(self.grants.values(), default=0)
+
+    @property
+    def active(self) -> bool:
+        return self.state in ACTIVE_STATES
+
+    def to_json(self) -> Dict:
+        return {
+            "job": self.job_id, "seq": self.seq, "name": self.name,
+            "dedupe": self.dedupe_key, "state": self.state,
+            "grants": len(self.grants), "merged": len(self.merged_shards),
+            "token_floor": self.token_floor, "error": self.error,
+            "summary": dict(self.summary),
+        }
+
+
+class JobStore:
+    """Replay-on-open, WAL-before-action job table."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._by_dedupe: Dict[str, str] = {}
+        self._next_seq = 1
+        self.diagnostics = LineDiagnostics()
+        records, diag = read_records(path, quarantine=True)
+        self.diagnostics.note(diag)
+        for payload in records:
+            self._apply(payload)
+
+    # ------------------------------------------------------------------
+    # The single state-transition function (replay == live mutation)
+    # ------------------------------------------------------------------
+
+    def _apply(self, rec: Dict) -> None:
+        kind = rec.get("rec")
+        if kind == "submit":
+            job = Job(job_id=rec["job"], seq=int(rec["seq"]),
+                      name=str(rec.get("name", rec["job"])),
+                      dedupe_key=str(rec.get("dedupe", "")),
+                      spec_json=dict(rec["spec"]),
+                      params_json=dict(rec["params"]))
+            self._jobs[job.job_id] = job
+            if job.dedupe_key:
+                self._by_dedupe[job.dedupe_key] = job.job_id
+            self._next_seq = max(self._next_seq, job.seq + 1)
+            return
+        job = self._jobs.get(rec.get("job", ""))
+        if job is None:
+            return  # a record for a job whose submit was quarantined
+        if kind == "running":
+            if job.state == SUBMITTED:
+                job.state = RUNNING
+        elif kind == "grant":
+            shard, token = int(rec["shard"]), int(rec["token"])
+            job.grants[shard] = max(job.grants.get(shard, 0), token)
+        elif kind == "merge":
+            job.merged_shards.add(int(rec["shard"]))
+        elif kind == "done":
+            job.state = DONE
+            job.summary = dict(rec.get("summary", {}))
+        elif kind == "failed":
+            job.state = FAILED
+            job.error = str(rec.get("error", ""))
+        elif kind == "cancel":
+            if job.state in ACTIVE_STATES:
+                job.state = CANCELLED
+
+    def _log(self, rec: Dict) -> None:
+        append_line(self.path, rec, WAL_SITE)
+        self._apply(rec)
+
+    # ------------------------------------------------------------------
+    # Mutations (all WAL-before-action)
+    # ------------------------------------------------------------------
+
+    def submit(self, name: str, spec_json: Dict, params_json: Dict,
+               dedupe_key: str = "") -> tuple:
+        """Create a job, or return the existing one for ``dedupe_key``.
+
+        Returns ``(job, created)``.  Idempotency is by the client's
+        dedupe key: a retried submit (the first reply was lost, the
+        client backed off and re-sent) lands on the same job instead
+        of double-funding the campaign.
+        """
+        with self._lock:
+            if dedupe_key and dedupe_key in self._by_dedupe:
+                return self._jobs[self._by_dedupe[dedupe_key]], False
+            seq = self._next_seq
+            job_id = f"job-{seq:04d}"
+            self._log({"rec": "submit", "job": job_id, "seq": seq,
+                       "name": name, "dedupe": dedupe_key,
+                       "spec": dict(spec_json),
+                       "params": dict(params_json)})
+            return self._jobs[job_id], True
+
+    def mark_running(self, job_id: str) -> None:
+        with self._lock:
+            if self._jobs[job_id].state == SUBMITTED:
+                self._log({"rec": "running", "job": job_id})
+
+    def record_grant(self, job_id: str, shard: int, token: int,
+                     attempt: int, node: str) -> None:
+        with self._lock:
+            self._log({"rec": "grant", "job": job_id, "shard": shard,
+                       "token": token, "attempt": attempt, "node": node})
+
+    def record_merge(self, job_id: str, shard: int, token: int,
+                     executions: int) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            if shard in job.merged_shards:
+                return  # replayed or re-completed: charged exactly once
+            self._log({"rec": "merge", "job": job_id, "shard": shard,
+                       "token": token, "executions": executions})
+
+    def finish(self, job_id: str, ok: bool, summary: Dict) -> None:
+        with self._lock:
+            self._log({"rec": "done", "job": job_id, "ok": ok,
+                       "summary": dict(summary)})
+
+    def fail(self, job_id: str, error: str) -> None:
+        with self._lock:
+            self._log({"rec": "failed", "job": job_id, "error": error})
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel an active job; False when it already settled."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or not job.active:
+                return False
+            self._log({"rec": "cancel", "job": job_id})
+            return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def next_runnable(self) -> Optional[Job]:
+        """The job the daemon should work next.
+
+        In-flight (RUNNING) jobs resume before fresh submissions — a
+        restart finishes what the crash interrupted, in submit order.
+        """
+        with self._lock:
+            active = [j for j in self._jobs.values() if j.active]
+            active.sort(key=lambda j: (j.state != RUNNING, j.seq))
+            return active[0] if active else None

@@ -6,7 +6,8 @@ import pytest
 
 from repro.engine.durable import (REJECTED_SUFFIX, CorruptLine,
                                   append_line, canonical, decode_line,
-                                  encode_line, read_records)
+                                  encode_line, read_records,
+                                  repair_tail)
 from repro.engine.faults import Fault, FaultPlan
 
 
@@ -102,3 +103,87 @@ class TestAppendAndRead:
         with open(path + REJECTED_SUFFIX, encoding="utf-8") as fh:
             assert fh.readlines() == ["first bad line\n",
                                       "second bad line\n"]
+
+
+class TestTornTailRepair:
+    """A crash mid-``O_APPEND`` can cut the final record *and* its
+    newline; the loader must truncate-and-quarantine the tail instead
+    of letting the next append glue onto it (satellite regression)."""
+
+    def _tear_tail(self, path, keep=12):
+        with open(path, "rb") as fh:
+            data = fh.read()
+        cut = data.rfind(b"\n", 0, len(data) - 1) + 1
+        with open(path, "wb") as fh:
+            fh.write(data[:cut + keep])  # partial record, no newline
+
+    def test_torn_tail_truncated_and_quarantined(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        append_line(path, {"shard": 0}, site="checkpoint.append")
+        append_line(path, {"shard": 1}, site="checkpoint.append")
+        self._tear_tail(path)
+        records, diag = read_records(path)
+        assert records == [{"shard": 0}]
+        assert diag.corrupt == 1
+        assert diag.rejected_path == path + REJECTED_SUFFIX
+        with open(path, "rb") as fh:
+            assert fh.read().endswith(b"\n")  # truncated to a boundary
+
+    def test_later_appends_never_glue_onto_a_torn_tail(self, tmp_path):
+        """The actual hazard: without the repair, the post-crash append
+        concatenates onto the torn tail and one crash destroys a
+        healthy record too."""
+        path = str(tmp_path / "log.jsonl")
+        append_line(path, {"shard": 0}, site="checkpoint.append")
+        append_line(path, {"shard": 1}, site="checkpoint.append")
+        self._tear_tail(path)
+        read_records(path)  # the crash-recovery load heals the file
+        append_line(path, {"shard": 2}, site="checkpoint.append")
+        records, diag = read_records(path)
+        assert records == [{"shard": 0}, {"shard": 2}]
+        assert diag.corrupt == 0  # already healed; nothing new rejected
+
+    def test_intact_record_missing_only_its_newline_is_kept(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        append_line(path, {"shard": 0}, site="checkpoint.append")
+        append_line(path, {"shard": 1}, site="checkpoint.append")
+        with open(path, "rb") as fh:
+            data = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(data[:-1])  # only the newline was torn off
+        assert repair_tail(path) is None
+        records, diag = read_records(path)
+        assert records == [{"shard": 0}, {"shard": 1}]
+        assert diag.corrupt == 0
+        with open(path, "rb") as fh:
+            assert fh.read() == data  # newline restored in place
+
+    def test_repair_is_a_noop_on_clean_and_missing_files(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        assert repair_tail(path) is None  # missing file
+        append_line(path, {"shard": 0}, site="checkpoint.append")
+        with open(path, "rb") as fh:
+            before = fh.read()
+        assert repair_tail(path) is None  # clean file
+        with open(path, "rb") as fh:
+            assert fh.read() == before
+
+    def test_no_quarantine_means_no_repair(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        append_line(path, {"shard": 0}, site="checkpoint.append")
+        self._tear_tail(path, keep=5)
+        with open(path, "rb") as fh:
+            before = fh.read()
+        read_records(path, quarantine=False)
+        with open(path, "rb") as fh:
+            assert fh.read() == before  # read-only load: file untouched
+
+    def test_whole_file_is_one_torn_record(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"shard": 0, "cut-off-mi')  # no newline at all
+        records, diag = read_records(path)
+        assert records == []
+        assert diag.corrupt == 1
+        with open(path, "rb") as fh:
+            assert fh.read() == b""  # truncated back to empty

@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
-from repro.engine.retry import BACKOFF_CAP, jittered_backoff
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.retry import (BACKOFF_CAP, RetryPolicy,
+                                jittered_backoff)
 
 
 class TestJitteredBackoff:
@@ -29,3 +34,93 @@ class TestJitteredBackoff:
 
     def test_zero_base_disables_backoff(self):
         assert jittered_backoff(5, 0.0, 5.0, key="k") == 0.0
+
+
+class TestRetryProperties:
+    """Property coverage of the backoff policy (satellite): jitter
+    bounds, the cap, and seeded determinism hold for *any* inputs, not
+    just the handful the unit tests pick."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(attempt=st.integers(min_value=1, max_value=64),
+           base=st.floats(min_value=1e-4, max_value=10.0),
+           cap=st.floats(min_value=1e-4, max_value=100.0),
+           key=st.text(max_size=20))
+    def test_jitter_stays_within_bounds_and_cap(self, attempt, base,
+                                                cap, key):
+        delay = jittered_backoff(attempt, base, cap, key=key)
+        nominal = min(base * 2.0 ** (attempt - 1), cap)
+        assert 0.5 * nominal <= delay < 1.5 * nominal
+        assert delay < 1.5 * cap
+
+    @settings(max_examples=40, deadline=None)
+    @given(attempt=st.integers(min_value=1, max_value=64),
+           base=st.floats(min_value=1e-4, max_value=10.0),
+           cap=st.floats(min_value=1e-4, max_value=100.0),
+           key=st.text(max_size=20))
+    def test_seeded_determinism(self, attempt, base, cap, key):
+        first = jittered_backoff(attempt, base, cap, key=key)
+        assert all(jittered_backoff(attempt, base, cap, key=key) == first
+                   for _ in range(3))
+
+    @settings(max_examples=40, deadline=None)
+    @given(attempt=st.integers(min_value=1, max_value=64),
+           cap=st.floats(min_value=1e-4, max_value=100.0),
+           base=st.floats(max_value=0.0, allow_nan=False),
+           key=st.text(max_size=20))
+    def test_nonpositive_base_disables_backoff(self, attempt, cap, base,
+                                               key):
+        assert jittered_backoff(attempt, base, cap, key=key) == 0.0
+
+
+class TestRetryPolicy:
+    def test_delay_matches_the_shared_backoff(self):
+        policy = RetryPolicy(attempts=5, base=0.2, cap=3.0)
+        for attempt in (1, 2, 7):
+            assert policy.delay(attempt, key="node-1") \
+                == jittered_backoff(attempt, 0.2, 3.0, key="node-1")
+
+    def test_sleep_schedule_is_recordable_and_deterministic(self):
+        policy = RetryPolicy(attempts=4, base=0.1, cap=2.0)
+        slept = []
+        for attempt in (1, 2, 3):
+            policy.sleep(attempt, key="k", sleeper=slept.append)
+        assert slept == [policy.delay(a, key="k") for a in (1, 2, 3)]
+
+    def test_zero_base_never_calls_the_sleeper(self):
+        slept = []
+        RetryPolicy(attempts=3, base=0.0).sleep(2, sleeper=slept.append)
+        assert slept == []
+
+    def test_call_retries_transient_failures_then_succeeds(self):
+        calls, slept = [], []
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ConnectionError("transient")
+            return "ok"
+        policy = RetryPolicy(attempts=5, base=0.01, cap=0.1)
+        assert policy.call(flaky, key="k", sleeper=slept.append) == "ok"
+        assert len(calls) == 3
+        assert slept == [policy.delay(1, key="k"),
+                         policy.delay(2, key="k")]
+
+    def test_call_reraises_once_the_budget_is_spent(self):
+        policy = RetryPolicy(attempts=3, base=0.0)
+        calls = []
+        def always():
+            calls.append(1)
+            raise TimeoutError("down")
+        with pytest.raises(TimeoutError):
+            policy.call(always, sleeper=lambda _d: None)
+        assert len(calls) == 3
+
+    def test_nonretryable_exceptions_pass_straight_through(self):
+        policy = RetryPolicy(attempts=5, base=0.0)
+        calls = []
+        def broken():
+            calls.append(1)
+            raise ValueError("a bug, not weather")
+        with pytest.raises(ValueError):
+            policy.call(broken)
+        assert len(calls) == 1

@@ -1,0 +1,151 @@
+"""The one-shot JSONL-over-TCP API: round trips, backoff, error split."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.retry import RetryPolicy
+from repro.service.api import (ApiServer, RetryableServiceError,
+                               ServiceClient, ServiceError)
+
+FAST = RetryPolicy(attempts=4, base=0.01, cap=0.05)
+
+
+class _Recorder:
+    """Injectable sleeper: records the backoff schedule, never waits."""
+
+    def __init__(self):
+        self.delays = []
+
+    def __call__(self, seconds):
+        self.delays.append(seconds)
+
+
+def _serve(handler):
+    return ApiServer("127.0.0.1", 0, handler)
+
+
+class TestRoundTrip:
+    def test_request_reply(self):
+        seen = []
+
+        def handler(verb, payload):
+            seen.append((verb, payload))
+            return {"echo": payload.get("x")}
+
+        server = _serve(handler)
+        try:
+            client = ServiceClient(server.host, server.port, policy=FAST)
+            assert client.request("ping", x=7) == {"echo": 7}
+            assert seen == [("ping", {"x": 7})]
+        finally:
+            server.close()
+
+    def test_each_verb_helper_names_its_verb(self):
+        verbs = []
+
+        def handler(verb, payload):
+            verbs.append(verb)
+            return {"jobs": [], "job": "job-0001", "cancelled": True,
+                    "draining": True}
+
+        server = _serve(handler)
+        try:
+            client = ServiceClient(server.host, server.port, policy=FAST)
+            client.submit("camp", {"builder": "x"}, {"seed": 0}, "k")
+            client.status()
+            client.status("job-0001")
+            client.cancel("job-0001")
+            client.drain()
+            client.ping()
+            assert verbs == ["submit", "status", "status", "cancel",
+                             "drain", "ping"]
+        finally:
+            server.close()
+
+
+class TestErrorDiscipline:
+    def test_retryable_rejection_backs_off_then_raises(self):
+        calls = []
+
+        def handler(verb, payload):
+            calls.append(verb)
+            raise RetryableServiceError("draining: try later")
+
+        server = _serve(handler)
+        sleeper = _Recorder()
+        try:
+            client = ServiceClient(server.host, server.port, policy=FAST,
+                                   sleeper=sleeper)
+            with pytest.raises(RetryableServiceError, match="draining"):
+                client.request("submit")
+        finally:
+            server.close()
+        # Full budget burned, with a sleep between every attempt pair,
+        # each matching the shared deterministic jitter schedule.
+        assert len(calls) == FAST.attempts
+        expected = [FAST.delay(a, key="api-submit")
+                    for a in range(1, FAST.attempts)]
+        assert sleeper.delays == expected
+
+    def test_retryable_then_ok_succeeds_without_burning_budget(self):
+        state = {"n": 0}
+
+        def handler(verb, payload):
+            state["n"] += 1
+            if state["n"] < 3:
+                raise RetryableServiceError("not yet")
+            return {"ready": True}
+
+        server = _serve(handler)
+        sleeper = _Recorder()
+        try:
+            client = ServiceClient(server.host, server.port, policy=FAST,
+                                   sleeper=sleeper)
+            assert client.request("status") == {"ready": True}
+        finally:
+            server.close()
+        assert state["n"] == 3 and len(sleeper.delays) == 2
+
+    def test_non_retryable_error_raises_immediately(self):
+        calls = []
+
+        def handler(verb, payload):
+            calls.append(verb)
+            raise ServiceError("no such job")
+
+        server = _serve(handler)
+        sleeper = _Recorder()
+        try:
+            client = ServiceClient(server.host, server.port, policy=FAST,
+                                   sleeper=sleeper)
+            with pytest.raises(ServiceError, match="no such job") as exc:
+                client.request("cancel")
+            assert not isinstance(exc.value, RetryableServiceError)
+        finally:
+            server.close()
+        assert len(calls) == 1 and sleeper.delays == []
+
+    def test_handler_crash_is_an_error_response_not_a_hang(self):
+        def handler(verb, payload):
+            raise KeyError("boom")
+
+        server = _serve(handler)
+        try:
+            client = ServiceClient(server.host, server.port, policy=FAST)
+            with pytest.raises(ServiceError, match="boom"):
+                client.request("ping")
+        finally:
+            server.close()
+
+    def test_unreachable_server_exhausts_retries(self):
+        # Bind-then-close guarantees a refused port.
+        probe = _serve(lambda v, p: {})
+        host, port = probe.host, probe.port
+        probe.close()
+        sleeper = _Recorder()
+        client = ServiceClient(host, port, policy=FAST, timeout=0.3,
+                               sleeper=sleeper)
+        with pytest.raises(ServiceError, match="unreachable"):
+            client.ping()
+        assert len(sleeper.delays) == FAST.attempts - 1

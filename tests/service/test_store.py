@@ -1,0 +1,152 @@
+"""The WAL-backed job store: replay == live state, exactly-once shards."""
+
+from __future__ import annotations
+
+import os
+
+from repro.service.store import (CANCELLED, DONE, FAILED, RUNNING,
+                                 SUBMITTED, JobStore)
+
+SPEC = {"builder": "mixed-stress",
+        "args": [], "kwargs": {"impl": "hw-queue/rlx", "threads": 2,
+                               "ops": 1, "seed": 0}}
+PARAMS = {"styles": ["LAT_HB"], "exhaustive": True, "runs": 40,
+          "seed": 0, "max_steps": 100_000, "max_executions": 100_000,
+          "dpor": True, "target_shards": 4}
+
+
+def _store(tmp_path) -> JobStore:
+    return JobStore(str(tmp_path / "wal.jsonl"))
+
+
+class TestSubmit:
+    def test_submit_creates_a_job(self, tmp_path):
+        store = _store(tmp_path)
+        job, created = store.submit("camp", SPEC, PARAMS, "key-1")
+        assert created
+        assert job.state == SUBMITTED
+        assert job.job_id == "job-0001"
+        assert job.spec_json == SPEC and job.params_json == PARAMS
+
+    def test_dedupe_key_is_idempotent(self, tmp_path):
+        store = _store(tmp_path)
+        first, created1 = store.submit("camp", SPEC, PARAMS, "key-1")
+        again, created2 = store.submit("camp", SPEC, PARAMS, "key-1")
+        assert created1 and not created2
+        assert again.job_id == first.job_id
+        other, created3 = store.submit("camp", SPEC, PARAMS, "key-2")
+        assert created3 and other.job_id != first.job_id
+
+    def test_dedupe_survives_restart(self, tmp_path):
+        _store(tmp_path).submit("camp", SPEC, PARAMS, "key-1")
+        reopened = _store(tmp_path)
+        job, created = reopened.submit("camp", SPEC, PARAMS, "key-1")
+        assert not created and job.job_id == "job-0001"
+
+    def test_empty_dedupe_key_never_dedupes(self, tmp_path):
+        store = _store(tmp_path)
+        a, _ = store.submit("camp", SPEC, PARAMS, "")
+        b, created = store.submit("camp", SPEC, PARAMS, "")
+        assert created and a.job_id != b.job_id
+
+
+class TestReplay:
+    def test_every_transition_survives_a_reopen(self, tmp_path):
+        store = _store(tmp_path)
+        job, _ = store.submit("camp", SPEC, PARAMS, "key-1")
+        store.mark_running(job.job_id)
+        store.record_grant(job.job_id, shard=0, token=1, attempt=1,
+                           node="n0")
+        store.record_grant(job.job_id, shard=1, token=2, attempt=1,
+                           node="n1")
+        store.record_merge(job.job_id, shard=0, token=1, executions=4)
+        replayed = _store(tmp_path).job(job.job_id)
+        assert replayed.state == RUNNING
+        assert replayed.grants == {0: 1, 1: 2}
+        assert replayed.merged_shards == {0}
+        assert replayed.token_floor == 2
+
+    def test_token_floor_is_the_max_granted_token(self, tmp_path):
+        store = _store(tmp_path)
+        job, _ = store.submit("camp", SPEC, PARAMS, "k")
+        assert job.token_floor == 0
+        store.record_grant(job.job_id, shard=2, token=7, attempt=2,
+                           node="n0")
+        store.record_grant(job.job_id, shard=0, token=3, attempt=1,
+                           node="n1")
+        assert _store(tmp_path).job(job.job_id).token_floor == 7
+
+    def test_merge_is_recorded_exactly_once_per_shard(self, tmp_path):
+        store = _store(tmp_path)
+        job, _ = store.submit("camp", SPEC, PARAMS, "k")
+        store.record_merge(job.job_id, shard=0, token=1, executions=4)
+        store.record_merge(job.job_id, shard=0, token=1, executions=4)
+        with open(store.path, encoding="utf-8") as fh:
+            merges = [ln for ln in fh if '"rec":"merge"' in ln.replace(
+                " ", "")]
+        assert len(merges) == 1
+
+    def test_terminal_states_replay(self, tmp_path):
+        store = _store(tmp_path)
+        done, _ = store.submit("a", SPEC, PARAMS, "ka")
+        failed, _ = store.submit("b", SPEC, PARAMS, "kb")
+        gone, _ = store.submit("c", SPEC, PARAMS, "kc")
+        store.finish(done.job_id, ok=True, summary={"executions": 16})
+        store.fail(failed.job_id, "node pool poisoned")
+        assert store.cancel(gone.job_id)
+        replayed = _store(tmp_path)
+        assert replayed.job(done.job_id).state == DONE
+        assert replayed.job(done.job_id).summary == {"executions": 16}
+        assert replayed.job(failed.job_id).state == FAILED
+        assert replayed.job(failed.job_id).error == "node pool poisoned"
+        assert replayed.job(gone.job_id).state == CANCELLED
+
+    def test_cancel_settled_job_is_refused(self, tmp_path):
+        store = _store(tmp_path)
+        job, _ = store.submit("a", SPEC, PARAMS, "k")
+        store.finish(job.job_id, ok=True, summary={})
+        assert not store.cancel(job.job_id)
+        assert store.job(job.job_id).state == DONE
+
+    def test_torn_final_record_is_healed_on_reopen(self, tmp_path):
+        """A daemon killed mid-append must not lose the whole WAL: the
+        torn tail is truncated-and-quarantined and everything before
+        it replays (the durable-loader satellite, end to end)."""
+        store = _store(tmp_path)
+        job, _ = store.submit("camp", SPEC, PARAMS, "k")
+        store.record_grant(job.job_id, shard=0, token=1, attempt=1,
+                           node="n0")
+        with open(store.path, "rb") as fh:
+            data = fh.read()
+        cut = data.rfind(b"\n", 0, len(data) - 1) + 1
+        with open(store.path, "wb") as fh:
+            fh.write(data[:cut + 10])  # crash mid-write: no newline
+        reopened = _store(tmp_path)
+        assert reopened.diagnostics.corrupt == 1
+        replayed = reopened.job(job.job_id)
+        assert replayed is not None and replayed.grants == {}
+        # And the healed file accepts appends cleanly.
+        reopened.record_grant(job.job_id, shard=0, token=1, attempt=1,
+                              node="n0")
+        assert _store(tmp_path).job(job.job_id).grants == {0: 1}
+        assert os.path.exists(store.path + ".rejected")
+
+
+class TestScheduling:
+    def test_running_jobs_resume_before_fresh_ones(self, tmp_path):
+        store = _store(tmp_path)
+        first, _ = store.submit("a", SPEC, PARAMS, "ka")
+        second, _ = store.submit("b", SPEC, PARAMS, "kb")
+        assert store.next_runnable().job_id == first.job_id
+        store.mark_running(second.job_id)
+        assert store.next_runnable().job_id == second.job_id
+        store.finish(second.job_id, ok=True, summary={})
+        assert store.next_runnable().job_id == first.job_id
+        store.cancel(first.job_id)
+        assert store.next_runnable() is None
+
+    def test_jobs_listing_is_in_submit_order(self, tmp_path):
+        store = _store(tmp_path)
+        ids = [store.submit(f"j{i}", SPEC, PARAMS, f"k{i}")[0].job_id
+               for i in range(3)]
+        assert [j.job_id for j in store.jobs()] == ids
