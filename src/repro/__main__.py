@@ -13,6 +13,8 @@ Gives downstream users the paper's experiments without writing code:
     python -m repro replay corpus.jsonl   # re-execute counterexamples
     python -m repro fuzz --budget 2000 --seed 42   # scenario fuzzing
     python -m repro chaos             # fault-injection self-test matrix
+    python -m repro crashcheck        # enumerate every crash state
+    python -m repro fsck DIR --repair # audit + heal all durable state
     python -m repro serve             # distributed coordinator
     python -m repro work --connect HOST:PORT   # distributed worker node
     python -m repro service serve     # crash-resumable campaign daemon
@@ -243,6 +245,39 @@ def cmd_chaos(args) -> int:
     print(f"chaos: {len(outcomes) - len(failed)}/{len(outcomes)} cells "
           f"converged to the fault-free report")
     return 1 if failed else 0
+
+
+def cmd_crashcheck(args) -> int:
+    """Enumerate every on-disk crash state of a scripted campaign and
+    assert the recovery invariants from each (docs/robustness.md)."""
+    from .engine.crashcheck import run_crashcheck
+    report = run_crashcheck(
+        limit=args.limit,
+        emit=lambda line: print(line, file=sys.stderr, flush=True))
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_fsck(args) -> int:
+    """Audit (and with --repair heal) every durable artifact under a
+    path: per-record integrity, torn tails, stray temp files, and the
+    WAL's cross-record accounting invariants (docs/engine.md)."""
+    import os
+    from .engine.fsck import run_fsck
+    target = args.target
+    if not target:
+        print("fsck: pass a data directory or artifact file "
+              "(python -m repro fsck .repro-service [--repair])",
+              file=sys.stderr)
+        return 2
+    if not os.path.exists(target):
+        print(f"fsck: no such path: {target}", file=sys.stderr)
+        return 2
+    report = run_fsck(target, repair=args.repair,
+                      emit=lambda line: print(line, file=sys.stderr,
+                                              flush=True))
+    print(report.summary())
+    return report.exit_code()
 
 
 def cmd_serve(args) -> int:
@@ -477,6 +512,8 @@ COMMANDS = {
     "replay": cmd_replay,
     "fuzz": cmd_fuzz,
     "chaos": cmd_chaos,
+    "crashcheck": cmd_crashcheck,
+    "fsck": cmd_fsck,
     "serve": cmd_serve,
     "work": cmd_work,
     "service": cmd_service,
@@ -491,7 +528,8 @@ def main(argv=None) -> int:
     parser.add_argument("target", nargs="?", default=None,
                         help="replay: path to a corpus JSONL file; "
                              "service: verb (serve|submit|status|"
-                             "cancel|drain)")
+                             "cancel|drain); fsck: data directory or "
+                             "artifact file to audit")
     parser.add_argument("--runs", type=int, default=200,
                         help="randomized executions per configuration")
     engine = parser.add_argument_group(
@@ -616,6 +654,16 @@ def main(argv=None) -> int:
                          help="service serve: restart-backoff window of "
                               "the crash-loop guard (0 disables; "
                               "default 60)")
+    robust = parser.add_argument_group(
+        "crash consistency (crashcheck, fsck — docs/robustness.md)")
+    robust.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="crashcheck: check at most N distinct crash "
+                             "states (enumeration stays complete; "
+                             "default: check all)")
+    robust.add_argument("--repair", action="store_true",
+                        help="fsck: quarantine damaged records to the "
+                             ".rejected sidecar and atomically rewrite "
+                             "each artifact with its intact lines")
     fuzz = parser.add_argument_group(
         "scenario fuzzing (fuzz — docs/fuzzing.md; also honours "
         "--seed, --workers, --corpus, --corpus-cap, --progress)")

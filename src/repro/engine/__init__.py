@@ -21,6 +21,14 @@ enumeration, so sharded runs merge to byte-for-byte the serial report.
   the chaos harness (`repro.engine.chaos`, ``python -m repro chaos``)
   proves the machinery above converges under crashes, hangs, and torn
   writes;
+* vfs (`repro.engine.vfs`): the injectable durable-I/O layer every
+  persistent writer routes through — one fault shim, one write
+  discipline, one trace recorder;
+* crashcheck (`repro.engine.crashcheck`): enumerates every on-disk
+  crash state a traced campaign admits and proves recovery from each
+  (``python -m repro crashcheck``);
+* fsck (`repro.engine.fsck`): offline audit + quarantine-and-heal over
+  all durable artifact formats (``python -m repro fsck``);
 * telemetry (`repro.engine.telemetry`): executions/sec, ETA, workers;
 * registry/catalog: named scenario builders (the picklable face of
   closure-built scenarios).
@@ -51,6 +59,8 @@ from .shard import (SHARDS_PER_WORKER, Shard, iter_shard,
                     plan_exhaustive_shards, plan_exhaustive_shards_dpor,
                     plan_random_shards)
 from .telemetry import ProgressReporter, TelemetrySummary
+from .vfs import (DurableWriteError, IoOp, OsVFS, TraceVFS,
+                  atomic_write_bytes, atomic_write_text, get_vfs, install)
 
 __all__ = [
     "EngineParams", "EngineResult", "ShardFailed", "ResultCorrupt",
@@ -75,4 +85,6 @@ __all__ = [
     "ScenarioSpec", "register_scenario", "build_scenario",
     "registered_builders",
     "ProgressReporter", "TelemetrySummary",
+    "DurableWriteError", "IoOp", "OsVFS", "TraceVFS", "get_vfs",
+    "install", "atomic_write_bytes", "atomic_write_text",
 ]

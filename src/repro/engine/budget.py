@@ -95,6 +95,11 @@ class Coverage:
     shards_total: int = 0
     shards_complete: int = 0
     truncated: List[str] = field(default_factory=list)
+    #: Durable writes (checkpoint lines, corpus entries) lost to
+    #: ``ENOSPC``/``EIO``: the in-memory result is complete, but a
+    #: resume could not reconstruct it — so the run must not claim a
+    #: universal, resumable verdict.
+    durable_errors: int = 0
 
     @property
     def fraction(self) -> float:
@@ -104,11 +109,16 @@ class Coverage:
 
     @property
     def degraded(self) -> bool:
-        return self.shards_complete < self.shards_total
+        return (self.shards_complete < self.shards_total
+                or self.durable_errors > 0)
 
     def line(self) -> str:
         head = (f"coverage: {self.shards_complete}/{self.shards_total} "
                 f"shard subtrees complete ({self.fraction:.0%})")
+        if self.durable_errors:
+            head += (f"; {self.durable_errors} durable write"
+                     f"{'s' if self.durable_errors != 1 else ''} lost "
+                     f"(result held in memory only)")
         if not self.truncated:
             return head
         shown = ", ".join(self.truncated[:4])

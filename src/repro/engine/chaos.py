@@ -244,6 +244,16 @@ def build_cases(max_workers: int = 2) -> List[ChaosCase]:
                                 Fault("corpus.append", "torn"))),
                 workers=w, exhaustive=exhaustive,
                 durable=True, resume=True))
+            # Disk full mid-campaign: the first run keeps its in-memory
+            # result but degrades honestly (``exhausted=False``); a
+            # fault-free resume over the same files must re-explore the
+            # unpersisted shard and converge anyway.
+            cases.append(ChaosCase(
+                name=f"{tag}/enospc",
+                plan=FaultPlan((Fault("checkpoint.append", "enospc"),
+                                Fault("corpus.append", "enospc"))),
+                workers=w, exhaustive=exhaustive,
+                durable=True, resume=True))
             if w < 2:
                 continue  # crash/hang/corrupt would take the driver down
             cases.append(ChaosCase(

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 from ..checking.runner import ScenarioReport
 from .corpus import CorpusEntry
 from .durable import LineDiagnostics, append_line, read_records
+from .vfs import DurableWriteError
 from .merge import report_from_json, report_to_json
 from .registry import ScenarioSpec
 from .shard import Shard
@@ -89,11 +90,23 @@ def load_completed(path: str, fingerprint: str) \
 
 
 class CheckpointWriter:
-    """Appends one fingerprint-tagged durable line per completed shard."""
+    """Appends one fingerprint-tagged durable line per completed shard.
+
+    A failed append (``ENOSPC``/``EIO``, surfacing as
+    `repro.engine.vfs.DurableWriteError`) does **not** propagate: the
+    in-memory result is still merged, the error is collected in
+    ``write_errors``, and `repro.engine.pool.finalize_run` folds the
+    count into the run's `Coverage` so a resume-impaired run never
+    claims a universal verdict.  The rollback inside
+    `repro.engine.vfs.OsVFS.append_blob` guarantees the checkpoint file
+    itself stays well-formed.
+    """
 
     def __init__(self, path: str, fingerprint: str):
         self.path = path
         self.fingerprint = fingerprint
+        #: Human-readable descriptions of appends lost to disk errors.
+        self.write_errors: List[str] = []
 
     def write_shard(self, shard_id: int, report: ScenarioReport,
                     entries: List[CorpusEntry]) -> None:
@@ -108,4 +121,7 @@ class CheckpointWriter:
         self._append({"fp": self.fingerprint, "marker": marker})
 
     def _append(self, payload: Dict) -> None:
-        append_line(self.path, payload, site="checkpoint.append")
+        try:
+            append_line(self.path, payload, site="checkpoint.append")
+        except DurableWriteError as err:
+            self.write_errors.append(str(err))

@@ -37,6 +37,7 @@ from ..core.spec_styles import SpecStyle, check_style
 from ..rmc.scheduler import FixedDecider
 from .durable import LineDiagnostics, append_line, canonical, read_records
 from .merge import trace_from_json
+from .vfs import DurableWriteError
 from .registry import ScenarioSpec, build_scenario
 
 #: Default cap on corpus entries collected per run (a badly broken
@@ -122,7 +123,8 @@ def existing_hashes(path: str) -> Set[str]:
 
 
 def append_entries(path: str, entries: List[CorpusEntry],
-                   dedupe: bool = True) -> int:
+                   dedupe: bool = True,
+                   errors: Optional[List[str]] = None) -> int:
     """Append entries as durable JSONL lines; returns how many were new.
 
     Each line is a single ``O_APPEND`` ``write()`` + fsync (see
@@ -132,6 +134,12 @@ def append_entries(path: str, entries: List[CorpusEntry],
     which makes the flush idempotent: a crash between the append and the
     checkpoint's ``corpus_flushed`` marker no longer duplicates every
     entry on resume.
+
+    With an ``errors`` list supplied, a failed append (``ENOSPC``/
+    ``EIO`` — `repro.engine.vfs.DurableWriteError`) is recorded there
+    and the flush carries on with the remaining entries instead of
+    raising; the `repro.engine.vfs` rollback keeps the corpus
+    well-formed either way.
     """
     if not entries:
         return 0
@@ -143,7 +151,13 @@ def append_entries(path: str, entries: List[CorpusEntry],
         if key in seen:
             continue
         seen.add(key)
-        append_line(path, payload, site="corpus.append")
+        try:
+            append_line(path, payload, site="corpus.append")
+        except DurableWriteError as err:
+            if errors is None:
+                raise
+            errors.append(str(err))
+            continue
         written += 1
     return written
 

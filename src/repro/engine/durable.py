@@ -25,7 +25,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from .faults import torn_text
+from . import vfs
 
 #: Current on-disk record version.
 RECORD_VERSION = 1
@@ -87,6 +87,12 @@ def decode_line(line: str) -> Tuple[Dict, bool]:
     if not isinstance(data, dict):
         raise CorruptLine("JSONL line is not an object")
     if "crc" not in data:
+        if "v" in data:
+            # A versioned record always carries a CRC; one without it
+            # is damage wearing a legacy disguise (a single bit-flip in
+            # the "crc" *key* would otherwise load the record verbatim,
+            # unverified — found by the byte-flip property test).
+            raise CorruptLine("versioned record without a CRC")
         return data, True
     crc = data.pop("crc")
     data.pop("v", None)
@@ -99,15 +105,15 @@ def append_line(path: str, payload: Dict, site: str) -> None:
     """Append one framed record: a single ``O_APPEND`` write + fsync.
 
     ``site`` names the fault-injection site (``checkpoint.append`` /
-    ``corpus.append``) so chaos runs can tear exactly this write.
+    ``corpus.append`` / ``service.wal``) so chaos runs can tear, fail,
+    or unsync exactly this write.  Routed through the active
+    `repro.engine.vfs` instance: a failed write (``ENOSPC``/``EIO``) is
+    rolled back off the log and surfaces as
+    `repro.engine.vfs.DurableWriteError` — the log itself stays
+    well-formed.
     """
-    text = torn_text(site, encode_line(payload) + "\n")
-    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
-    try:
-        os.write(fd, text.encode("utf-8"))
-        os.fsync(fd)
-    finally:
-        os.close(fd)
+    data = (encode_line(payload) + "\n").encode("utf-8")
+    vfs.get_vfs().append_blob(path, data, site)
 
 
 def _line_crc(line: str) -> int:
@@ -138,13 +144,15 @@ def _quarantine(path: str, bad_lines: Iterable[str]) -> Optional[str]:
         seen.add(crc)
         fresh.append(ln)
     if fresh:
-        fd = os.open(sidecar, os.O_WRONLY | os.O_APPEND | os.O_CREAT,
-                     0o644)
-        try:
-            os.write(fd, ("\n".join(fresh) + "\n").encode("utf-8"))
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+        created = not os.path.exists(sidecar)
+        vfs.get_vfs().append_blob(
+            sidecar, ("\n".join(fresh) + "\n").encode("utf-8"),
+            "quarantine.append")
+        if created:
+            # The quarantine itself must survive a crash: make the new
+            # sidecar's directory entry durable too.
+            vfs.get_vfs().fsync_dir(
+                os.path.dirname(os.path.abspath(sidecar)))
     return sidecar
 
 
@@ -182,19 +190,12 @@ def repair_tail(path: str) -> Optional[str]:
         pass  # genuinely torn: truncate and quarantine below
     else:
         # The record survived intact; only its newline was lost.
-        fd = os.open(path, os.O_WRONLY | os.O_APPEND)
-        try:
-            os.write(fd, b"\n")
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+        vfs.get_vfs().append_blob(path, b"\n", "repair.tail")
         return None
-    fd = os.open(path, os.O_WRONLY)
-    try:
-        os.truncate(fd, cut)
-        os.fsync(fd)
-    finally:
-        os.close(fd)
+    # Truncate back to the last newline boundary; the VFS truncate also
+    # fsyncs the containing directory so the repair itself survives a
+    # crash between the truncate and the next append.
+    vfs.get_vfs().truncate(path, cut, site="repair.tail")
     _quarantine(path, [tail])
     return tail
 
@@ -217,7 +218,10 @@ def read_records(path: str, quarantine: bool = True) \
         diag.total += 1
         diag.corrupt += 1
         diag.rejected_path = path + REJECTED_SUFFIX
-    with open(path, "r", encoding="utf-8") as fh:
+    # ``errors="replace"``: a bit-flip can leave bytes that are not
+    # valid UTF-8; the mojibake line then fails its CRC and quarantines
+    # like any other damage instead of raising mid-iteration.
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
         for raw in fh:
             line = raw.strip()
             if not line:

@@ -53,7 +53,17 @@ KINDS = ("crash", "hang", "raise", "corrupt", "torn",
          # path (`repro.engine.dist.protocol`): a message silently lost,
          # delayed in flight, the whole connection cut, or delivered
          # twice.
-         "drop", "delay", "sever", "duplicate")
+         "drop", "delay", "sever", "duplicate",
+         # Disk faults, consulted by the durable I/O layer
+         # (`repro.engine.vfs`) at every writer site: the write fails
+         # with the named errno (optionally after `after_bytes` landed,
+         # modelling a disk filling mid-record), or the durability
+         # barrier is silently swallowed.
+         "enospc", "eio", "fsync_drop")
+
+#: The kinds `repro.engine.vfs` interprets (plus "torn", shared with the
+#: legacy line-level shim).
+IO_KINDS = ("torn", "enospc", "eio", "fsync_drop")
 
 
 class FaultInjected(RuntimeError):
@@ -74,6 +84,12 @@ class Fault:
     hang_seconds: float = 3600.0
     #: How long a ``delay`` network fault holds a message.
     delay_seconds: float = 0.1
+    #: ``torn`` disk faults: byte offset to cut the record at
+    #: (None = halve it, the legacy shape).
+    torn_at: Optional[int] = None
+    #: ``enospc``/``eio`` faults: bytes that land before the failure
+    #: (None/0 = fail before writing anything).
+    after_bytes: Optional[int] = None
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -99,7 +115,8 @@ class Fault:
 
     def to_json(self) -> Dict:
         out = {"site": self.site, "kind": self.kind}
-        for key in ("shard", "attempt", "exec_at", "prob"):
+        for key in ("shard", "attempt", "exec_at", "prob", "torn_at",
+                    "after_bytes"):
             val = getattr(self, key)
             if val is not None:
                 out[key] = val
@@ -115,7 +132,9 @@ class Fault:
                      shard=data.get("shard"), attempt=data.get("attempt"),
                      exec_at=data.get("exec_at"), prob=data.get("prob"),
                      hang_seconds=data.get("hang_seconds", 3600.0),
-                     delay_seconds=data.get("delay_seconds", 0.1))
+                     delay_seconds=data.get("delay_seconds", 0.1),
+                     torn_at=data.get("torn_at"),
+                     after_bytes=data.get("after_bytes"))
 
 
 @dataclass(frozen=True)
@@ -140,6 +159,10 @@ class FaultPlan:
     def activate(self) -> None:
         """Install the plan for this process and every child it starts."""
         os.environ[FAULT_PLAN_ENV] = self.encode()
+        # Activation marks the start of a fresh chaos run: one-shot
+        # accounting and per-site sequences reset even when the plan
+        # encodes identically to the previous one.
+        _CACHE["raw"] = None
 
     @staticmethod
     def deactivate() -> None:
@@ -167,6 +190,7 @@ def _active_plan() -> Optional[FaultPlan]:
         _CACHE["raw"] = raw
         _CACHE["plan"] = FaultPlan.decode(raw)
         _FIRED.clear()
+        _IO_SEQ.clear()
     return _CACHE["plan"]
 
 
@@ -250,6 +274,42 @@ def net_fault_actions(site: str, shard: Optional[int] = None,
             continue
         key = (idx, site, shard, attempt) if fault.prob is None \
             else (idx, site, shard, attempt, seq)
+        if key in _FIRED:
+            continue
+        _FIRED.add(key)
+        actions.append(fault)
+    return actions
+
+
+#: Per-site call sequence for disk-fault probability rolls (reset with
+#: the plan cache when the active plan changes).
+_IO_SEQ: Dict[str, int] = {}
+
+
+def io_fault_actions(site: str) -> list:
+    """Disk faults matching this durable write, in plan order.
+
+    Consulted by `repro.engine.vfs` on every append / whole-file write.
+    Same one-shot discipline as the network shim: an exact-coordinate
+    fault fires once per plan (tear *this* record, then let recovery
+    win), while a seeded-probability fault rolls per call — the call
+    sequence number stands in for message ``seq`` so each write rolls
+    its own dice deterministically.
+    """
+    plan = _active_plan()
+    if plan is None:
+        return []
+    seq = _IO_SEQ.get(site, 0) + 1
+    _IO_SEQ[site] = seq
+    actions = []
+    for idx, fault in enumerate(plan.faults):
+        if fault.kind not in IO_KINDS:
+            continue
+        if not fault.matches(site, None, None,
+                             seq if fault.prob is not None else None,
+                             plan.seed):
+            continue
+        key = (idx, site) if fault.prob is None else (idx, site, seq)
         if key in _FIRED:
             continue
         _FIRED.add(key)

@@ -387,7 +387,6 @@ def finalize_run(scenario_name: str, params: EngineParams,
     account coverage for anything truncated or missing, and flush the
     deduplicated corpus.
     """
-    telemetry = reporter.finish()
     ordered = sorted(results)
     report = merge_reports(scenario_name,
                            (results[sid][0] for sid in ordered),
@@ -395,17 +394,6 @@ def finalize_run(scenario_name: str, params: EngineParams,
     # Branches the planner itself pruned at pinned prefix nodes: charged
     # here, exactly once, so sharded totals equal the serial DPOR run.
     report.pruned_subtrees += planner_pruned
-    complete_sids = {sid for sid in results
-                     if not results[sid][0].budget_exhausted}
-    coverage = Coverage(
-        shards_total=len(shards),
-        shards_complete=len(complete_sids),
-        truncated=[shards[sid].describe() for sid in range(len(shards))
-                   if sid not in complete_sids])
-    report.coverage = coverage
-    if coverage.degraded:
-        # A degraded run must never claim a universal result.
-        report.exhausted = False
     entries: List[CorpusEntry] = []
     seen_hashes: Set[str] = set()
     for sid in ordered:
@@ -417,13 +405,34 @@ def finalize_run(scenario_name: str, params: EngineParams,
                 seen_hashes.add(key)
                 entries.append(entry)
     del entries[params.corpus_cap:]
+    flush_errors: List[str] = []
     if params.corpus_path:
         # Content-hash dedupe makes the flush idempotent, so a crash
         # between the append and the marker cannot duplicate entries —
-        # and a torn corpus line is healed by the next resume.
-        append_entries(params.corpus_path, entries)
+        # and a torn corpus line is healed by the next resume.  A flush
+        # hitting a full/failing disk degrades coverage below instead
+        # of losing the in-memory result.
+        append_entries(params.corpus_path, entries, errors=flush_errors)
         if writer is not None and "corpus_flushed" not in markers:
             writer.write_marker("corpus_flushed")
+    durable_errors: List[str] = flush_errors + \
+        (list(writer.write_errors) if writer is not None else [])
+    for detail in durable_errors:
+        reporter.on_durable_error(detail)
+    telemetry = reporter.finish()
+    complete_sids = {sid for sid in results
+                     if not results[sid][0].budget_exhausted}
+    coverage = Coverage(
+        shards_total=len(shards),
+        shards_complete=len(complete_sids),
+        truncated=[shards[sid].describe() for sid in range(len(shards))
+                   if sid not in complete_sids],
+        durable_errors=len(durable_errors))
+    report.coverage = coverage
+    if coverage.degraded:
+        # A degraded run must never claim a universal result — whether
+        # work was truncated or its durable record failed to land.
+        report.exhausted = False
     return EngineResult(report=report, telemetry=telemetry, shards=shards,
                         corpus_entries=entries, coverage=coverage)
 

@@ -34,6 +34,9 @@ class TelemetrySummary:
     budget_stops: int = 0
     #: Corrupt checkpoint/corpus lines quarantined on load.
     quarantined_lines: int = 0
+    #: Durable writes (checkpoint/corpus) that failed with ENOSPC/EIO;
+    #: the run continued in-memory with degraded coverage.
+    durable_write_errors: int = 0
     #: Branches skipped by sleep-set DPOR (`repro.rmc.dpor`), planner
     #: charges included; 0 when DPOR is off.
     pruned_subtrees: int = 0
@@ -166,6 +169,15 @@ class ProgressReporter:
 
     def on_quarantined(self, count: int) -> None:
         self.summary.quarantined_lines += count
+
+    def on_durable_error(self, detail: str) -> None:
+        """A checkpoint/corpus write failed (disk full, I/O error); the
+        campaign carries on in memory with honest coverage accounting."""
+        self.summary.durable_write_errors += 1
+        if self.enabled:
+            print(f"[{self.label}] durable write failed ({detail}); "
+                  f"continuing in-memory with degraded coverage",
+                  file=self.out, flush=True)
 
     def on_drain(self) -> None:
         self.summary.drained = True

@@ -45,6 +45,7 @@ from ..engine.merge import report_to_json
 from ..engine.pool import EngineParams
 from ..engine.registry import ScenarioSpec
 from ..engine.retry import jittered_backoff
+from ..engine.vfs import DurableWriteError, atomic_write_text
 from .api import ApiServer, RetryableServiceError, ServiceError
 from .store import CANCELLED, Job, JobStore
 
@@ -248,10 +249,12 @@ class CampaignDaemon:
                    "api_port": self.api_port,
                    "node_port": self.node_port,
                    "data_dir": os.path.abspath(self.config.data_dir)}
-        tmp = self.config.discovery_path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, sort_keys=True)
-        os.replace(tmp, self.config.discovery_path)
+        # Atomic + parent-dir-fsynced: a CLI verb racing a daemon crash
+        # reads either the old daemon's coordinates or the new — never
+        # a torn JSON file.
+        atomic_write_text(self.config.discovery_path,
+                          json.dumps(payload, sort_keys=True),
+                          site="service.discovery")
 
     # ------------------------------------------------------------------
     # Job execution
@@ -273,20 +276,34 @@ class CampaignDaemon:
                           lease_seconds=self.config.lease_seconds,
                           node_wait_seconds=self.config.node_wait_seconds)
         job_id = job.job_id
+        wal_errors: List[str] = []
+
+        def guarded(write: Callable, *args) -> None:
+            # A WAL append that hits a full/failing disk must not kill
+            # the campaign: the in-memory tables never ran ahead (the
+            # append failed *before* `_apply`), the in-process lease
+            # table still fences, and the loss is reported honestly in
+            # the job summary below.
+            try:
+                write(*args)
+            except DurableWriteError as err:
+                wal_errors.append(str(err))
+                self.emit(f"[service] {job_id}: WAL append failed "
+                          f"({err}); continuing with degraded "
+                          f"accounting")
 
         def on_event(kind: str, **fields) -> None:
             # WAL-before-action: each record lands (and may crash at
             # its fault site) before the transition it describes.
             if kind == "grant":
-                self.store.record_grant(job_id, fields["shard"],
-                                        fields["token"],
-                                        fields["attempt"], fields["node"])
+                guarded(self.store.record_grant, job_id, fields["shard"],
+                        fields["token"], fields["attempt"],
+                        fields["node"])
                 fault_point("service.grant", shard=fields["shard"],
                             attempt=fields["attempt"])
             elif kind == "merge":
-                self.store.record_merge(job_id, fields["shard"],
-                                        fields["token"],
-                                        fields["executions"])
+                guarded(self.store.record_merge, job_id, fields["shard"],
+                        fields["token"], fields["executions"])
             elif kind == "settled":
                 fault_point("service.pre_merge")
 
@@ -327,23 +344,41 @@ class CampaignDaemon:
                       f"checkpointed")
             return  # stays RUNNING
         report_path = os.path.join(job_dir, "report.json")
-        tmp = report_path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(report_to_json(result.report), fh, sort_keys=True,
-                      indent=2)
-        os.replace(tmp, report_path)
+        try:
+            atomic_write_text(
+                report_path,
+                json.dumps(report_to_json(result.report), sort_keys=True,
+                           indent=2),
+                site="service.report")
+        except DurableWriteError as err:
+            wal_errors.append(str(err))
+            self.emit(f"[service] {job_id}: report write failed ({err}); "
+                      f"result held in the WAL summary only")
+            report_path = ""
         cov = result.coverage
+        degraded = cov.degraded or bool(wal_errors)
         summary = {"executions": result.report.executions,
                    "shards_complete": cov.shards_complete,
                    "shards_total": cov.shards_total,
-                   "degraded": cov.degraded,
-                   "exhausted": result.report.exhausted,
+                   "degraded": degraded,
+                   "exhausted": result.report.exhausted and not degraded,
+                   "wal_errors": len(wal_errors),
                    "report": report_path}
-        self.store.finish(job_id, ok=not cov.degraded, summary=summary)
+        try:
+            self.store.finish(job_id, ok=not degraded, summary=summary)
+        except DurableWriteError as err:
+            # The job stays RUNNING (memory never ran ahead): the loop
+            # comes back to it, resumes from the checkpoint — every
+            # shard already settled, so the retry is just this tail —
+            # and tries the finish record again once the disk recovers.
+            self.emit(f"[service] {job_id}: WAL finish failed ({err}); "
+                      f"will retry after backoff")
+            time.sleep(self.config.poll_interval)
+            return
         self.emit(f"[service] {job_id}: done "
                   f"({summary['executions']} executions, "
                   f"{cov.shards_complete}/{cov.shards_total} shards"
-                  f"{', DEGRADED' if cov.degraded else ''})")
+                  f"{', DEGRADED' if degraded else ''})")
 
     def _spawn_nodes(self, job_id: str) -> List[subprocess.Popen]:
         import repro

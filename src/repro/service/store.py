@@ -105,7 +105,16 @@ class JobStore:
         records, diag = read_records(path, quarantine=True)
         self.diagnostics.note(diag)
         for payload in records:
-            self._apply(payload)
+            try:
+                self._apply(payload)
+            except (KeyError, TypeError, ValueError):
+                # A parseable record with broken fields (a legacy line
+                # carries no CRC, so a bit-flip can stay valid JSON):
+                # count it like any corrupt line rather than refusing
+                # to open the store.  Live mutations stay strict —
+                # only replay tolerates damage.
+                self.diagnostics.loaded -= 1
+                self.diagnostics.corrupt += 1
 
     # ------------------------------------------------------------------
     # The single state-transition function (replay == live mutation)
@@ -146,6 +155,12 @@ class JobStore:
                 job.state = CANCELLED
 
     def _log(self, rec: Dict) -> None:
+        # WAL-before-action, strictly: `append_line` either lands the
+        # whole record (fsynced) or raises `DurableWriteError` after
+        # rolling the partial write back off the log — only then does
+        # the in-memory table change, so memory can never run ahead of
+        # a failed append and a restart replays exactly what callers
+        # observed.
         append_line(self.path, rec, WAL_SITE)
         self._apply(rec)
 

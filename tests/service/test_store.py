@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import os
 
+import pytest
+
 from repro.service.store import (CANCELLED, DONE, FAILED, RUNNING,
                                  SUBMITTED, JobStore)
 
@@ -130,6 +132,43 @@ class TestReplay:
                               node="n0")
         assert _store(tmp_path).job(job.job_id).grants == {0: 1}
         assert os.path.exists(store.path + ".rejected")
+
+
+class TestWalBeforeAction:
+    def test_memory_never_runs_ahead_of_a_failed_append(self, tmp_path):
+        """WAL-before-action, strictly: when the append itself fails
+        (disk full), the in-memory tables must not change — otherwise
+        callers observe state a restart cannot replay."""
+        from repro.engine.faults import Fault, FaultPlan
+        from repro.engine.vfs import DurableWriteError
+        store = _store(tmp_path)
+        plan = FaultPlan((Fault("service.wal", "enospc"),), seed=1)
+        with plan:
+            with pytest.raises(DurableWriteError):
+                store.submit("camp", SPEC, PARAMS, "key-1")
+            # Nothing observable changed: no job, no dedupe entry, and
+            # the retry mints the *same* id the failed attempt would
+            # have (the sequence counter did not burn a slot).
+            assert store.jobs() == []
+            job, created = store.submit("camp", SPEC, PARAMS, "key-1")
+        assert created and job.job_id == "job-0001"
+        assert _store(tmp_path).job(job.job_id) is not None
+
+    def test_failed_grant_leaves_the_token_floor_alone(self, tmp_path):
+        from repro.engine.faults import Fault, FaultPlan
+        from repro.engine.vfs import DurableWriteError
+        store = _store(tmp_path)
+        job, _ = store.submit("camp", SPEC, PARAMS, "k")
+        store.record_grant(job.job_id, shard=0, token=1, attempt=1,
+                           node="n0")
+        plan = FaultPlan((Fault("service.wal", "eio"),), seed=1)
+        with plan:
+            with pytest.raises(DurableWriteError):
+                store.record_grant(job.job_id, shard=1, token=2,
+                                   attempt=1, node="n0")
+        assert store.job(job.job_id).token_floor == 1
+        # The rolled-back log replays to the same floor.
+        assert _store(tmp_path).job(job.job_id).token_floor == 1
 
 
 class TestScheduling:
