@@ -192,6 +192,40 @@ class TestDporReduction:
                "\n".join(rows))
 
 
+class TestModelMatrix:
+    def test_litmus_throughput_per_model(self, report, bench_record):
+        """Exec/s per memory model on the full litmus catalogue.
+
+        The same catalogue is enumerated (sleep-set DPOR) under each of
+        the four shipped models (docs/memory_model.md).  Strengthening
+        cuts both ways: stronger modes narrow read choices (fewer
+        executions) but couple more operations through global views
+        (less DPOR pruning — under TSO every atomic read is
+        SC-footprinted), so the row makes the trade measurable.
+        """
+        from repro.models import LATTICE
+
+        rows = []
+        recorded = {}
+        execs = {}
+        for model in LATTICE:
+            t0 = time.perf_counter()
+            count = 0
+            for name in CATALOGUE:
+                count += sum(1 for _ in explore_all_dpor(
+                    CATALOGUE[name], max_steps=2_000, model=model))
+            secs = time.perf_counter() - t0
+            execs[model] = count
+            recorded[model] = round(count / max(secs, 1e-9), 1)
+            rows.append(f"{model:<6}: {count:>6} exec in {secs:6.2f}s = "
+                        f"{recorded[model]:>9,.1f} exec/s")
+        bench_record("model-matrix", scenarios=len(CATALOGUE),
+                     executions=execs, exec_per_sec=recorded)
+        report(f"E9 model matrix — litmus catalogue "
+               f"({len(CATALOGUE)} scenarios x {len(LATTICE)} models)",
+               "\n".join(rows))
+
+
 class TestEngineScaling:
     def test_serial_vs_parallel_throughput(self, report, bench_record):
         """Serial-vs-N-workers executions/sec on one exhaustive scenario.

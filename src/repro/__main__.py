@@ -3,6 +3,7 @@
 Gives downstream users the paper's experiments without writing code:
 
     python -m repro litmus            # E8: litmus outcome sets
+    python -m repro diffmodels        # memory-model lattice check
     python -m repro mp                # E1: Fig. 1 MP client
     python -m repro matrix            # E2: spec-satisfaction matrix
     python -m repro client-logic      # E3: spec-level outcome enumeration
@@ -37,6 +38,8 @@ the parallel-engine flag group:
                       graceful-degradation budgets (docs/robustness.md)
     --dpor/--no-dpor  sleep-set partial-order reduction for exhaustive
                       exploration (docs/dpor.md; default: on)
+    --model M         memory model to explore under (sc|tso|ra|orc11,
+                      docs/memory_model.md; default orc11)
 """
 
 from __future__ import annotations
@@ -57,6 +60,7 @@ def _engine_kwargs(args) -> dict:
         "dpor": args.dpor,
         "max_retries": args.max_retries,
         "corpus_cap": args.corpus_cap,
+        "model": args.model or "orc11",
     }
     if args.shard_timeout is not None:
         kwargs["shard_timeout"] = (None if args.shard_timeout <= 0
@@ -71,11 +75,13 @@ def _print_coverage(report) -> None:
         print(f"    {cov.line()}")
 
 
-def cmd_litmus(_args) -> int:
+def cmd_litmus(args) -> int:
     from .rmc.litmus import CATALOGUE, outcomes
+    model = args.model or "orc11"
     for name in sorted(CATALOGUE):
-        outs = sorted(outcomes(CATALOGUE[name]), key=repr)
-        print(f"{name}: {len(outs)} outcomes")
+        outs = sorted(outcomes(CATALOGUE[name], model=model), key=repr)
+        print(f"{name}: {len(outs)} outcomes"
+              + (f" under {model}" if model != "orc11" else ""))
         for o in outs:
             print(f"    {o}")
     return 0
@@ -101,7 +107,8 @@ def cmd_mp(args) -> int:
 def cmd_matrix(args) -> int:
     from .checking import run_matrix
     print(run_matrix(runs=args.runs, workers=args.workers,
-                     progress=args.progress, dpor=args.dpor).render())
+                     progress=args.progress, dpor=args.dpor,
+                     model=args.model or "orc11").render())
     return 0
 
 
@@ -157,7 +164,7 @@ def cmd_elim(args) -> int:
 
 def cmd_replay(args) -> int:
     import os
-    from .engine import load_corpus, replay_entry
+    from .engine import ModelMismatch, load_corpus, replay_entry
     path = args.target or args.corpus
     if not path:
         print("replay: pass a corpus file "
@@ -197,7 +204,13 @@ def cmd_replay(args) -> int:
     failures = 0
     for i, entry in selected:
         try:
-            out = replay_entry(entry)
+            out = replay_entry(entry, model=args.model)
+        except ModelMismatch as err:
+            # Exit 2, one line: a trace indexes into model-dependent
+            # choice sets; replaying it under another model is a usage
+            # error (docs/engine.md exit-code table).
+            print(f"replay: entry {i}: {err}", file=sys.stderr)
+            return 2
         except KeyError as err:
             # A corpus written by a newer catalogue: the entry names a
             # scenario builder this checkout does not register.
@@ -225,7 +238,8 @@ def cmd_fuzz(args) -> int:
         workers=args.workers, per_case=args.per_case,
         exhaustive=args.exhaustive, config=config,
         corpus_path=args.corpus, shrink_budget=args.shrink_budget,
-        max_shrinks=args.max_shrinks, progress=args.progress)
+        max_shrinks=args.max_shrinks, progress=args.progress,
+        model=args.model or "orc11")
     if args.corpus_cap is not None:
         params.corpus_cap = args.corpus_cap
     report = run_campaign(
@@ -296,7 +310,8 @@ def cmd_serve(args) -> int:
         seed=args.seed, target_shards=args.target_shards,
         checkpoint_path=args.resume, corpus_path=args.corpus,
         progress=args.progress, max_retries=args.max_retries,
-        run_seconds=args.run_seconds, dpor=args.dpor)
+        run_seconds=args.run_seconds, dpor=args.dpor,
+        model=args.model or "orc11")
     dist = DistParams(host=args.host, port=args.port,
                       lease_seconds=args.lease_seconds,
                       node_wait_seconds=args.node_wait)
@@ -344,7 +359,8 @@ def _service_spec_params(args) -> tuple:
                         kwargs={"impl": args.impl, "threads": args.threads,
                                 "ops": args.ops, "seed": args.seed})
     params = EngineParams(styles=(SpecStyle.LAT_HB,), exhaustive=True,
-                          seed=args.seed, dpor=args.dpor)
+                          seed=args.seed, dpor=args.dpor,
+                          model=args.model or "orc11")
     wire = params.wire_json()
     wire["target_shards"] = args.target_shards
     return spec.to_json(), wire
@@ -500,8 +516,32 @@ def cmd_loc(_args) -> int:
     return 0
 
 
+def cmd_diffmodels(args) -> int:
+    """Differential memory-model lattice check (docs/memory_model.md)."""
+    import json
+    from .models import LATTICE
+    from .models import diff
+    report = diff.run_diff(models=LATTICE, fuzz_cases=args.fuzz_cases,
+                           seed=args.seed, emit=print)
+    for f in report.findings:
+        print(("FINDING " if f.fatal else "note    ") + f.line())
+        for outcome in f.delta:
+            print(f"    extra outcome: {outcome}")
+    chain = " <= ".join(m for m in report.models)
+    verdict = "hold" if report.ok else "VIOLATED"
+    print(f"diffmodels: {report.scenarios} scenarios x "
+          f"{len(report.models)} models; inclusions {verdict} ({chain})")
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json(), fh, sort_keys=True, indent=2)
+        print(f"diffmodels: report written to {args.report_json}")
+    # Exit honestly: a lattice delta is a model soundness bug.
+    return 0 if report.ok else 1
+
+
 COMMANDS = {
     "litmus": cmd_litmus,
+    "diffmodels": cmd_diffmodels,
     "mp": cmd_mp,
     "matrix": cmd_matrix,
     "client-logic": cmd_client_logic,
@@ -571,6 +611,12 @@ def main(argv=None) -> int:
                         help="sleep-set partial-order reduction for "
                              "exhaustive exploration (default: on; "
                              "--no-dpor for the naive enumeration)")
+    engine.add_argument("--model", default=None,
+                        choices=("sc", "tso", "ra", "orc11"),
+                        help="memory model to explore/replay under "
+                             "(docs/memory_model.md; default orc11; "
+                             "replay: verified against the model "
+                             "recorded in each corpus entry)")
     engine.add_argument("--max-retries", type=int, default=2,
                         metavar="N",
                         help="per-shard retry budget before the shard is "
@@ -697,6 +743,13 @@ def main(argv=None) -> int:
     fuzz.add_argument("--max-shrinks", type=int, default=25, metavar="N",
                       help="fuzz: failures shrunk and persisted per "
                            "campaign; the rest are counted (default 25)")
+    models = parser.add_argument_group(
+        "memory models (diffmodels — docs/memory_model.md; also "
+        "honours --seed; every exploration command honours --model)")
+    models.add_argument("--fuzz-cases", type=int, default=10, metavar="N",
+                        help="diffmodels: generated fuzz-grammar "
+                             "scenarios checked on top of the litmus "
+                             "catalogue (default 10; 0 disables)")
     args = parser.parse_args(argv)
     return COMMANDS[args.command](args)
 

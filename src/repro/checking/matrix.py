@@ -144,9 +144,11 @@ class MatrixReport:
 _MATRIX_WORKER: Dict = {}
 
 
-def _init_matrix_worker(impls: List[Implementation], runs: int) -> None:
+def _init_matrix_worker(impls: List[Implementation], runs: int,
+                        model: str = "orc11") -> None:
     _MATRIX_WORKER["impls"] = impls
     _MATRIX_WORKER["runs"] = runs
+    _MATRIX_WORKER["model"] = model
 
 
 def _run_matrix_cell(task: Tuple[int, int, int, int]) -> ScenarioReport:
@@ -155,7 +157,8 @@ def _run_matrix_cell(task: Tuple[int, int, int, int]) -> ScenarioReport:
     styles = QUEUE_STYLES if impl.kind == "queue" else STACK_STYLES
     return check_scenario(impl.scenario(threads, ops, seed), styles=styles,
                           exhaustive=False, runs=_MATRIX_WORKER["runs"],
-                          seed=seed * 977 + 13)
+                          seed=seed * 977 + 13,
+                          model=_MATRIX_WORKER.get("model", "orc11"))
 
 
 def run_matrix(
@@ -167,6 +170,7 @@ def run_matrix(
     workers: int = 1,
     progress: bool = False,
     dpor: Optional[bool] = None,
+    model: str = "orc11",
 ) -> MatrixReport:
     """Fill the matrix: random workloads + one exhaustive tiny workload.
 
@@ -178,7 +182,10 @@ def run_matrix(
 
     ``dpor`` threads the sleep-set reduction switch (`repro.rmc.dpor`)
     into the exhaustive passes (default: on); the randomized cells
-    ignore it.
+    ignore it.  ``model`` runs every cell under a memory model from
+    `repro.models` — each implementation × model pair is a fresh
+    workload cell (e.g. the broken all-relaxed queue passes under
+    ``model="sc"``).
     """
     impls = list(implementations) if implementations is not None \
         else default_implementations()
@@ -192,14 +199,14 @@ def run_matrix(
                      for (threads, ops, seed) in workloads)
 
     cell_reports: Dict[Tuple[int, int, int, int], ScenarioReport] = {}
-    _init_matrix_worker(impls, runs)
+    _init_matrix_worker(impls, runs, model)
     if workers > 1 and len(tasks) > 1 \
             and "fork" in multiprocessing.get_all_start_methods():
         ctx = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(max_workers=min(workers, len(tasks)),
                                  mp_context=ctx,
                                  initializer=_init_matrix_worker,
-                                 initargs=(impls, runs)) as pool:
+                                 initargs=(impls, runs, model)) as pool:
             futures = {pool.submit(_run_matrix_cell, t): t for t in tasks}
             for fut in as_completed(futures):
                 task = futures[fut]
@@ -232,7 +239,7 @@ def run_matrix(
             rep = check_scenario(scen, styles=styles, exhaustive=True,
                                  max_executions=4_000, max_steps=400,
                                  workers=workers, progress=progress,
-                                 dpor=dpor)
+                                 dpor=dpor, model=model)
             _merge(report.rows[impl.name], rep)
     return report
 

@@ -300,6 +300,7 @@ def check_scenario(
     max_rss_mb: Optional[float] = None,
     dpor: Optional[bool] = None,
     corpus_cap: Optional[int] = None,
+    model: str = "orc11",
 ) -> ScenarioReport:
     """Explore the scenario and check every complete execution.
 
@@ -330,6 +331,11 @@ def check_scenario(
     persists to ``corpus`` (``None`` keeps the engine default,
     `repro.engine.corpus.CORPUS_CAP`); it only matters when a corpus
     path is given.
+
+    ``model`` selects the memory model (`repro.models`) every execution
+    is interpreted under; it is part of the engine fingerprint and is
+    stamped into corpus entries, so checkpoints and counterexamples
+    never mix models.
     """
     budgets = (shard_seconds is not None or run_seconds is not None
                or max_rss_mb is not None)
@@ -344,13 +350,14 @@ def check_scenario(
                 source = explore_all_dpor(scenario.factory,
                                           max_steps=max_steps,
                                           max_executions=max_executions,
-                                          stats=dstats)
+                                          stats=dstats, model=model)
             else:
                 source = explore_all(scenario.factory, max_steps=max_steps,
-                                     max_executions=max_executions)
+                                     max_executions=max_executions,
+                                     model=model)
         else:
             source = explore_random(scenario.factory, runs=runs, seed=seed,
-                                    max_steps=max_steps)
+                                    max_steps=max_steps, model=model)
         for result in source:
             record_result(report, scenario, result, styles)
             if report.executions >= max_executions:
@@ -368,7 +375,8 @@ def check_scenario(
         checkpoint_path=checkpoint, corpus_path=corpus, progress=progress,
         max_retries=max_retries, retry_backoff=retry_backoff,
         start_method=start_method, shard_seconds=shard_seconds,
-        run_seconds=run_seconds, max_rss_mb=max_rss_mb, dpor=dpor)
+        run_seconds=run_seconds, max_rss_mb=max_rss_mb, dpor=dpor,
+        model=model)
     if corpus_cap is not None:
         params.corpus_cap = corpus_cap
     if shard_timeout is None or shard_timeout >= 0:

@@ -40,8 +40,9 @@ replay workflow, and ``docs/robustness.md`` for the failure model.
 from .budget import BudgetSpec, BudgetTracker, Coverage, rss_mb
 from .checkpoint import (CheckpointWriter, load_completed,
                          load_completed_ex, run_fingerprint)
-from .corpus import (CORPUS_CAP, CorpusEntry, CorpusSink, ReplayOutcome,
-                     append_entries, entry_hash, load_corpus, replay_entry)
+from .corpus import (CORPUS_CAP, CorpusEntry, CorpusSink, ModelMismatch,
+                     ReplayOutcome, append_entries, entry_hash, load_corpus,
+                     replay_entry)
 from .durable import LineDiagnostics, append_line, read_records
 from .faults import (CRASH_EXIT_CODE, FAULT_PLAN_ENV, Fault, FaultInjected,
                      FaultPlan, fault_point)
@@ -76,6 +77,7 @@ __all__ = [
     "run_fingerprint",
     "CorpusEntry", "CorpusSink", "ReplayOutcome", "CORPUS_CAP",
     "append_entries", "entry_hash", "load_corpus", "replay_entry",
+    "ModelMismatch",
     "LineDiagnostics", "append_line", "read_records",
     "Fault", "FaultPlan", "FaultInjected", "fault_point",
     "FAULT_PLAN_ENV", "CRASH_EXIT_CODE",

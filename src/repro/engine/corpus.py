@@ -10,7 +10,14 @@ one JSON line::
      "style": "LAT_HB_ABS" | null,
      "trace": [[arity, chosen], ...],
      "violation": "<human-readable message>",
-     "max_steps": 20000}
+     "max_steps": 20000,
+     "model": "orc11"}
+
+``model`` is the memory-model id (`repro.models`) the failing execution
+was found under.  A decision trace indexes into model-dependent choice
+sets, so replaying it under a different model is meaningless — replay
+runs under the recorded model and *refuses* an explicit conflicting
+``--model`` (exit 2 at the CLI; :class:`ModelMismatch` in-process).
 
 ``scenario`` is a `repro.engine.registry.ScenarioSpec`; with it the
 entry is self-contained — any process, any day, can rebuild the program
@@ -57,6 +64,8 @@ class CorpusEntry:
     scenario_name: str = ""
     spec: Optional[ScenarioSpec] = None
     max_steps: int = 20_000
+    #: Memory-model id the trace was recorded under (`repro.models`).
+    model: str = "orc11"
 
     def to_json(self):
         return {
@@ -67,6 +76,7 @@ class CorpusEntry:
             "trace": [[int(a), int(c)] for a, c in self.trace],
             "violation": self.violation,
             "max_steps": self.max_steps,
+            "model": self.model,
         }
 
     @staticmethod
@@ -79,7 +89,8 @@ class CorpusEntry:
             scenario_name=data.get("scenario_name", ""),
             spec=ScenarioSpec.from_json(data["scenario"])
             if data.get("scenario") else None,
-            max_steps=data.get("max_steps", 20_000))
+            max_steps=data.get("max_steps", 20_000),
+            model=data.get("model", "orc11"))
 
 
 class CorpusSink:
@@ -91,11 +102,13 @@ class CorpusSink:
     """
 
     def __init__(self, scenario_name: str, spec: Optional[ScenarioSpec],
-                 max_steps: int, cap: int = CORPUS_CAP):
+                 max_steps: int, cap: int = CORPUS_CAP,
+                 model: str = "orc11"):
         self.scenario_name = scenario_name
         self.spec = spec
         self.max_steps = max_steps
         self.cap = cap
+        self.model = model
         self.entries: List[CorpusEntry] = []
         self.dropped = 0
 
@@ -107,7 +120,7 @@ class CorpusSink:
         self.entries.append(CorpusEntry(
             kind=kind, trace=list(trace), violation=violation, style=style,
             scenario_name=self.scenario_name, spec=self.spec,
-            max_steps=self.max_steps))
+            max_steps=self.max_steps, model=self.model))
 
 
 def entry_hash(payload) -> str:
@@ -204,8 +217,25 @@ class ReplayOutcome:
     messages: List[str] = field(default_factory=list)
 
 
+class ModelMismatch(RuntimeError):
+    """A corpus entry was asked to replay under a different memory model.
+
+    Decision traces index into model-dependent choice sets; replaying
+    under the wrong model would silently produce garbage, so it is an
+    error instead (the CLI maps it to a one-line message and exit 2).
+    """
+
+    def __init__(self, entry_model: str, requested: str):
+        super().__init__(
+            f"corpus entry was recorded under model {entry_model!r}; "
+            f"refusing replay under {requested!r}")
+        self.entry_model = entry_model
+        self.requested = requested
+
+
 def replay_entry(entry: CorpusEntry,
-                 scenario: Optional[Scenario] = None) -> ReplayOutcome:
+                 scenario: Optional[Scenario] = None,
+                 model: Optional[str] = None) -> ReplayOutcome:
     """Re-execute a corpus entry's decision trace and re-run its check.
 
     The scenario is rebuilt from the entry's spec unless one is passed
@@ -213,7 +243,13 @@ def replay_entry(entry: CorpusEntry,
     failure on the replayed execution — the race fires again, the outcome
     check raises again, or some extracted graph fails the recorded style
     again.
+
+    Replay always runs under the model recorded in the entry; passing an
+    explicit conflicting ``model`` raises :class:`ModelMismatch` rather
+    than replaying a trace against semantics it was not recorded under.
     """
+    if model is not None and model != entry.model:
+        raise ModelMismatch(entry.model, model)
     if scenario is None:
         if entry.spec is None:
             return ReplayOutcome(entry, False,
@@ -221,7 +257,8 @@ def replay_entry(entry: CorpusEntry,
                                  "scenario explicitly")
         scenario = build_scenario(entry.spec)
     result = scenario.factory().run(FixedDecider(entry.trace),
-                                    max_steps=entry.max_steps)
+                                    max_steps=entry.max_steps,
+                                    model=entry.model)
     if entry.kind == "race":
         ok = result.race is not None
         return ReplayOutcome(entry, ok,

@@ -115,6 +115,11 @@ class EngineParams:
     #: Sleep-set partial-order reduction (`repro.rmc.dpor`).  None
     #: resolves to "on in exhaustive mode"; randomized mode ignores it.
     dpor: Optional[bool] = None
+    #: Memory model id (`repro.models`): the semantics every execution
+    #: of this run is interpreted under.  Part of the fingerprint —
+    #: outcome sets differ across models, so checkpoints and corpus
+    #: records must never mix models.
+    model: str = "orc11"
 
     def dpor_on(self) -> bool:
         """The resolved DPOR switch: defaults to on for exhaustive mode."""
@@ -136,6 +141,7 @@ class EngineParams:
             "max_steps": self.max_steps,
             "max_executions": self.max_executions,
             "dpor": self.dpor_on(),
+            "model": self.model,
         }
 
     def budget_spec(self, deadline: Optional[float]) -> BudgetSpec:
@@ -163,6 +169,7 @@ class EngineParams:
             exhaustive=data["exhaustive"], runs=data["runs"],
             seed=data["seed"], max_steps=data["max_steps"],
             max_executions=data["max_executions"], dpor=data["dpor"],
+            model=data.get("model", "orc11"),
             corpus_cap=data.get("corpus_cap", CORPUS_CAP),
             heartbeat_interval=data.get("heartbeat_interval", 0.25))
 
@@ -198,7 +205,7 @@ def _explore_shard(scenario: Scenario, spec: Optional[ScenarioSpec],
     report = ScenarioReport(scenario=scenario.name)
     report.styles = {s: StyleTally() for s in params.styles}
     sink = CorpusSink(scenario.name, spec, params.max_steps,
-                      cap=params.corpus_cap)
+                      cap=params.corpus_cap, model=params.model)
     budget = BudgetTracker(params.budget_spec(deadline))
     if beat is not None:
         beat.beat(shard_id, 0, force=True)
@@ -206,7 +213,8 @@ def _explore_shard(scenario: Scenario, spec: Optional[ScenarioSpec],
     dstats = DporStats()
     for result in iter_shard(scenario.factory, shard, params.max_steps,
                              params.max_executions,
-                             dpor=params.dpor_on(), stats=dstats):
+                             dpor=params.dpor_on(), stats=dstats,
+                             model=params.model):
         fault_point("worker.explore", shard=shard_id, attempt=attempt,
                     execs=report.executions + 1)
         record_result(report, scenario, result, params.styles, sink)
@@ -296,7 +304,7 @@ def plan_shards_ex(scenario: Scenario,
     if params.exhaustive:
         if target == 1:
             return [Shard(kind="prefix")], 0
-        kwargs = {}
+        kwargs = {"model": params.model}
         if params.split_depth is not None:
             kwargs["max_split_depth"] = params.split_depth
         if params.dpor_on():

@@ -90,6 +90,7 @@ def plan_exhaustive_shards(
     max_steps: int,
     max_split_depth: int = 12,
     probe_cap: int = PROBE_CAP,
+    model=None,
 ) -> List[Shard]:
     """Split the decision tree into >= ``target`` disjoint subtrees
     (when the tree is big enough), by breadth-first prefix expansion.
@@ -108,7 +109,7 @@ def plan_exhaustive_shards(
             done.append(prefix)
             continue
         decider = PrefixDecider(prefix)
-        factory().run(decider, max_steps=max_steps)
+        factory().run(decider, max_steps=max_steps, model=model)
         probes += 1
         trace = decider.trace
         branch = next((i for i in range(len(prefix), len(trace))
@@ -130,6 +131,7 @@ def plan_exhaustive_shards_dpor(
     max_steps: int,
     max_split_depth: int = 12,
     probe_cap: int = PROBE_CAP,
+    model=None,
 ) -> Tuple[List[Shard], int]:
     """DPOR-aware counterpart of :func:`plan_exhaustive_shards`.
 
@@ -163,7 +165,7 @@ def plan_exhaustive_shards_dpor(
                                   entry_sleep={fp.thread: fp
                                                for fp in sleep})
         try:
-            factory().run(decider, max_steps=max_steps)
+            factory().run(decider, max_steps=max_steps, model=model)
         except SleepSetCut:
             pass  # the whole residue is redundant; the shard recounts it
         probes += 1
@@ -243,6 +245,7 @@ def iter_shard(
     max_executions: int,
     dpor: bool = False,
     stats: Optional[DporStats] = None,
+    model=None,
 ) -> Iterator[ExecutionResult]:
     """Enumerate one shard's executions (the single-worker core loops).
 
@@ -255,11 +258,12 @@ def iter_shard(
             yield from explore_all_dpor(factory, max_steps=max_steps,
                                         max_executions=max_executions,
                                         prefix=shard.prefix,
-                                        sleep=shard.sleep, stats=stats)
+                                        sleep=shard.sleep, stats=stats,
+                                        model=model)
         else:
             yield from explore_all(factory, max_steps=max_steps,
                                    max_executions=max_executions,
-                                   prefix=shard.prefix)
+                                   prefix=shard.prefix, model=model)
     else:
         yield from explore_random(factory, runs=shard.runs, seed=shard.seed,
-                                  max_steps=max_steps)
+                                  max_steps=max_steps, model=model)

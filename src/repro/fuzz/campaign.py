@@ -90,6 +90,9 @@ class FuzzParams:
     #: accounting: the overflow is counted, never silently dropped).
     max_shrinks: int = 25
     progress: bool = False
+    #: Memory model id (`repro.models`) every case explores under;
+    #: stamped into persisted counterexample entries.
+    model: str = "orc11"
 
 
 @dataclass
@@ -205,11 +208,13 @@ def run_case(params: FuzzParams, index: int) -> CaseOutcome:
     if params.exhaustive:
         source = explore_all_dpor(scenario.factory,
                                   max_steps=params.max_steps,
-                                  max_executions=params.max_case_executions)
+                                  max_executions=params.max_case_executions,
+                                  model=params.model)
     else:
         source = explore_random(scenario.factory, runs=params.per_case,
                                 seed=case_explore_seed(params.seed, index),
-                                max_steps=params.max_steps)
+                                max_steps=params.max_steps,
+                                model=params.model)
     seen: set = set()
     for result in source:
         outcome.executions += 1
@@ -252,7 +257,7 @@ def _shrink_failure(params: FuzzParams, case: CaseOutcome,
         max_steps=params.max_steps,
         exhaustive=params.exhaustive,
         max_executions=params.max_case_executions,
-        want=failure.key)
+        want=failure.key, model=params.model)
     return shrink(case.program, oracle, max_attempts=params.shrink_budget)
 
 
@@ -357,7 +362,7 @@ def _consume_case(params: FuzzParams, report: CampaignReport,
             scenario_name=f"fuzz[{shrunk.digest()}]",
             spec=ScenarioSpec("fuzz-case",
                               kwargs={"program": shrunk.to_json()}),
-            max_steps=params.max_steps))
+            max_steps=params.max_steps, model=params.model))
         if emit is not None:
             emit(f"[fuzz] case {case.index} {verified.kind}"
                  + (f" {verified.style}" if verified.style else "")

@@ -88,7 +88,8 @@ def failure_of(scenario, result: ExecutionResult,
 def exploration_oracle(runs: int, seed: int, max_steps: int,
                        exhaustive: bool = False,
                        max_executions: int = 400,
-                       want: Optional[FailureKey] = None
+                       want: Optional[FailureKey] = None,
+                       model=None,
                        ) -> Callable[[FuzzProgram], Optional[Failure]]:
     """An oracle that re-explores a candidate and reports the first
     matching failure (or ``None``).  Deterministic for fixed arguments:
@@ -101,10 +102,10 @@ def exploration_oracle(runs: int, seed: int, max_steps: int,
         scenario = scenario_for(fp)
         if exhaustive:
             source = explore_all(scenario.factory, max_steps=max_steps,
-                                 max_executions=max_executions)
+                                 max_executions=max_executions, model=model)
         else:
             source = explore_random(scenario.factory, runs=runs, seed=seed,
-                                    max_steps=max_steps)
+                                    max_steps=max_steps, model=model)
         for result in source:
             failure = failure_of(scenario, result, want)
             if failure is not None:

@@ -1,0 +1,49 @@
+"""Pluggable memory models: the machine's semantics as a lattice.
+
+`repro.models.base` defines the :class:`MemoryModel` hook interface the
+machine (`repro.rmc.machine`) dispatches through, plus the registry.
+Four instances ship, strongest first:
+
+========  ==========================================================
+``sc``    every atomic executes seq-cst (no stale reads)
+``tso``   x86-TSO: store buffering only, multi-copy-atomic stores
+``ra``    release/acquire floor on every atomic access
+``orc11`` the default: relaxed/acquire/release/seq-cst as annotated
+========  ==========================================================
+
+Their outcome sets are asserted to satisfy SC ⊆ TSO ⊆ RA ⊆ ORC11 by the
+differential driver in `repro.models.diff` (``python -m repro
+diffmodels``).  ``diff`` is intentionally *not* imported here: it pulls
+in the litmus catalogue and the fuzz grammar, which import the rmc
+package — importing it at package level would cycle.
+"""
+
+from .base import (
+    DEFAULT_MODEL,
+    LATTICE,
+    MemoryModel,
+    get_model,
+    model_ids,
+    register_model,
+)
+from .orc11 import ORC11, Orc11Model
+from .ra import RA, RaModel
+from .sc import SC_MODEL, ScModel
+from .tso import TSO, TsoModel
+
+__all__ = [
+    "DEFAULT_MODEL",
+    "LATTICE",
+    "MemoryModel",
+    "get_model",
+    "model_ids",
+    "register_model",
+    "ORC11",
+    "Orc11Model",
+    "RA",
+    "RaModel",
+    "SC_MODEL",
+    "ScModel",
+    "TSO",
+    "TsoModel",
+]

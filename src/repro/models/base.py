@@ -1,0 +1,219 @@
+"""The `MemoryModel` interface: the machine's semantics as a parameter.
+
+Compass's whole point is that *specifications* form a lattice of
+strength; this package gives the machine-level half of that lattice an
+executable home.  Historically the machine (`repro.rmc.machine`)
+hard-coded one ORC11-style semantics inline; every point where model
+choices actually live is now a hook on :class:`MemoryModel`:
+
+* **mode strengthening** (`read_mode`/`write_mode`/`rmw_mode`/
+  `fail_mode`/`fence_mode`) — a model may execute an access at a
+  stronger mode than annotated (the SC model runs everything seq-cst,
+  RA-only promotes relaxed accesses to release/acquire);
+* **read visibility** (`read_choices`) — which messages a read may
+  return (the coherence predicate, plus any global-order coupling);
+* **view acquisition** (`absorb_read`/`absorb_rmw_read`) — what joins
+  into the reader's view after a read;
+* **message-view construction** (`released_view`) — the view sealed
+  into a new message, per write mode;
+* **SC-access handling** (`pre_access`/`post_access`) — synchronization
+  through global views around an access;
+* **fence rules** (`fence`);
+* **scheduler coupling** (`footprint_sc`) — which operations the DPOR
+  layer must treat as globally dependent under this model.
+
+The base class implements the ORC11 default *exactly* as the machine
+always did, so ``model="orc11"`` is byte-for-byte the pre-refactor
+behaviour (the equivalence suite pins this).  Instances register here
+by id; the ids form the strength lattice
+
+    sc  ⊑  tso  ⊑  ra  ⊑  orc11        (stronger ⊑ weaker)
+
+whose outcome-set inclusions are executable assertions in
+`repro.models.diff` (``python -m repro diffmodels``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..rmc.message import Message
+from ..rmc.modes import Mode
+from ..rmc.view import View
+
+
+class MemoryModel:
+    """One memory model: every point of the step rules that can vary.
+
+    The base implementation *is* the ORC11 default.  Subclasses
+    override only what differs; everything they leave alone stays
+    provably identical to the default machine.
+    """
+
+    #: Stable identity, stamped into fingerprints and corpus records.
+    id: str = "orc11"
+    #: One-line human description for reports and ``--help``.
+    name: str = "ORC11 default (relaxed/acquire/release/seq-cst views)"
+
+    # ------------------------------------------------------------------
+    # Mode strengthening (identity for ORC11)
+    # ------------------------------------------------------------------
+    def read_mode(self, mode: Mode) -> Mode:
+        """The mode a plain load actually executes at."""
+        return mode
+
+    def write_mode(self, mode: Mode) -> Mode:
+        """The mode a plain store actually executes at."""
+        return mode
+
+    def rmw_mode(self, mode: Mode) -> Mode:
+        """The mode an RMW (CAS/FAA/XCHG) actually executes at."""
+        return mode
+
+    def fail_mode(self, mode: Mode) -> Mode:
+        """The mode a failed CAS's read actually executes at."""
+        return mode
+
+    def fence_mode(self, mode: Mode) -> Mode:
+        """The mode a fence actually executes at."""
+        return mode
+
+    # ------------------------------------------------------------------
+    # SC-access handling
+    # ------------------------------------------------------------------
+    def pre_access(self, memory, th, mode: Mode) -> None:
+        """Synchronize *into* the thread before an access commits."""
+        if mode is Mode.SC:
+            th.view = th.view.join(memory.sc_view)
+
+    def post_access(self, memory, th, mode: Mode) -> None:
+        """Publish *out of* the thread after an access committed."""
+        if mode is Mode.SC:
+            memory.sc_view = memory.sc_view.join(th.view)
+
+    # ------------------------------------------------------------------
+    # Read visibility and view acquisition
+    # ------------------------------------------------------------------
+    def read_choices(self, memory, th, loc: int,
+                     mode: Mode) -> List[Message]:
+        """The messages a read at ``mode`` may return (never empty)."""
+        if mode is Mode.SC:
+            return [memory.latest(loc)]
+        return memory.visible(loc, th.view)
+
+    def absorb_read(self, memory, th, msg: Message, mode: Mode) -> None:
+        """Fold a read message into the reader's views."""
+        th.view = th.view.extend(msg.loc, msg.ts)
+        if mode.is_acquire:
+            th.view = th.view.join(msg.view)
+        elif mode is Mode.RLX:
+            # Claimable later by an acquire fence (paper Section 5.2).
+            th.acq_cache = th.acq_cache.join(msg.view)
+
+    def absorb_rmw_read(self, memory, th, msg: Message, mode: Mode) -> None:
+        """The read side of a successful RMW (the message view is always
+        at least cached: release sequences continue through RMWs)."""
+        th.view = th.view.extend(msg.loc, msg.ts)
+        if mode.is_acquire:
+            th.view = th.view.join(msg.view)
+        else:
+            th.acq_cache = th.acq_cache.join(msg.view)
+
+    # ------------------------------------------------------------------
+    # Message-view construction
+    # ------------------------------------------------------------------
+    def released_view(self, memory, th, loc: int, ts: int, mode: Mode,
+                      carried: Optional[View]) -> View:
+        """The view sealed into a new message, per write mode.
+
+        ``carried`` is the read message's view for RMWs: release
+        sequences continue through RMW chains, so an acquirer of the new
+        message also synchronizes with the original release write.
+        """
+        if mode is Mode.NA:
+            base = View({loc: ts})
+        elif mode.is_release:
+            base = th.view
+        else:  # relaxed write: releases only the release-fence frontier
+            base = th.rel_view.extend(loc, ts)
+        if carried is not None:
+            base = base.join(carried)
+        return base.extend(loc, ts)
+
+    # ------------------------------------------------------------------
+    # Fences
+    # ------------------------------------------------------------------
+    def fence(self, memory, th, mode: Mode) -> None:
+        if mode.is_acquire or mode is Mode.ACQ:
+            th.view = th.view.join(th.acq_cache)
+        if mode is Mode.SC:
+            th.view = th.view.join(memory.sc_view)
+            memory.sc_view = memory.sc_view.join(th.view)
+        if mode.is_release or mode is Mode.REL:
+            th.rel_view = th.view
+
+    # ------------------------------------------------------------------
+    # Scheduler coupling (the DPOR interface)
+    # ------------------------------------------------------------------
+    def footprint_sc(self, kind: str, mode: Optional[Mode]) -> bool:
+        """Is this operation coupled through a *global* view under this
+        model?  The DPOR layer treats two such operations as dependent
+        regardless of location (`repro.rmc.dpor.independent`).
+
+        ``kind`` is the footprint kind (``"read"``/``"write"``/
+        ``"rmw"``/``"fence"``); ``mode`` is the mode the operation
+        actually executes at (after strengthening).
+        """
+        return mode is Mode.SC
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MemoryModel {self.id}>"
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+#: The default model: what the machine always was.
+DEFAULT_MODEL = "orc11"
+
+#: Model ids ordered strongest first; ``LATTICE[i]``'s outcome sets are
+#: asserted to be included in ``LATTICE[i+1]``'s by the differential
+#: driver (`repro.models.diff`).
+LATTICE = ("sc", "tso", "ra", "orc11")
+
+_MODELS: Dict[str, MemoryModel] = {}
+
+
+def register_model(model: MemoryModel) -> MemoryModel:
+    """Register a model instance under its ``id`` (idempotent)."""
+    existing = _MODELS.get(model.id)
+    if existing is not None and type(existing) is not type(model):
+        raise ValueError(f"memory model {model.id!r} already registered")
+    _MODELS[model.id] = model
+    return model
+
+
+def model_ids() -> tuple:
+    """Registered model ids, strongest first (lattice order, then any
+    extras alphabetically)."""
+    extras = sorted(set(_MODELS) - set(LATTICE))
+    return tuple(m for m in LATTICE if m in _MODELS) + tuple(extras)
+
+
+def get_model(model: Union[str, MemoryModel, None]) -> MemoryModel:
+    """Resolve a model argument: an id, an instance, or None (default).
+
+    Models are stateless singletons, so resolving by id is free and the
+    returned instance is safely shared across machines and processes.
+    """
+    if model is None:
+        model = DEFAULT_MODEL
+    if isinstance(model, MemoryModel):
+        return model
+    try:
+        return _MODELS[model]
+    except KeyError:
+        raise KeyError(
+            f"unknown memory model {model!r}; registered: "
+            f"{', '.join(model_ids()) or '(none)'}") from None

@@ -1,0 +1,280 @@
+"""The differential lattice checker: ``python -m repro diffmodels``.
+
+Compass's spec lattice has a machine-level shadow: a *stronger* memory
+model allows *fewer* behaviours.  For the four shipped models that is
+the outcome-set inclusion chain
+
+    outcomes(sc) ⊆ outcomes(tso) ⊆ outcomes(ra) ⊆ outcomes(orc11)
+
+on every race-free program.  This module makes the chain an executable
+check: it enumerates each scenario under every model (sleep-set DPOR,
+`repro.rmc.dpor`), collects per-model *profiles* (outcome set, race
+count, exhaustion), and compares adjacent lattice neighbours.  Any
+delta comes back as a structured :class:`Finding`:
+
+``inclusion-violation``
+    the stronger model produced an outcome the weaker one cannot — a
+    soundness bug in one of the two models.  Only asserted when the
+    weaker profile is *exhausted* (otherwise the weaker set undercounts
+    and the delta could be an enumeration artifact) and race-free
+    (a racy program is UB under the weaker model: its behaviour set is
+    ⊤ and the inclusion holds trivially).
+``race-regression``
+    the stronger model races where the weaker one does not.
+    Strengthening only ever *adds* happens-before edges, and more hb
+    means fewer races — a race that appears under the stronger model is
+    anomalous.
+``not-exhausted``
+    informational: an enumeration hit its execution cap, so the
+    inclusion for that pair was profiled but not asserted.
+
+Scenario sources: the full litmus catalogue (`repro.rmc.litmus`) plus,
+optionally, deterministic fuzz-grammar programs (`repro.fuzz`) — the
+same generator the fuzz campaign uses, so the lattice check covers
+library-shaped programs too, not just hand-written litmus shapes.
+
+This module is deliberately *not* imported from ``repro.models``'s
+package ``__init__``: it imports the litmus catalogue and the fuzz
+grammar, which import the rmc package — CLI and tests import it
+directly (``from repro.models import diff``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..rmc.dpor import explore_all_dpor
+from ..rmc.litmus import CATALOGUE
+from .base import LATTICE, get_model
+
+
+@dataclass
+class ModelProfile:
+    """What one model's enumeration of one scenario produced."""
+
+    model: str
+    outcomes: FrozenSet[Tuple]
+    raced: int = 0
+    truncated: int = 0
+    executions: int = 0
+    exhausted: bool = True
+
+    def to_json(self) -> Dict:
+        return {"model": self.model,
+                "outcomes": sorted(repr(o) for o in self.outcomes),
+                "raced": self.raced, "truncated": self.truncated,
+                "executions": self.executions, "exhausted": self.exhausted}
+
+
+@dataclass
+class Finding:
+    """One structured delta between adjacent lattice models."""
+
+    kind: str  # "inclusion-violation" | "race-regression" | "not-exhausted"
+    scenario: str
+    stronger: str
+    weaker: str
+    detail: str
+    #: For inclusion violations: the offending outcome tuples (repr'd).
+    delta: List[str] = field(default_factory=list)
+
+    @property
+    def fatal(self) -> bool:
+        """Does this finding fail the lattice check?"""
+        return self.kind in ("inclusion-violation", "race-regression")
+
+    def to_json(self) -> Dict:
+        return {"kind": self.kind, "scenario": self.scenario,
+                "stronger": self.stronger, "weaker": self.weaker,
+                "detail": self.detail, "delta": list(self.delta)}
+
+    def line(self) -> str:
+        return (f"[{self.kind}] {self.scenario}: "
+                f"{self.stronger} vs {self.weaker}: {self.detail}")
+
+
+@dataclass
+class DiffReport:
+    """The whole differential run: profiles plus findings."""
+
+    models: Tuple[str, ...]
+    scenarios: int = 0
+    #: scenario name -> model id -> profile, in run order.
+    profiles: Dict[str, Dict[str, ModelProfile]] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Every asserted inclusion held (informational findings pass)."""
+        return not any(f.fatal for f in self.findings)
+
+    def to_json(self) -> Dict:
+        return {
+            "models": list(self.models),
+            "scenarios": self.scenarios,
+            "ok": self.ok,
+            "profiles": {name: {m: p.to_json() for m, p in per.items()}
+                         for name, per in self.profiles.items()},
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+
+def _freeze(value):
+    """Recursively hashable image of one thread's return value (fuzz
+    program threads return lists of per-op results)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return value
+
+
+def profile_model(factory, model, max_steps: int = 2_000,
+                  max_executions: int = 200_000) -> ModelProfile:
+    """Enumerate one scenario under one model (sleep-set DPOR)."""
+    mid = get_model(model).id
+    seen = set()
+    raced = truncated = executions = 0
+    source = explore_all_dpor(factory, max_steps=max_steps,
+                              max_executions=max_executions, model=mid)
+    for result in source:
+        executions += 1
+        if result.race is not None:
+            raced += 1
+        elif result.truncated:
+            truncated += 1
+        else:
+            seen.add(tuple(_freeze(result.returns[tid])
+                           for tid in sorted(result.returns)))
+    return ModelProfile(model=mid, outcomes=frozenset(seen), raced=raced,
+                        truncated=truncated, executions=executions,
+                        exhausted=executions < max_executions)
+
+
+def compare_adjacent(scenario: str, stronger: ModelProfile,
+                     weaker: ModelProfile) -> List[Finding]:
+    """Check one adjacent lattice pair's inclusion on one scenario."""
+    findings: List[Finding] = []
+    if stronger.raced and not weaker.raced:
+        findings.append(Finding(
+            kind="race-regression", scenario=scenario,
+            stronger=stronger.model, weaker=weaker.model,
+            detail=(f"{stronger.model} raced {stronger.raced} time(s) but "
+                    f"{weaker.model} is race-free — strengthening must not "
+                    f"introduce races")))
+    if weaker.raced:
+        # UB under the weaker model: its behaviour set is ⊤, the
+        # inclusion holds trivially; nothing to assert.
+        return findings
+    if not weaker.exhausted:
+        findings.append(Finding(
+            kind="not-exhausted", scenario=scenario,
+            stronger=stronger.model, weaker=weaker.model,
+            detail=(f"{weaker.model} enumeration hit its execution cap "
+                    f"({weaker.executions}); inclusion profiled, not "
+                    f"asserted")))
+        return findings
+    delta = stronger.outcomes - weaker.outcomes
+    if delta:
+        findings.append(Finding(
+            kind="inclusion-violation", scenario=scenario,
+            stronger=stronger.model, weaker=weaker.model,
+            detail=(f"{len(delta)} outcome(s) allowed under "
+                    f"{stronger.model} but not under {weaker.model}"),
+            delta=sorted(repr(o) for o in delta)))
+    return findings
+
+
+def diff_scenario(name: str, factory, models: Sequence[str] = LATTICE,
+                  max_steps: int = 2_000,
+                  max_executions: int = 200_000
+                  ) -> Tuple[Dict[str, ModelProfile], List[Finding]]:
+    """Profile one scenario under every model and compare neighbours."""
+    profiles = {m: profile_model(factory, m, max_steps=max_steps,
+                                 max_executions=max_executions)
+                for m in models}
+    findings: List[Finding] = []
+    for stronger, weaker in zip(models, models[1:]):
+        findings.extend(
+            compare_adjacent(name, profiles[stronger], profiles[weaker]))
+    return profiles, findings
+
+
+def _exhausts(factory, model, cap: int) -> bool:
+    """Does the scenario enumerate to completion within ``cap``?"""
+    n = 0
+    for _ in explore_all_dpor(factory, max_steps=2_000,
+                              max_executions=cap, model=model):
+        n += 1
+    return n < cap
+
+
+def fuzz_scenarios(cases: int, seed: int,
+                   probe_executions: int = 600
+                   ) -> Tuple[List[Tuple[str, Callable]], int]:
+    """Deterministic fuzz-grammar scenarios for the differential run.
+
+    Returns ``(scenarios, skipped)``.  Broken libraries are excluded
+    (they race by design, which the UB rule would just skip) and the
+    generator bounds are kept small — but small bounds alone do not keep
+    the enumeration small: a minority of generated programs still blow
+    up past any practical execution budget, and a non-exhausted profile
+    cannot have its inclusion *asserted*.  Each candidate is therefore
+    probed under the lattice endpoints (``sc`` enumerates the most —
+    strengthening defeats DPOR pruning — and ``orc11`` has the widest
+    read nondeterminism); candidates that fail to exhaust within
+    ``probe_executions`` are skipped and counted, never silently mixed
+    in as vacuous checks.  Selection is a pure function of ``seed``.
+    """
+    from ..fuzz import GrammarConfig, generate_program, scenario_for
+    config = GrammarConfig(max_threads=2, max_ops=2, max_libs=1,
+                           include_broken=False)
+    out: List[Tuple[str, Callable]] = []
+    seen_digests = set()
+    skipped = 0
+    index = 0
+    while len(out) < cases and index < 6 * cases:
+        fp = generate_program(seed, index, config)
+        index += 1
+        if fp.op_count() == 0 or fp.digest() in seen_digests:
+            continue
+        seen_digests.add(fp.digest())
+        scenario = scenario_for(fp)
+        if not all(_exhausts(scenario.factory, m, probe_executions)
+                   for m in ("sc", "orc11")):
+            skipped += 1
+            continue
+        out.append((f"fuzz[{fp.digest()}]", scenario.factory))
+    return out, skipped
+
+
+def run_diff(models: Sequence[str] = LATTICE,
+             fuzz_cases: int = 0, seed: int = 0,
+             max_steps: int = 2_000, max_executions: int = 200_000,
+             emit: Optional[Callable[[str], None]] = None) -> DiffReport:
+    """Run the litmus catalogue (plus optional fuzzed scenarios) across
+    ``models`` and collect every lattice finding."""
+    models = tuple(get_model(m).id for m in models)
+    report = DiffReport(models=models)
+    scenarios: List[Tuple[str, Callable]] = list(CATALOGUE.items())
+    if fuzz_cases:
+        fuzzed, skipped = fuzz_scenarios(fuzz_cases, seed)
+        scenarios.extend(fuzzed)
+        if emit is not None and skipped:
+            emit(f"[diffmodels] skipped {skipped} fuzz candidate(s) whose "
+                 f"enumeration would not exhaust (inclusion unassertable)")
+    for name, factory in scenarios:
+        profiles, findings = diff_scenario(
+            name, factory, models=models, max_steps=max_steps,
+            max_executions=max_executions)
+        report.scenarios += 1
+        report.profiles[name] = profiles
+        report.findings.extend(findings)
+        if emit is not None:
+            counts = " ".join(f"{m}={len(profiles[m].outcomes)}"
+                              for m in models)
+            status = "" if not findings else \
+                " " + ",".join(f.kind for f in findings)
+            emit(f"[diffmodels] {name}: {counts}{status}")
+    return report

@@ -1,0 +1,22 @@
+"""The ORC11 default model: the machine's historical semantics, named.
+
+Every hook is inherited from :class:`repro.models.base.MemoryModel`
+unchanged — the base class *is* the ORC11 step-rule set, kept there so
+that the default model is provably the identity refactor (the
+equivalence suite pins ``model="orc11"`` byte-for-byte against the
+pre-refactor reports).
+"""
+
+from __future__ import annotations
+
+from .base import MemoryModel, register_model
+
+
+class Orc11Model(MemoryModel):
+    """ORC11: relaxed/acquire/release/seq-cst exactly as annotated."""
+
+    id = "orc11"
+    name = "ORC11 default (relaxed/acquire/release/seq-cst views)"
+
+
+ORC11 = register_model(Orc11Model())

@@ -1,0 +1,43 @@
+"""The RA-only model: relaxed accesses are promoted to release/acquire.
+
+The strength Compass's C11 fragment calls "SC ⊐ RA ⊐ weaker" in the
+middle: every atomic read acquires, every atomic write releases, every
+RMW is acq-rel.  Annotated seq-cst stays seq-cst (RA is a floor, not a
+ceiling), fences are untouched (fence modes are already release/acquire
+or stronger), and non-atomics stay non-atomic.
+
+What this changes, observably: MP through relaxed accesses becomes
+forbidden (the promoted pair synchronizes), while SB stays weak (release
+writes and acquire reads do not order different locations) and IRIW
+readers may still disagree (views are not multi-copy atomic) — the two
+behaviours that separate RA from TSO below it and ORC11 above it.
+"""
+
+from __future__ import annotations
+
+from ..rmc.modes import Mode
+from .base import MemoryModel, register_model
+
+
+class RaModel(MemoryModel):
+    """Release/acquire floor on every atomic access."""
+
+    id = "ra"
+    name = "release/acquire only (relaxed atomics promoted)"
+
+    def read_mode(self, mode: Mode) -> Mode:
+        return Mode.ACQ if mode is Mode.RLX else mode
+
+    def write_mode(self, mode: Mode) -> Mode:
+        return Mode.REL if mode is Mode.RLX else mode
+
+    def rmw_mode(self, mode: Mode) -> Mode:
+        if mode in (Mode.RLX, Mode.ACQ, Mode.REL, Mode.ACQ_REL):
+            return Mode.ACQ_REL
+        return mode
+
+    def fail_mode(self, mode: Mode) -> Mode:
+        return Mode.ACQ if mode is Mode.RLX else mode
+
+
+RA = register_model(RaModel())

@@ -1,0 +1,93 @@
+"""The TSO model: total store order in a view-machine presentation.
+
+x86-TSO sits strictly between SC and RA: stores may be delayed past
+later loads of *other* locations (store buffering — SB's 0/0 outcome is
+allowed), but the store subsystem is **multi-copy atomic**: once any
+other thread has observed a store, every thread has (IRIW's split
+verdict is forbidden), and message passing needs no annotations (MP
+through relaxed accesses is forbidden).
+
+The encoding reuses the machine's global SC view ``memory.sc_view`` as
+the *flush frontier* G:
+
+* every atomic read executes at least acquire and is restricted to
+  messages with ``ts >= max(view[loc], G[loc])`` — nobody may read
+  older than what the world has collectively observed;
+* a read of a **foreign** message (written by another thread) models
+  that store having left its buffer: the message's location/timestamp
+  and sealed view are published into G, so no thread can subsequently
+  read anything older.  Reading one's *own* buffered store does NOT
+  publish — that is precisely the store-forwarding hole that makes SB's
+  weak outcome reachable under TSO;
+* every atomic write executes at least release (TSO never reorders
+  stores, and loads never pass earlier loads), so the sealed message
+  view carries full program-order history;
+* RMWs and fences flush the buffer: they execute seq-cst.
+
+Because atomic reads *mutate* G, two reads of different locations no
+longer commute — `footprint_sc` reports every atomic read/RMW as
+globally coupled so the DPOR layer keeps them dependent.  TSO writes
+are only release (they never touch G) and commute as usual.
+
+Non-atomics are untouched: TSO is a hardware model, but the race
+detector keeps its ORC11 meaning so UB comparisons across the lattice
+stay honest.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..rmc.message import Message
+from ..rmc.modes import Mode
+from .base import MemoryModel, register_model
+
+
+class TsoModel(MemoryModel):
+    """Total store order via an acquire floor plus a global flush frontier."""
+
+    id = "tso"
+    name = "x86-TSO (store buffering only; multi-copy-atomic stores)"
+
+    def read_mode(self, mode: Mode) -> Mode:
+        if mode in (Mode.NA, Mode.SC):
+            return mode
+        return Mode.ACQ
+
+    def write_mode(self, mode: Mode) -> Mode:
+        if mode in (Mode.NA, Mode.SC):
+            return mode
+        return Mode.REL
+
+    def rmw_mode(self, mode: Mode) -> Mode:
+        return Mode.SC
+
+    def fail_mode(self, mode: Mode) -> Mode:
+        return mode if mode is Mode.NA else Mode.SC
+
+    def fence_mode(self, mode: Mode) -> Mode:
+        return Mode.SC
+
+    def read_choices(self, memory, th, loc: int,
+                     mode: Mode) -> List[Message]:
+        if mode is Mode.SC:
+            return [memory.latest(loc)]
+        if mode is Mode.NA:
+            return memory.visible(loc, th.view)
+        return memory.visible_above(loc, th.view, memory.sc_view)
+
+    def absorb_read(self, memory, th, msg: Message, mode: Mode) -> None:
+        super().absorb_read(memory, th, msg, mode)
+        if mode is not Mode.NA and msg.writer != th.tid:
+            memory.sc_view = (
+                memory.sc_view.join(msg.view).extend(msg.loc, msg.ts))
+
+    def footprint_sc(self, kind: str, mode: Optional[Mode]) -> bool:
+        if mode is Mode.NA:
+            return False
+        if kind in ("read", "rmw"):
+            return True
+        return mode is Mode.SC
+
+
+TSO = register_model(TsoModel())

@@ -265,6 +265,7 @@ def explore_all_dpor(
     prefix: Sequence[int] = (),
     sleep: Sequence[Footprint] = (),
     stats: Optional[DporStats] = None,
+    model=None,
 ) -> Iterator[ExecutionResult]:
     """Enumerate one execution per reachable outcome-relevant schedule.
 
@@ -290,7 +291,7 @@ def explore_all_dpor(
         try:
             result = factory().run(decider, max_steps=max_steps,
                                    race_detection=race_detection,
-                                   sc_upgrade=sc_upgrade)
+                                   sc_upgrade=sc_upgrade, model=model)
         except SleepSetCut:
             result = None
         if stats is not None:

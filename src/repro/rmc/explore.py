@@ -100,6 +100,7 @@ def explore_all(
     race_detection: bool = True,
     sc_upgrade: bool = False,
     prefix: Sequence[int] = (),
+    model=None,
 ) -> Iterator[ExecutionResult]:
     """Enumerate every execution of the (bounded) program, by replay.
 
@@ -120,7 +121,7 @@ def explore_all(
         decider = PrefixDecider(cur)
         result = factory().run(decider, max_steps=max_steps,
                                race_detection=race_detection,
-                               sc_upgrade=sc_upgrade)
+                               sc_upgrade=sc_upgrade, model=model)
         executions += 1
         yield result
         trace = decider.trace
@@ -139,13 +140,14 @@ def explore_random(
     max_steps: int = 100_000,
     race_detection: bool = True,
     sc_upgrade: bool = False,
+    model=None,
 ) -> Iterator[ExecutionResult]:
     """Run ``runs`` independent executions with seeded random decisions."""
     for i in range(runs):
         decider = RandomDecider(seed + i)
         yield factory().run(decider, max_steps=max_steps,
                             race_detection=race_detection,
-                            sc_upgrade=sc_upgrade)
+                            sc_upgrade=sc_upgrade, model=model)
 
 
 def check_all(
@@ -157,6 +159,7 @@ def check_all(
     max_steps: int = 2_000,
     max_executions: int = 200_000,
     dpor: Optional[bool] = None,
+    model=None,
 ) -> ExplorationStats:
     """Explore and apply ``check`` to every non-raced complete execution.
 
@@ -175,13 +178,13 @@ def check_all(
         if dpor is not False:
             source = explore_all_dpor(factory, max_steps=max_steps,
                                       max_executions=max_executions,
-                                      stats=dstats)
+                                      stats=dstats, model=model)
         else:
             source = explore_all(factory, max_steps=max_steps,
-                                 max_executions=max_executions)
+                                 max_executions=max_executions, model=model)
     else:
         source = explore_random(factory, runs=runs, seed=seed,
-                                max_steps=max_steps)
+                                max_steps=max_steps, model=model)
     exhausted = True
     for result in source:
         stats.record(result)
@@ -196,7 +199,7 @@ def check_all(
 
 
 def replay(factory: ProgramFactory, trace, max_steps: int = 100_000,
-           race_detection: bool = True) -> ExecutionResult:
+           race_detection: bool = True, model=None) -> ExecutionResult:
     """Re-execute a recorded decision trace (counterexample replay)."""
     return factory().run(FixedDecider(trace), max_steps=max_steps,
-                         race_detection=race_detection)
+                         race_detection=race_detection, model=model)

@@ -24,17 +24,20 @@ from .program import Program
 
 def outcomes(factory: Callable[[], Program], max_steps: int = 2_000,
              max_executions: int = 200_000,
-             dpor: bool = True) -> FrozenSet[Tuple]:
+             dpor: bool = True, model=None) -> FrozenSet[Tuple]:
     """All complete-execution outcome tuples (ordered by thread id).
 
     Sleep-set DPOR (`repro.rmc.dpor`) is on by default: it preserves the
     outcome *set* exactly while enumerating far fewer interleavings.
     Pass ``dpor=False`` for the naive enumeration (the differential
-    tests do, to prove the equivalence).
+    tests do, to prove the equivalence).  ``model`` selects the memory
+    model (`repro.models`); the same catalogue under different models is
+    the input to the differential lattice checker (`repro.models.diff`).
     """
     seen = set()
     source = (explore_all_dpor if dpor else explore_all)(
-        factory, max_steps=max_steps, max_executions=max_executions)
+        factory, max_steps=max_steps, max_executions=max_executions,
+        model=model)
     for result in source:
         if result.ok:
             seen.add(tuple(result.returns[tid]
@@ -43,7 +46,7 @@ def outcomes(factory: Callable[[], Program], max_steps: int = 2_000,
 
 
 def races(factory: Callable[[], Program], max_steps: int = 2_000,
-          max_executions: int = 200_000) -> int:
+          max_executions: int = 200_000, model=None) -> int:
     """Number of explored executions aborted by the race detector.
 
     Deliberately enumerated naively: DPOR preserves *whether* a race
@@ -51,7 +54,8 @@ def races(factory: Callable[[], Program], max_steps: int = 2_000,
     counts.
     """
     return sum(1 for r in explore_all(factory, max_steps=max_steps,
-                                      max_executions=max_executions)
+                                      max_executions=max_executions,
+                                      model=model)
                if r.race is not None)
 
 

@@ -19,6 +19,12 @@ Section 2.3 (Rel-Write, Acq-Read, and their relatives in Section 5.3):
 
 Load buffering is impossible by construction (a read only sees existing
 messages), matching ORC11's ``po ∪ rf`` acyclicity.
+
+The points where these rules can *vary* — mode strengthening, the read
+visibility predicate, view acquisition, message-view construction, the
+SC-access synchronization, and fence rules — are dispatched through a
+:class:`repro.models.base.MemoryModel` (``model=`` on `Machine`/`run`);
+the default ``"orc11"`` model is exactly the semantics described above.
 """
 
 from __future__ import annotations
@@ -115,6 +121,7 @@ class Machine:
         max_steps: int = 100_000,
         race_detection: bool = True,
         sc_upgrade: bool = False,
+        model=None,
     ):
         self.program = program
         self.decider = decider
@@ -125,6 +132,11 @@ class Machine:
         #: the upgrade (its need for prophecy is algorithmic), while all
         #: litmus weak outcomes vanish.
         self.sc_upgrade = sc_upgrade
+        # Imported lazily: repro.models imports rmc leaf modules, so a
+        # module-level import here would cycle when the models package is
+        # the entry point.
+        from ..models.base import get_model
+        self.model = get_model(model)
         self.memory = Memory(race_detection=race_detection)
         self.env = program.setup(self.memory) if program.setup else None
         self.threads: List[ThreadState] = []
@@ -154,7 +166,8 @@ class Machine:
                 if self.decider.wants_footprints:
                     fps = tuple(
                         op_footprint(t, self.threads[t].pending,
-                                     self.sc_upgrade) for t in enabled)
+                                     self.sc_upgrade,
+                                     model=self.model) for t in enabled)
                     tid = self.decider.choose_thread(enabled, fps)
                 else:
                     tid = self.decider.choose_thread(enabled)
@@ -231,79 +244,44 @@ class Machine:
 
     # -- loads ----------------------------------------------------------
     def _do_load(self, th: ThreadState, op: Load) -> Any:
-        mode = op.mode
+        mode = self.model.read_mode(op.mode)
         self._tick(th)
         self.memory.check_read_race(op.loc, th.tid, th.view, mode is Mode.NA)
-        if mode is Mode.SC:
-            th.view = th.view.join(self.memory.sc_view)
-            choices = [self.memory.latest(op.loc)]
-        else:
-            choices = self.memory.visible(op.loc, th.view)
+        self.model.pre_access(self.memory, th, mode)
+        choices = self.model.read_choices(self.memory, th, op.loc, mode)
         msg = choices[self.decider.choose_read(len(choices))]
-        self._absorb_read(th, msg, mode)
+        self.model.absorb_read(self.memory, th, msg, mode)
         self.memory.mark_read(op.loc, th.tid, th.clock, mode is Mode.NA)
         if op.commit is not None:
             op.commit(CommitCtx(self, th, op, msg_read=msg, value_read=msg.val))
-        if mode is Mode.SC:
-            self.memory.sc_view = self.memory.sc_view.join(th.view)
+        self.model.post_access(self.memory, th, mode)
         return msg.val
-
-    def _absorb_read(self, th: ThreadState, msg: Message, mode: Mode) -> None:
-        th.view = th.view.extend(msg.loc, msg.ts)
-        if mode.is_acquire:
-            th.view = th.view.join(msg.view)
-        elif mode is Mode.RLX:
-            # Claimable later by an acquire fence (paper Section 5.2).
-            th.acq_cache = th.acq_cache.join(msg.view)
 
     # -- stores ---------------------------------------------------------
     def _do_store(self, th: ThreadState, op: Store) -> None:
-        mode = op.mode
+        mode = self.model.write_mode(op.mode)
         self._tick(th)
         self.memory.check_write_race(op.loc, th.tid, th.view, mode is Mode.NA)
-        if mode is Mode.SC:
-            th.view = th.view.join(self.memory.sc_view)
+        self.model.pre_access(self.memory, th, mode)
         ts = self.memory.location(op.loc).next_ts
         th.view = th.view.extend(op.loc, ts)
         if op.commit is not None:
             op.commit(CommitCtx(self, th, op, ts_written=ts))
-        mview = self._released_view(th, op.loc, ts, mode, carried=None)
+        mview = self.model.released_view(self.memory, th, op.loc, ts, mode,
+                                         None)
         self.memory.append(op.loc, op.val, mview, th.tid, th.clock,
                            mode is Mode.NA)
-        if mode is Mode.SC:
-            self.memory.sc_view = self.memory.sc_view.join(th.view)
-
-    def _released_view(
-        self,
-        th: ThreadState,
-        loc: int,
-        ts: int,
-        mode: Mode,
-        carried: Optional[View],
-    ) -> View:
-        """The view sealed into a new message, per write mode.
-
-        ``carried`` is the read message's view for RMWs: release sequences
-        continue through RMW chains, so an acquirer of the new message also
-        synchronizes with the original release write.
-        """
-        if mode is Mode.NA:
-            base = View({loc: ts})
-        elif mode.is_release:
-            base = th.view
-        else:  # relaxed write: releases only the release-fence frontier
-            base = th.rel_view.extend(loc, ts)
-        if carried is not None:
-            base = base.join(carried)
-        return base.extend(loc, ts)
+        self.model.post_access(self.memory, th, mode)
 
     # -- read-modify-writes ----------------------------------------------
     def _do_cas(self, th: ThreadState, op: Cas):
-        mode = op.mode
+        mode = self.model.rmw_mode(op.mode)
         self._tick(th)
         self.memory.check_read_race(op.loc, th.tid, th.view, False)
-        if mode is Mode.SC:
-            th.view = th.view.join(self.memory.sc_view)
+        self.model.pre_access(self.memory, th, mode)
+        # The CAS read deliberately stays on the coherence predicate (not
+        # `read_choices`): models that restrict reads below a global floor
+        # do so here through `pre_access` raising the thread view first.
         visible = self.memory.visible(op.loc, th.view)
         latest = visible[-1]
         choices = [m for m in visible if m.val != op.expected]
@@ -311,43 +289,40 @@ class Machine:
             choices.append(latest)
         msg = choices[self.decider.choose_read(len(choices))]
         if msg.val == op.expected:
-            result = self._rmw_write(th, op, msg, op.desired, op.commit)
+            result = self._rmw_write(th, op, msg, op.desired, op.commit, mode)
             out = (True, msg.val)
         else:
             # Failed CAS: a plain read at fail_mode.
-            self._absorb_read(th, msg, op.fail_mode)
+            self.model.absorb_read(self.memory, th, msg,
+                                   self.model.fail_mode(op.fail_mode))
             self.memory.mark_read(op.loc, th.tid, th.clock, False)
             if op.commit_fail is not None:
                 op.commit_fail(
                     CommitCtx(self, th, op, msg_read=msg, value_read=msg.val))
             out = (False, msg.val)
-        if mode is Mode.SC:
-            self.memory.sc_view = self.memory.sc_view.join(th.view)
+        self.model.post_access(self.memory, th, mode)
         return out
 
     def _do_rmw(self, th: ThreadState, op, compute) -> Any:
-        mode = op.mode
+        mode = self.model.rmw_mode(op.mode)
         self._tick(th)
         self.memory.check_read_race(op.loc, th.tid, th.view, False)
-        if mode is Mode.SC:
-            th.view = th.view.join(self.memory.sc_view)
+        self.model.pre_access(self.memory, th, mode)
         msg = self.memory.latest(op.loc)
-        self._rmw_write(th, op, msg, compute(msg.val), op.commit)
-        if mode is Mode.SC:
-            self.memory.sc_view = self.memory.sc_view.join(th.view)
+        self._rmw_write(th, op, msg, compute(msg.val), op.commit, mode)
+        self.model.post_access(self.memory, th, mode)
         return msg.val
 
     def _rmw_write(self, th: ThreadState, op, read_msg: Message, new_val,
-                   commit) -> Message:
-        """Common successful-RMW path: mo-adjacent read-and-write."""
-        mode = op.mode
+                   commit, mode: Mode) -> Message:
+        """Common successful-RMW path: mo-adjacent read-and-write.
+
+        ``mode`` is the mode the RMW actually executes at (after model
+        strengthening), not the annotation.
+        """
         self.memory.check_write_race(op.loc, th.tid, th.view, False)
         # Read side.
-        th.view = th.view.extend(op.loc, read_msg.ts)
-        if mode.is_acquire:
-            th.view = th.view.join(read_msg.view)
-        else:
-            th.acq_cache = th.acq_cache.join(read_msg.view)
+        self.model.absorb_rmw_read(self.memory, th, read_msg, mode)
         self.memory.mark_read(op.loc, th.tid, th.clock, False)
         # Write side, mo-adjacent to the read message.
         ts = read_msg.ts + 1
@@ -356,25 +331,19 @@ class Machine:
         if commit is not None:
             commit(CommitCtx(self, th, op, msg_read=read_msg, ts_written=ts,
                              value_read=read_msg.val))
-        mview = self._released_view(th, op.loc, ts, mode, carried=read_msg.view)
+        mview = self.model.released_view(self.memory, th, op.loc, ts, mode,
+                                         read_msg.view)
         return self.memory.append(op.loc, new_val, mview, th.tid, th.clock,
                                   False)
 
     # -- fences -----------------------------------------------------------
     def _do_fence(self, th: ThreadState, op: Fence) -> None:
-        mode = op.mode
-        if mode.is_acquire or mode is Mode.ACQ:
-            th.view = th.view.join(th.acq_cache)
-        if mode is Mode.SC:
-            th.view = th.view.join(self.memory.sc_view)
-            self.memory.sc_view = self.memory.sc_view.join(th.view)
-        if mode.is_release or mode is Mode.REL:
-            th.rel_view = th.view
+        self.model.fence(self.memory, th, self.model.fence_mode(op.mode))
 
 
 def run(program, decider: Decider, max_steps: int = 100_000,
         race_detection: bool = True,
-        sc_upgrade: bool = False) -> ExecutionResult:
+        sc_upgrade: bool = False, model=None) -> ExecutionResult:
     """Run ``program`` to completion under ``decider``."""
     return Machine(program, decider, max_steps, race_detection,
-                   sc_upgrade=sc_upgrade).run()
+                   sc_upgrade=sc_upgrade, model=model).run()

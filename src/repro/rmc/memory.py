@@ -104,6 +104,17 @@ class Memory:
         cell = self.locations[loc]
         return cell.history[view.get(loc):]
 
+    def visible_above(self, loc: int, view: View, floor: View) -> List[Message]:
+        """Read choices additionally bounded below by a global ``floor``.
+
+        Memory models with a multi-copy-atomic store (TSO) restrict reads
+        to messages at least as new as a *global* per-location frontier,
+        not just the reader's own view; history is timestamp-indexed, so
+        the bound is a slice like `visible`.
+        """
+        cell = self.locations[loc]
+        return cell.history[max(view.get(loc), floor.get(loc)):]
+
     def latest(self, loc: int) -> Message:
         return self.locations[loc].latest
 

@@ -172,35 +172,56 @@ class Footprint:
                          mode=data["m"], sc=data["sc"], hooked=data["h"])
 
 
-def op_footprint(tid: int, op: Op, sc_upgrade: bool = False) -> Footprint:
+def op_footprint(tid: int, op: Op, sc_upgrade: bool = False,
+                 model=None) -> Footprint:
     """The footprint of thread ``tid``'s pending operation ``op``.
 
     ``sc_upgrade`` mirrors the machine's ablation knob: every non-NA
     access executes at seq-cst, so the footprint must account for the
     upgraded mode *before* the machine mutates the op at execution time.
+
+    ``model`` is the memory model the machine executes under (id,
+    instance, or None for the default): the footprint reflects the mode
+    the operation *actually* executes at after model strengthening, and
+    the model decides which operations are globally coupled
+    (`MemoryModel.footprint_sc`) — e.g. TSO couples every atomic read
+    through the flush frontier.
     """
+    if model is None or isinstance(model, str):
+        # Lazy: repro.models imports this module's package.
+        from ..models.base import get_model
+        model = get_model(model)
     mode = getattr(op, "mode", None)
     if sc_upgrade and mode is not None and mode is not Mode.NA:
         mode = Mode.SC
-    sc = mode is Mode.SC
-    mode_str = mode.value if mode is not None else ""
     if isinstance(op, Load):
-        return Footprint(tid, "read", op.loc, mode_str, sc,
+        emode = model.read_mode(mode)
+        return Footprint(tid, "read", op.loc, emode.value,
+                         model.footprint_sc("read", emode),
                          op.commit is not None)
     if isinstance(op, Store):
-        return Footprint(tid, "write", op.loc, mode_str, sc,
+        emode = model.write_mode(mode)
+        return Footprint(tid, "write", op.loc, emode.value,
+                         model.footprint_sc("write", emode),
                          op.commit is not None)
     if isinstance(op, Cas):
         fail = Mode.SC if (sc_upgrade and op.fail_mode is not Mode.NA) \
             else op.fail_mode
-        return Footprint(tid, "rmw", op.loc, mode_str,
-                         sc or fail is Mode.SC,
+        emode = model.rmw_mode(mode)
+        efail = model.fail_mode(fail)
+        return Footprint(tid, "rmw", op.loc, emode.value,
+                         model.footprint_sc("rmw", emode)
+                         or model.footprint_sc("rmw", efail),
                          op.commit is not None or op.commit_fail is not None)
     if isinstance(op, (Faa, Xchg)):
-        return Footprint(tid, "rmw", op.loc, mode_str, sc,
+        emode = model.rmw_mode(mode)
+        return Footprint(tid, "rmw", op.loc, emode.value,
+                         model.footprint_sc("rmw", emode),
                          op.commit is not None)
     if isinstance(op, Fence):
-        return Footprint(tid, "fence", None, mode_str, sc, False)
+        emode = model.fence_mode(mode)
+        return Footprint(tid, "fence", None, emode.value,
+                         model.footprint_sc("fence", emode), False)
     if isinstance(op, Alloc):
         # Allocation bumps the global location/component counters; keep
         # it dependent with everything rather than model those.

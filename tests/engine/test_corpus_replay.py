@@ -2,6 +2,8 @@
 
 import dataclasses
 
+import pytest
+
 from repro.core import SpecStyle
 from repro.engine import (CorpusEntry, EngineParams, ScenarioSpec,
                           build_scenario, load_corpus, replay_entry,
@@ -116,7 +118,7 @@ class TestEntrySerialization:
             kind="style", trace=[(3, 1), (2, 0)], violation="boom",
             style=SpecStyle.LAT_HB_ABS, scenario_name="x",
             spec=ScenarioSpec("spsc", kwargs={"impl": "ms", "n": 2}),
-            max_steps=123)
+            max_steps=123, model="tso")
         back = CorpusEntry.from_json(entry.to_json())
         assert back.kind == entry.kind
         assert back.trace == [(3, 1), (2, 0)]
@@ -124,6 +126,50 @@ class TestEntrySerialization:
         assert back.style is entry.style
         assert back.spec == entry.spec
         assert back.max_steps == 123
+        assert back.model == "tso"
+
+    def test_model_defaults_for_old_corpora(self):
+        """Pre-model corpus lines have no "model" key: they deserialize
+        as orc11 (what they were recorded under)."""
+        entry = CorpusEntry(kind="outcome", trace=[(2, 1)], violation="v")
+        js = entry.to_json()
+        del js["model"]
+        assert CorpusEntry.from_json(js).model == "orc11"
+
+
+class TestModelMismatch:
+    """A trace is only meaningful under the model that produced it:
+    replay refuses cross-model mixups (docs/engine.md exit-code table)."""
+
+    def test_replay_entry_refuses_wrong_model(self, tmp_path):
+        from repro.engine import ModelMismatch
+        spec = ScenarioSpec("mp-queue",
+                            kwargs={"impl": "ms", "use_flag": False})
+        corpus = tmp_path / "mp.corpus.jsonl"
+        run_with_corpus(spec, corpus, runs=40, max_steps=100_000)
+        entries = load_corpus(str(corpus))
+        assert entries
+        assert all(e.model == "orc11" for e in entries)
+        # Matching model (explicit or implicit) replays fine.
+        assert replay_entry(entries[0]).reproduced
+        assert replay_entry(entries[0], model="orc11").reproduced
+        with pytest.raises(ModelMismatch) as exc:
+            replay_entry(entries[0], model="tso")
+        assert "'orc11'" in str(exc.value) and "'tso'" in str(exc.value)
+
+    def test_replay_cli_exits_2_on_model_mismatch(self, tmp_path, capsys):
+        from repro.__main__ import main
+        spec = ScenarioSpec("mp-queue",
+                            kwargs={"impl": "ms", "use_flag": False})
+        corpus = tmp_path / "mp.corpus.jsonl"
+        run_with_corpus(spec, corpus, runs=40, max_steps=100_000)
+        assert main(["replay", str(corpus), "--model", "sc"]) == 2
+        captured = capsys.readouterr()
+        assert "refusing replay" in captured.err
+        assert "'sc'" in captured.err
+        # The matching model is not a mixup.
+        assert main(["replay", str(corpus), "--model", "orc11"]) == 0
+        capsys.readouterr()
 
 
 class TestReplayCli:

@@ -78,6 +78,35 @@ def test_fuzz_command_finds_shrinks_and_replays(tmp_path, capsys):
     assert "NOT reproduced" not in replay_out
 
 
+def test_diffmodels_command(tmp_path, capsys):
+    """The differential lattice checker over the full litmus catalogue:
+    sc <= tso <= ra <= orc11 must hold, and the JSON report round-trips."""
+    import json
+    report = str(tmp_path / "diff.json")
+    assert main(["diffmodels", "--fuzz-cases", "0",
+                 "--report-json", report]) == 0
+    out = capsys.readouterr().out
+    assert "inclusions hold" in out
+    assert "sc <= tso <= ra <= orc11" in out
+    with open(report, encoding="utf-8") as fh:
+        data = json.load(fh)
+    assert data["ok"] and data["models"] == ["sc", "tso", "ra", "orc11"]
+    assert data["scenarios"] == len(data["profiles"]) > 0
+
+
+def test_litmus_command_under_model(capsys):
+    """--model threads through the litmus verb; under SC the SB+rlx weak
+    outcome disappears."""
+    assert main(["litmus", "--model", "sc"]) == 0
+    out = capsys.readouterr().out
+    assert "under sc" in out
+    assert "SB+rlx: 3 outcomes" in out  # (0,0) forbidden at SC
+    assert main(["litmus"]) == 0
+    out = capsys.readouterr().out
+    assert " under " not in out
+    assert "SB+rlx: 4 outcomes" in out
+
+
 def test_corpus_cap_flag(tmp_path, capsys):
     """--corpus-cap threads through check_scenario into the engine: each
     failing configuration persists at most N entries."""

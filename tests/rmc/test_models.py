@@ -1,0 +1,202 @@
+"""The pluggable memory models: registry, per-model litmus
+discriminations, the outcome-set inclusion lattice, and the ORC11
+identity (the default model must be the pre-refactor machine)."""
+
+import pytest
+
+from repro.models import (DEFAULT_MODEL, LATTICE, MemoryModel, get_model,
+                          model_ids, register_model)
+from repro.models.diff import (compare_adjacent, diff_scenario,
+                               fuzz_scenarios, profile_model, run_diff)
+from repro.rmc import Mode, explore_all
+from repro.rmc.litmus import CATALOGUE, outcomes
+
+#: The canonical weak-behaviour witnesses, per litmus (outcome tuples are
+#: ordered by thread id; writer threads return None).
+SB_WEAK = (0, 0)                          # both reads miss the other store
+MP_WEAK = (None, (1, 0))                  # flag seen, data missed
+IRIW_SPLIT = (None, None, (1, 0), (1, 0))  # readers disagree on the order
+
+
+class TestRegistry:
+    def test_lattice_order_and_default(self):
+        assert LATTICE == ("sc", "tso", "ra", "orc11")
+        assert DEFAULT_MODEL == "orc11"
+        assert tuple(model_ids())[: len(LATTICE)] == LATTICE
+
+    def test_get_model_accepts_str_instance_none(self):
+        orc11 = get_model("orc11")
+        assert get_model(None) is orc11
+        assert get_model(orc11) is orc11
+        assert get_model("tso").id == "tso"
+        with pytest.raises(KeyError):
+            get_model("power")
+
+    def test_register_is_idempotent_by_type(self):
+        tso = get_model("tso")
+        assert register_model(type(tso)()) is not None
+        assert get_model("tso").id == "tso"
+
+    def test_base_class_is_orc11_semantics(self):
+        """The hook defaults must be the identity strengthening: a bare
+        MemoryModel behaves exactly like the registered orc11 model."""
+        base = MemoryModel()
+        for mode in Mode:
+            assert base.read_mode(mode) is mode
+            assert base.write_mode(mode) is mode
+            assert base.rmw_mode(mode) is mode
+            assert base.fence_mode(mode) is mode
+
+
+class TestStrengthening:
+    """The mode maps are the declarative heart of each model."""
+
+    def test_sc_strengthens_every_atomic(self):
+        sc = get_model("sc")
+        for mode in Mode:
+            want = mode if mode is Mode.NA else Mode.SC
+            assert sc.read_mode(mode) is want
+            assert sc.write_mode(mode) is want
+            assert sc.rmw_mode(mode) is want
+            assert sc.fence_mode(mode) is want
+
+    def test_ra_promotes_relaxed_only(self):
+        ra = get_model("ra")
+        assert ra.read_mode(Mode.RLX) is Mode.ACQ
+        assert ra.write_mode(Mode.RLX) is Mode.REL
+        assert ra.rmw_mode(Mode.RLX) is Mode.ACQ_REL
+        assert ra.read_mode(Mode.SC) is Mode.SC
+        assert ra.write_mode(Mode.SC) is Mode.SC
+        assert ra.read_mode(Mode.NA) is Mode.NA
+
+    def test_tso_keeps_na_and_sc(self):
+        tso = get_model("tso")
+        assert tso.read_mode(Mode.RLX) is Mode.ACQ
+        assert tso.write_mode(Mode.RLX) is Mode.REL
+        assert tso.rmw_mode(Mode.RLX) is Mode.SC
+        assert tso.fence_mode(Mode.ACQ) is Mode.SC
+        assert tso.read_mode(Mode.NA) is Mode.NA
+        assert tso.write_mode(Mode.NA) is Mode.NA
+
+    def test_tso_footprints_make_atomic_reads_global(self):
+        """TSO reads publish into the flush frontier, so DPOR must treat
+        them as SC-dependent; non-atomics stay local."""
+        tso = get_model("tso")
+        assert tso.footprint_sc("read", Mode.ACQ)
+        assert tso.footprint_sc("rmw", Mode.SC)
+        assert not tso.footprint_sc("read", Mode.NA)
+        assert not tso.footprint_sc("write", Mode.REL)
+
+
+class TestLitmusDiscriminations:
+    """Each adjacent model pair is separated by a named litmus shape."""
+
+    def test_sb_rlx_separates_sc_from_tso(self):
+        """Store buffering is THE TSO weakness: both threads reading 0 is
+        forbidden at SC, allowed everywhere below."""
+        factory = CATALOGUE["SB+rlx"]
+        per = {m: outcomes(factory, model=m) for m in LATTICE}
+        assert SB_WEAK not in per["sc"]
+        assert SB_WEAK in per["tso"]
+        assert SB_WEAK in per["ra"]
+        assert SB_WEAK in per["orc11"]
+
+    def test_iriw_acq_separates_tso_from_ra(self):
+        """IRIW split reads: TSO is multi-copy atomic (the flush frontier
+        is global), release/acquire is not."""
+        factory = CATALOGUE["IRIW+acq"]
+        per = {m: outcomes(factory, model=m) for m in LATTICE}
+        assert IRIW_SPLIT not in per["sc"]
+        assert IRIW_SPLIT not in per["tso"]
+        assert IRIW_SPLIT in per["ra"]
+        assert IRIW_SPLIT in per["orc11"]
+
+    def test_mp_rlx_separates_ra_from_orc11(self):
+        """Relaxed message passing: RA promotes the accesses to rel/acq,
+        so only genuine ORC11 shows the stale-data read."""
+        factory = CATALOGUE["MP+rlx"]
+        per = {m: outcomes(factory, model=m) for m in LATTICE}
+        assert MP_WEAK not in per["sc"]
+        assert MP_WEAK not in per["tso"]
+        assert MP_WEAK not in per["ra"]
+        assert MP_WEAK in per["orc11"]
+
+    @pytest.mark.parametrize("name", ["CoRR", "CoWW-CoWR", "LB"])
+    def test_coherence_shapes_are_model_invariant(self, name):
+        """Per-location coherence and no-load-buffering hold at every
+        strength: the models must agree exactly."""
+        factory = CATALOGUE[name]
+        per = [outcomes(factory, model=m) for m in LATTICE]
+        assert all(o == per[0] for o in per[1:])
+
+    def test_sb_sc_is_model_invariant(self):
+        """Already-SC accesses cannot be strengthened further."""
+        factory = CATALOGUE["SB+sc"]
+        per = [outcomes(factory, model=m) for m in LATTICE]
+        assert all(o == per[0] for o in per[1:])
+        assert SB_WEAK not in per[0]
+
+
+class TestInclusionLattice:
+    @pytest.mark.parametrize("name", sorted(CATALOGUE))
+    def test_adjacent_inclusions_hold(self, name):
+        profiles, findings = diff_scenario(name, CATALOGUE[name])
+        assert not [f for f in findings if f.fatal], \
+            [f.line() for f in findings]
+        for m in LATTICE:
+            assert profiles[m].exhausted
+
+    def test_run_diff_full_catalogue(self):
+        report = run_diff(fuzz_cases=0)
+        assert report.ok
+        assert report.scenarios == len(CATALOGUE)
+        assert report.models == LATTICE
+        js = report.to_json()
+        assert js["ok"] and js["scenarios"] == len(CATALOGUE)
+
+    def test_compare_adjacent_flags_violation(self):
+        """A fabricated stronger-only outcome must come back fatal."""
+        factory = CATALOGUE["SB+rlx"]
+        strong = profile_model(factory, "tso")
+        weak = profile_model(factory, "sc")
+        findings = compare_adjacent("inverted", strong, weak)
+        # tso ⊆ sc is false: SB_WEAK is the witness.
+        assert any(f.kind == "inclusion-violation" and f.fatal
+                   for f in findings)
+        assert any(repr(SB_WEAK) in d for f in findings for d in f.delta)
+
+    def test_not_exhausted_is_informational(self):
+        factory = CATALOGUE["SB+rlx"]
+        strong = profile_model(factory, "sc")
+        weak = profile_model(factory, "tso", max_executions=2)
+        findings = compare_adjacent("capped", strong, weak)
+        assert [f.kind for f in findings] == ["not-exhausted"]
+        assert not findings[0].fatal
+
+
+class TestFuzzScenarios:
+    def test_selection_is_deterministic_and_deduped(self):
+        """Fuzz scenario selection is a pure function of the seed, the
+        probe filter skips enumeration blowups (counting them), and
+        duplicate generated programs are folded."""
+        a, skipped_a = fuzz_scenarios(3, seed=0, probe_executions=60)
+        b, skipped_b = fuzz_scenarios(3, seed=0, probe_executions=60)
+        assert [n for n, _ in a] == [n for n, _ in b]
+        assert skipped_a == skipped_b
+        names = [n for n, _ in a]
+        assert len(set(names)) == len(names)
+        assert all(n.startswith("fuzz[") for n in names)
+
+
+class TestOrc11Identity:
+    """The refactor must be behaviour-preserving: the default model is
+    byte-for-byte the pre-refactor machine."""
+
+    @pytest.mark.parametrize("name", sorted(CATALOGUE))
+    def test_default_equals_explicit_orc11(self, name):
+        factory = CATALOGUE[name]
+        explicit = [(tuple(r.trace), r.race is not None, r.returns)
+                    for r in explore_all(factory, model="orc11")]
+        default = [(tuple(r.trace), r.race is not None, r.returns)
+                   for r in explore_all(factory)]
+        assert explicit == default

@@ -115,3 +115,22 @@ class TestLatticeLaws:
         j = a.join(b)
         for comp in set(dict(a.components())) | set(dict(b.components())):
             assert j.get(comp) == max(a.get(comp), b.get(comp))
+
+    @given(views, views)
+    def test_join_inflationary(self, a, b):
+        """Joining only ever grows a view — the machine invariant that a
+        thread's view is monotone over its execution."""
+        assert a.leq(a.join(b))
+        assert b.leq(a.join(b))
+
+    @given(views, views, views)
+    def test_join_monotone(self, a, b, c):
+        """a <= b implies a ⊔ c <= b ⊔ c (join respects the order), so
+        strengthening any input view can only strengthen the result."""
+        if a.leq(b):
+            assert a.join(c).leq(b.join(c))
+
+    @given(views, views, st.integers(1, 8), st.integers(0, 9))
+    def test_extend_monotone(self, a, b, comp, ts):
+        if a.leq(b):
+            assert a.extend(comp, ts).leq(b.extend(comp, ts))
