@@ -342,6 +342,62 @@ class TestEngineScaling:
         report(f"E9 distributed scaling — {scenario.name} "
                f"({cores} cores)", "\n".join(rows))
 
+    def test_hedge_audit_overhead(self, report, bench_record):
+        """What arming hedging + a 10% audit costs a clean 2-worker run.
+
+        The same exhaustive tree runs with both layers off and with
+        ``hedge=True, audit_fraction=0.1``; on a healthy run the hedge
+        deadline never fires, so the price is the estimator bookkeeping
+        plus re-executing ~10% of shards in the driver — and the audits
+        overlap the workers, so the wall-clock overhead must stay under
+        10% (medians over alternated trials; merged counts must be
+        identical and no divergence may be found).  Many small shards
+        keep the one audit that *cannot* overlap — the last shard to
+        complete — cheap even on a single core.
+        """
+        import statistics
+
+        from repro.engine import (EngineParams, ScenarioSpec,
+                                  build_scenario, run_scenario)
+
+        spec = ScenarioSpec("mixed-stress",
+                            kwargs={"impl": "ms-queue/ra", "threads": 3,
+                                    "ops": 1, "seed": 0})
+        scenario = build_scenario(spec)
+        base = dict(styles=(), exhaustive=True, max_steps=400,
+                    max_executions=100_000, workers=2, target_shards=32)
+        plain_s, armed_s = [], []
+        execs = set()
+        for _ in range(5):
+            plain = run_scenario(scenario, EngineParams(**base), spec=spec)
+            armed = run_scenario(
+                scenario, EngineParams(hedge=True, audit_fraction=0.1,
+                                       **base), spec=spec)
+            assert armed.report.executions == plain.report.executions
+            assert armed.telemetry.audit_divergences == 0
+            assert armed.telemetry.hedge_wins == 0  # nothing straggled
+            execs.add(plain.report.executions)
+            plain_s.append(plain.telemetry.wall_seconds)
+            armed_s.append(armed.telemetry.wall_seconds)
+        med_plain = statistics.median(plain_s)
+        med_armed = statistics.median(armed_s)
+        ratio = med_armed / max(med_plain, 1e-9)
+        rate_plain = execs.pop() / max(med_plain, 1e-9)
+        rate_armed = rate_plain * med_plain / max(med_armed, 1e-9)
+        bench_record("hedge-overhead",
+                     plain_s=round(med_plain, 3),
+                     armed_s=round(med_armed, 3),
+                     plain_exec_per_sec=round(rate_plain, 1),
+                     armed_exec_per_sec=round(rate_armed, 1),
+                     ratio=round(ratio, 3))
+        report("E9 hedge+audit overhead (clean run, 2 workers, "
+               "audit-fraction 0.1)",
+               f"off : {med_plain:6.2f}s = {rate_plain:>8,.0f} exec/s\n"
+               f"on  : {med_armed:6.2f}s = {rate_armed:>8,.0f} exec/s "
+               f"(ratio {ratio:.3f})")
+        assert ratio <= 1.10, \
+            f"hedge+audit overhead {ratio:.3f} exceeds the 10% target"
+
     def test_fault_recovery_overhead(self, report):
         """What one injected worker crash costs a 2-worker run.
 

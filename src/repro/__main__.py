@@ -61,6 +61,8 @@ def _engine_kwargs(args) -> dict:
         "max_retries": args.max_retries,
         "corpus_cap": args.corpus_cap,
         "model": args.model or "orc11",
+        "hedge": args.hedge,
+        "audit_fraction": args.audit_fraction,
     }
     if args.shard_timeout is not None:
         kwargs["shard_timeout"] = (None if args.shard_timeout <= 0
@@ -254,7 +256,10 @@ def cmd_chaos(args) -> int:
     from .engine.chaos import run_chaos
     workers = max(2, args.workers)
     print(f"chaos: fault-injection matrix, up to {workers} workers")
-    outcomes = run_chaos(max_workers=workers, emit=print)
+    outcomes = run_chaos(max_workers=workers, emit=print, only=args.only)
+    if not outcomes:
+        print(f"chaos: no rows match --only {args.only!r}")
+        return 1
     failed = [o for o in outcomes if not o.ok]
     print(f"chaos: {len(outcomes) - len(failed)}/{len(outcomes)} cells "
           f"converged to the fault-free report")
@@ -311,7 +316,8 @@ def cmd_serve(args) -> int:
         checkpoint_path=args.resume, corpus_path=args.corpus,
         progress=args.progress, max_retries=args.max_retries,
         run_seconds=args.run_seconds, dpor=args.dpor,
-        model=args.model or "orc11")
+        model=args.model or "orc11", hedge=args.hedge,
+        audit_fraction=args.audit_fraction)
     dist = DistParams(host=args.host, port=args.port,
                       lease_seconds=args.lease_seconds,
                       node_wait_seconds=args.node_wait)
@@ -347,7 +353,8 @@ def cmd_work(args) -> int:
                     max_reconnects=args.max_reconnects)
 
 
-SERVICE_VERBS = ("serve", "submit", "status", "cancel", "drain")
+SERVICE_VERBS = ("serve", "submit", "status", "cancel", "findings",
+                 "drain")
 
 
 def _service_spec_params(args) -> tuple:
@@ -360,7 +367,8 @@ def _service_spec_params(args) -> tuple:
                                 "ops": args.ops, "seed": args.seed})
     params = EngineParams(styles=(SpecStyle.LAT_HB,), exhaustive=True,
                           seed=args.seed, dpor=args.dpor,
-                          model=args.model or "orc11")
+                          model=args.model or "orc11", hedge=args.hedge,
+                          audit_fraction=args.audit_fraction)
     wire = params.wire_json()
     wire["target_shards"] = args.target_shards
     return spec.to_json(), wire
@@ -440,9 +448,23 @@ def cmd_service(args) -> int:
                              f"executions, "
                              f"{summary.get('shards_complete', 0)}/"
                              f"{summary.get('shards_total', 0)} shards")
+                if job.get("divergences"):
+                    line += (f" — {job['divergences']} result "
+                             f"divergence(s), see 'service findings'")
                 if job.get("error"):
                     line += f" — {job['error']}"
                 print(line)
+            return 0
+        if verb == "findings":
+            resp = client.findings(args.job)
+            found = resp.get("findings", [])
+            if not found:
+                print("service: no result divergences recorded")
+            for item in found:
+                detail = (item.get("finding") or {}).get(
+                    "detail", "result-divergence")
+                print(f"{item['job']} shard {item['shard']} from "
+                      f"{item.get('node') or '?'}: {detail}")
             return 0
         if verb == "cancel":
             if not args.job:
@@ -568,8 +590,8 @@ def main(argv=None) -> int:
     parser.add_argument("target", nargs="?", default=None,
                         help="replay: path to a corpus JSONL file; "
                              "service: verb (serve|submit|status|"
-                             "cancel|drain); fsck: data directory or "
-                             "artifact file to audit")
+                             "cancel|findings|drain); fsck: data "
+                             "directory or artifact file to audit")
     parser.add_argument("--runs", type=int, default=200,
                         help="randomized executions per configuration")
     engine = parser.add_argument_group(
@@ -622,6 +644,17 @@ def main(argv=None) -> int:
                         help="per-shard retry budget before the shard is "
                              "declared failed (jittered exponential "
                              "backoff between attempts; default 2)")
+    engine.add_argument("--hedge", action="store_true",
+                        help="speculatively re-dispatch straggler shards "
+                             "past an adaptive per-shard deadline "
+                             "(docs/robustness.md; merge stays "
+                             "byte-identical)")
+    engine.add_argument("--audit-fraction", type=float, default=0.0,
+                        metavar="F",
+                        help="re-execute this fraction of completed "
+                             "shards in the driver and compare report "
+                             "fingerprints; a divergence quarantines "
+                             "the origin worker (default 0: off)")
     dist = parser.add_argument_group(
         "distributed engine (serve, work — docs/distributed.md)")
     dist.add_argument("--host", default="127.0.0.1",
@@ -660,7 +693,8 @@ def main(argv=None) -> int:
                       help="work: consecutive failed reconnect attempts "
                            "before the node gives up")
     service = parser.add_argument_group(
-        "campaign service (service serve|submit|status|cancel|drain — "
+        "campaign service (service serve|submit|status|cancel|"
+        "findings|drain — "
         "docs/service.md; serve/submit also honour --impl, --threads, "
         "--ops, --seed, --target-shards, --lease-seconds, --node-wait, "
         "--max-retries, --progress)")
@@ -710,6 +744,9 @@ def main(argv=None) -> int:
                         help="fsck: quarantine damaged records to the "
                              ".rejected sidecar and atomically rewrite "
                              "each artifact with its intact lines")
+    robust.add_argument("--only", default=None, metavar="SUBSTR",
+                        help="chaos: run only matrix rows whose name "
+                             "contains SUBSTR (e.g. --only hedge)")
     fuzz = parser.add_argument_group(
         "scenario fuzzing (fuzz — docs/fuzzing.md; also honours "
         "--seed, --workers, --corpus, --corpus-cap, --progress)")

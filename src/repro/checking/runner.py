@@ -301,6 +301,8 @@ def check_scenario(
     dpor: Optional[bool] = None,
     corpus_cap: Optional[int] = None,
     model: str = "orc11",
+    hedge: bool = False,
+    audit_fraction: float = 0.0,
 ) -> ScenarioReport:
     """Explore the scenario and check every complete execution.
 
@@ -336,11 +338,18 @@ def check_scenario(
     is interpreted under; it is part of the engine fingerprint and is
     stamped into corpus entries, so checkpoints and counterexamples
     never mix models.
+
+    ``hedge`` speculatively re-dispatches straggler shards past an
+    adaptive deadline, and ``audit_fraction`` re-executes that fraction
+    of completed shards in the driver to screen for silent corruption
+    (both ``docs/robustness.md``); neither changes the merged report's
+    contents on an honest fleet.
     """
     budgets = (shard_seconds is not None or run_seconds is not None
                or max_rss_mb is not None)
     if workers <= 1 and checkpoint is None and corpus is None \
-            and not progress and not budgets:
+            and not progress and not budgets \
+            and not hedge and audit_fraction <= 0:
         report = ScenarioReport(scenario=scenario.name)
         report.styles = {s: StyleTally() for s in styles}
         start = time.perf_counter()
@@ -376,7 +385,7 @@ def check_scenario(
         max_retries=max_retries, retry_backoff=retry_backoff,
         start_method=start_method, shard_seconds=shard_seconds,
         run_seconds=run_seconds, max_rss_mb=max_rss_mb, dpor=dpor,
-        model=model)
+        model=model, hedge=hedge, audit_fraction=audit_fraction)
     if corpus_cap is not None:
         params.corpus_cap = corpus_cap
     if shard_timeout is None or shard_timeout >= 0:

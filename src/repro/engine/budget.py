@@ -100,6 +100,11 @@ class Coverage:
     #: resume could not reconstruct it — so the run must not claim a
     #: universal, resumable verdict.
     durable_errors: int = 0
+    #: Audited shards whose origin result diverged from a trusted
+    #: re-execution (`repro.engine.audit`): the merge was repaired with
+    #: the trusted result, but a fleet that produced one silently wrong
+    #: answer must not be credited with a clean universal verdict.
+    divergences: int = 0
 
     @property
     def fraction(self) -> float:
@@ -110,7 +115,8 @@ class Coverage:
     @property
     def degraded(self) -> bool:
         return (self.shards_complete < self.shards_total
-                or self.durable_errors > 0)
+                or self.durable_errors > 0
+                or self.divergences > 0)
 
     def line(self) -> str:
         head = (f"coverage: {self.shards_complete}/{self.shards_total} "
@@ -119,6 +125,10 @@ class Coverage:
             head += (f"; {self.durable_errors} durable write"
                      f"{'s' if self.durable_errors != 1 else ''} lost "
                      f"(result held in memory only)")
+        if self.divergences:
+            head += (f"; {self.divergences} audited shard"
+                     f"{'s' if self.divergences != 1 else ''} diverged "
+                     f"(merge repaired from trusted re-execution)")
         if not self.truncated:
             return head
         shown = ", ".join(self.truncated[:4])

@@ -43,6 +43,7 @@ on SIGTERM.
 
 from __future__ import annotations
 
+import copy
 import multiprocessing
 import os
 import shutil
@@ -87,6 +88,17 @@ class ChaosCase:
     resume: bool = False
     #: Attach checkpoint/corpus files to the run.
     durable: bool = False
+    #: `EngineParams` attribute overrides, as ``(name, value)`` pairs
+    #: (a tuple so the frozen case stays hashable) — the hedge/audit
+    #: rows switch their features on here.
+    params_update: Tuple[Tuple[str, object], ...] = ()
+    #: Telemetry counter that must be non-zero after the run — proof
+    #: the intended path (hedge win, audit divergence) actually fired.
+    want_counter: Optional[str] = None
+    #: The run must report degraded-not-exhausted coverage: the merge
+    #: matches the baseline except ``exhausted`` is honestly withheld
+    #: (an audited divergence taints the fleet, not the merge).
+    expect_degraded: bool = False
 
 
 @dataclass
@@ -138,6 +150,8 @@ def _params(case: ChaosCase, workdir: Optional[str]) -> EngineParams:
     if case.durable:
         params.checkpoint_path = os.path.join(workdir, "checkpoint.jsonl")
         params.corpus_path = os.path.join(workdir, "corpus.jsonl")
+    for name, value in case.params_update:
+        setattr(params, name, value)
     return params
 
 
@@ -174,17 +188,28 @@ def run_case(case: ChaosCase,
             # the corpus without duplicating entries.
             result = run_scenario(build_scenario(CHAOS_SPEC),
                                   _params(case, workdir), spec=CHAOS_SPEC)
-        mismatches = report_mismatches(result.report, baseline)
+        want = baseline
+        if case.expect_degraded:
+            want = copy.copy(baseline)
+            want.exhausted = False
+        mismatches = report_mismatches(result.report, want)
         leaked = _leaked_children(before)
         if leaked:
             mismatches.append(f"leaked child processes: {leaked}")
         if case.durable:
             mismatches.extend(_check_corpus(workdir, result))
+        tel = result.telemetry
+        if case.want_counter and not getattr(tel, case.want_counter, 0):
+            mismatches.append(f"expected telemetry {case.want_counter} "
+                              f"> 0 (the intended path never fired)")
+        if case.expect_degraded and not (
+                result.coverage and result.coverage.degraded):
+            mismatches.append("expected degraded coverage (the audit "
+                              "conviction never registered)")
         if mismatches:
             return ChaosOutcome(case, ok=False,
                                 detail=mismatches[0],
                                 mismatches=mismatches)
-        tel = result.telemetry
         seen = []
         if tel.retries:
             seen.append(f"{tel.retries} retries")
@@ -194,6 +219,12 @@ def run_case(case: ChaosCase,
             seen.append(f"{tel.corrupt_results} corrupt results")
         if tel.quarantined_lines:
             seen.append(f"{tel.quarantined_lines} lines quarantined")
+        if tel.hedge_wins:
+            seen.append(f"{tel.hedge_wins} hedge wins")
+        if tel.audit_divergences:
+            seen.append(f"{tel.audit_divergences} divergences caught")
+        if tel.workers_quarantined:
+            seen.append(f"{tel.workers_quarantined} workers quarantined")
         return ChaosOutcome(case, ok=True,
                             detail=", ".join(seen) or "clean")
     finally:
@@ -282,6 +313,35 @@ def build_cases(max_workers: int = 2) -> List[ChaosCase]:
                                 Fault("corpus.append", "torn"))),
                 workers=w, exhaustive=exhaustive,
                 durable=True, resume=True))
+    if max_workers >= 2:
+        # A worker pinned 2.5 s inside shard 1 — slow, not hung: the
+        # delay site keeps heartbeating, so the watchdog stays quiet
+        # and only hedging can rescue the shard.  The adaptive deadline
+        # must fire, the speculative duplicate must win, and the merge
+        # must still be byte-for-byte serial.
+        cases.append(ChaosCase(
+            name="hedge-straggler-rescue",
+            plan=FaultPlan((Fault("hedge.slow_worker", "delay",
+                                  shard=1, attempt=1,
+                                  delay_seconds=2.5),)),
+            workers=4, exhaustive=True,
+            params_update=(("hedge", True), ("hedge_floor", 0.25),
+                           ("hedge_factor", 1.5)),
+            want_counter="hedge_wins"))
+        # A worker that lies: shard 1's result blob has a digit of its
+        # execution count rotated *before* the CRC is stamped, so the
+        # wire/CRC layer accepts it and only the audit re-execution can
+        # convict.  The trusted result must be substituted (merge still
+        # matches serial), the worker quarantined, and coverage
+        # degraded-not-exhausted.
+        cases.append(ChaosCase(
+            name="audit-catches-corruption",
+            plan=FaultPlan((Fault("pool.flip_result_byte", "corrupt",
+                                  shard=1, attempt=1),)),
+            workers=2, exhaustive=True,
+            params_update=(("audit_fraction", 1.0),),
+            want_counter="audit_divergences",
+            expect_degraded=True))
     return cases
 
 
@@ -565,14 +625,24 @@ def _service_discover(data_dir: str, daemon) -> "object":
 
 
 def run_chaos(max_workers: int = 2,
-              emit: Optional[Callable[[str], None]] = None) \
-        -> List[ChaosOutcome]:
-    """Run the whole matrix; ``emit`` gets one line per cell."""
+              emit: Optional[Callable[[str], None]] = None,
+              only: Optional[str] = None) -> List[ChaosOutcome]:
+    """Run the whole matrix; ``emit`` gets one line per cell.
+
+    ``only`` is a substring filter over row names — CI uses it to run
+    just the hedge/audit rows without paying for the full matrix.
+    """
     say = emit or (lambda _line: None)
+
+    def wanted(name: str) -> bool:
+        return only is None or only in name
+
     baselines: Dict[bool, ScenarioReport] = {
         mode: baseline_report(mode) for mode in (True, False)}
     outcomes: List[ChaosOutcome] = []
     for case in build_cases(max_workers):
+        if not wanted(case.name):
+            continue
         outcome = run_case(case, baselines[case.exhaustive])
         outcomes.append(outcome)
         status = "ok" if outcome.ok else "FAIL"
@@ -580,16 +650,19 @@ def run_chaos(max_workers: int = 2,
         for extra in outcome.mismatches[1:]:
             say(f"    {extra}")
     for dist_case in build_dist_cases():
+        if not wanted(dist_case.name):
+            continue
         outcome = run_dist_case(dist_case, baselines[True])
         outcomes.append(outcome)
         status = "ok" if outcome.ok else "FAIL"
         say(f"  {dist_case.name:<34} {status:<4} {outcome.detail}")
         for extra in outcome.mismatches[1:]:
             say(f"    {extra}")
-    outcome = run_service_case(baselines[True])
-    outcomes.append(outcome)
-    status = "ok" if outcome.ok else "FAIL"
-    say(f"  {outcome.case.name:<34} {status:<4} {outcome.detail}")
-    for extra in outcome.mismatches[1:]:
-        say(f"    {extra}")
+    if wanted("service-restart-recovery"):
+        outcome = run_service_case(baselines[True])
+        outcomes.append(outcome)
+        status = "ok" if outcome.ok else "FAIL"
+        say(f"  {outcome.case.name:<34} {status:<4} {outcome.detail}")
+        for extra in outcome.mismatches[1:]:
+            say(f"    {extra}")
     return outcomes

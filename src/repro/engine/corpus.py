@@ -44,6 +44,7 @@ from ..core.spec_styles import SpecStyle, check_style
 from ..rmc.scheduler import FixedDecider
 from .durable import LineDiagnostics, append_line, canonical, read_records
 from .merge import trace_from_json
+from .shard import Shard
 from .vfs import DurableWriteError
 from .registry import ScenarioSpec, build_scenario
 
@@ -57,7 +58,7 @@ CORPUS_CAP = 100
 class CorpusEntry:
     """One replayable counterexample."""
 
-    kind: str  # "style" | "outcome" | "race"
+    kind: str  # "style" | "outcome" | "race" | "divergence"
     trace: List
     violation: str
     style: Optional[SpecStyle] = None
@@ -66,9 +67,19 @@ class CorpusEntry:
     max_steps: int = 20_000
     #: Memory-model id the trace was recorded under (`repro.models`).
     model: str = "orc11"
+    #: Divergence-witness fields (`repro.engine.audit`): the shard whose
+    #: re-execution diverged, the result-determining params it ran
+    #: under, and the trusted/observed report fingerprints.  Only
+    #: ``kind="divergence"`` entries carry them; they are omitted from
+    #: the JSON otherwise so pre-existing corpus hashes stay stable.
+    shard: Optional[Shard] = None
+    params: Optional[dict] = None
+    expected_fingerprint: str = ""
+    observed_fingerprint: str = ""
+    divergence_path: str = ""
 
     def to_json(self):
-        return {
+        data = {
             "scenario": self.spec.to_json() if self.spec else None,
             "scenario_name": self.scenario_name,
             "kind": self.kind,
@@ -78,6 +89,13 @@ class CorpusEntry:
             "max_steps": self.max_steps,
             "model": self.model,
         }
+        if self.shard is not None:
+            data["shard"] = self.shard.to_json()
+            data["params"] = dict(self.params or {})
+            data["expected_fingerprint"] = self.expected_fingerprint
+            data["observed_fingerprint"] = self.observed_fingerprint
+            data["divergence_path"] = self.divergence_path
+        return data
 
     @staticmethod
     def from_json(data) -> "CorpusEntry":
@@ -90,7 +108,13 @@ class CorpusEntry:
             spec=ScenarioSpec.from_json(data["scenario"])
             if data.get("scenario") else None,
             max_steps=data.get("max_steps", 20_000),
-            model=data.get("model", "orc11"))
+            model=data.get("model", "orc11"),
+            shard=Shard.from_json(data["shard"])
+            if data.get("shard") else None,
+            params=dict(data["params"]) if data.get("params") else None,
+            expected_fingerprint=data.get("expected_fingerprint", ""),
+            observed_fingerprint=data.get("observed_fingerprint", ""),
+            divergence_path=data.get("divergence_path", ""))
 
 
 class CorpusSink:
@@ -250,6 +274,11 @@ def replay_entry(entry: CorpusEntry,
     """
     if model is not None and model != entry.model:
         raise ModelMismatch(entry.model, model)
+    if entry.kind == "divergence":
+        # Audit-layer witnesses re-execute a whole shard rather than a
+        # single decision trace (`repro.engine.audit`).
+        from .audit import replay_divergence
+        return replay_divergence(entry, scenario=scenario)
     if scenario is None:
         if entry.spec is None:
             return ReplayOutcome(entry, False,

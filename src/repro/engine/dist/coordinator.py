@@ -33,16 +33,20 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ...checking.runner import ScenarioReport
+from ..audit import (AuditLog, AuditSampler, audit_shard, divergence_witness,
+                     report_fingerprint)
 from ..checkpoint import CheckpointWriter, load_completed_ex, run_fingerprint
 from ..corpus import CorpusEntry
+from ..hedge import HEDGE_ATTEMPT_BASE, DeadlineEstimator
 from ..pool import (EngineParams, EngineResult, ResultCorrupt, _decode_result,
                     finalize_run, plan_shards_ex)
 from ..registry import ScenarioSpec, build_scenario
 from ..telemetry import ProgressReporter
+from .handshake import handshake_mismatch
 from .lease import ACCEPTED, LeaseTable
 from .protocol import (MSG_BEAT, MSG_DONE, MSG_FAIL, MSG_GRANT, MSG_HELLO,
-                       MSG_IDLE, MSG_RESULT, MSG_WANT, MSG_WELCOME,
-                       PROTOCOL_VERSION, Channel)
+                       MSG_IDLE, MSG_REFUSE, MSG_RESULT, MSG_WANT,
+                       MSG_WELCOME, PROTOCOL_VERSION, Channel)
 
 
 @dataclass
@@ -92,6 +96,27 @@ class Coordinator:
         # record the transition *before* the action it describes.
         self._on_event = on_event or (lambda kind, **fields: None)
         self._grant_seen: set = set()
+        # Hedging (`repro.engine.hedge`): per-grant dispatch times feed
+        # the deadline estimator; stragglers get a *shadow grant* — a
+        # duplicate dispatched under a fresh fencing token but outside
+        # the lease table, so whichever copy submits second fails the
+        # exact-(node, token) check and is fenced.
+        self._hedger = (DeadlineEstimator(quantile=params.hedge_quantile,
+                                          factor=params.hedge_factor,
+                                          floor=params.hedge_floor,
+                                          seed=params.seed)
+                        if params.hedge else None)
+        self._lease_started: Dict[Tuple[int, int], float] = {}
+        self._shadow: Dict[int, Tuple[int, str]] = {}
+        self._hedge_won: set = set()
+        # Audit (`repro.engine.audit`): sampled shards are re-executed
+        # in this (trusted) process; a node whose result diverges is
+        # quarantined — no further grants, its leases requeued.
+        self._audit_log = (AuditLog(AuditSampler(params.audit_fraction,
+                                                 params.seed))
+                           if params.audit_fraction > 0 else None)
+        self._audit_queue: List[Tuple[int, ScenarioReport, str]] = []
+        self._quarantined: set = set()
         self._draining = threading.Event()
         self._cancelled = threading.Event()
         self.results: Dict[int, Tuple[ScenarioReport,
@@ -148,6 +173,9 @@ class Coordinator:
         try:
             while True:
                 time.sleep(self.dist.tick)
+                # Audits run on the serve thread, outside the lock: a
+                # re-execution must never stall heartbeat renewals.
+                self._run_audits()
                 if self._cancelled.is_set():
                     break
                 now = time.time()
@@ -155,10 +183,11 @@ class Coordinator:
                     for lease in self.table.expire(now):
                         self.reporter.on_lease_expired(lease.shard_id,
                                                        lease.node_id)
-                    if self.table.settled:
+                    if self.table.settled and not self._audit_queue:
                         break
                     if self._draining.is_set() \
-                            and not self.table.leases:
+                            and not self.table.leases \
+                            and not self._audit_queue:
                         break  # drained: in-flight work is all home
                     have_nodes = bool(self._nodes)
                 if have_nodes:
@@ -169,6 +198,9 @@ class Coordinator:
                     break
         finally:
             self._shutdown()
+        # Results accepted on the loop's final tick may still be queued
+        # for audit: screen them before the merge is finalized.
+        self._run_audits()
         with self._lock:
             for sid in range(len(self.shards)):
                 if sid in self.results:
@@ -182,7 +214,8 @@ class Coordinator:
             return finalize_run(self.scenario.name, self.params,
                                 self.shards, self.planner_pruned,
                                 self.results, self._markers,
-                                self.reporter, self._writer)
+                                self.reporter, self._writer,
+                                audit_log=self._audit_log)
 
     def drain(self) -> None:
         """Stop granting new leases; `serve` returns once every
@@ -249,6 +282,16 @@ class Coordinator:
                     or hello.get("proto") != PROTOCOL_VERSION):
                 return
             node_id = str(hello["node"])
+            reason = handshake_mismatch(self.params, hello.get("fp"))
+            if reason is not None:
+                # A node built from different code would return well-
+                # formed results that are simply wrong: refuse it with
+                # the reason on the wire, before any grant.
+                with self._lock:
+                    self.reporter.on_node_refused(node_id, reason)
+                ch.send(MSG_REFUSE, reason=reason)
+                node_id = None
+                return
             with self._lock:
                 self._nodes[node_id] = ch
                 self.reporter.on_node_joined(node_id)
@@ -274,6 +317,11 @@ class Coordinator:
                         del self._nodes[node_id]
                         lost = self.table.release_node(node_id,
                                                        time.time())
+                        # Shadow grants the dead node held are retired
+                        # so a later straggler can be hedged afresh.
+                        for sid, (_tok, nid) in list(self._shadow.items()):
+                            if nid == node_id:
+                                del self._shadow[sid]
                         # A node leaving after the table settled was
                         # *told* to go (`done` reply): that is a
                         # graceful exit, not a lost node — only count
@@ -300,6 +348,7 @@ class Coordinator:
             self._on_fail(node_id, msg)
 
     def _on_want(self, ch: Channel, node_id: str) -> None:
+        shadow = None
         with self._lock:
             if self._draining.is_set() or self._cancelled.is_set():
                 # Draining: no fresh grants, only in-flight leases may
@@ -307,12 +356,19 @@ class Coordinator:
                 # until `_shutdown` dismisses everyone together.
                 ch.send(MSG_IDLE, wait=self.dist.idle_wait)
                 return
+            if node_id in self._quarantined:
+                # A convicted node gets no further work — IDLE, never
+                # DONE, so the honest fleet finishes the run around it.
+                ch.send(MSG_IDLE, wait=self.dist.idle_wait)
+                return
+            now = time.time()
             # Exclusion must not starve a requeued shard: the table
             # grants a shard back to an excluded node once every live
             # node is excluded from it (spending a retry, so a
             # deterministic crasher still degrades to FAILED).
-            lease = self.table.grant(node_id, time.time(),
-                                     live_nodes=set(self._nodes))
+            lease = self.table.grant(
+                node_id, now,
+                live_nodes=set(self._nodes) - self._quarantined)
             settled = self.table.settled
             if lease is not None \
                     and (lease.shard_id, lease.token) not in self._grant_seen:
@@ -323,6 +379,17 @@ class Coordinator:
                 self._on_event("grant", shard=lease.shard_id,
                                token=lease.token, attempt=lease.attempt,
                                node=node_id)
+                self._lease_started[(lease.shard_id, lease.token)] = now
+            if lease is None and not settled:
+                # An idle node with stragglers in flight is exactly the
+                # spare capacity hedging wants to spend.
+                shadow = self._maybe_shadow(node_id, now)
+        if shadow is not None:
+            sid, token, attempt = shadow
+            ch.send(MSG_GRANT, fault_shard=sid, fault_attempt=attempt,
+                    shard_id=sid, shard=self.shards[sid].to_json(),
+                    token=token, attempt=attempt)
+            return
         if lease is None:
             ch.send(MSG_DONE if settled else MSG_IDLE,
                     wait=self.dist.idle_wait)
@@ -331,6 +398,42 @@ class Coordinator:
                 fault_attempt=lease.attempt, shard_id=lease.shard_id,
                 shard=self.shards[lease.shard_id].to_json(),
                 token=lease.token, attempt=lease.attempt)
+
+    def _maybe_shadow(self, node_id: str,
+                      now: float) -> Optional[Tuple[int, int, int]]:
+        """Issue a shadow grant for the slowest straggler, if any is
+        past the adaptive deadline.  Caller holds the lock."""
+        if self._hedger is None:
+            return None
+        deadline = self._hedger.deadline()
+        if deadline is None:
+            return None  # no completed shards yet: nothing to estimate
+        worst: Optional[Tuple[float, int, int]] = None
+        for lease in self.table.leases:
+            sid = lease.shard_id
+            if sid in self._shadow or sid in self.results \
+                    or lease.node_id == node_id:
+                continue
+            started = self._lease_started.get((sid, lease.token))
+            if started is None:
+                continue
+            elapsed = now - started
+            if elapsed > deadline \
+                    and (worst is None or elapsed > worst[0]):
+                worst = (elapsed, sid, lease.attempt)
+        if worst is None:
+            return None
+        elapsed, sid, attempt = worst
+        token = self.table.issue_token()
+        hedge_attempt = HEDGE_ATTEMPT_BASE + attempt
+        self._shadow[sid] = (token, node_id)
+        self._lease_started[(sid, token)] = now
+        # Shadow tokens go through the same WAL channel as leases: a
+        # restarted coordinator's token floor must clear them too.
+        self._on_event("grant", shard=sid, token=token,
+                       attempt=hedge_attempt, node=node_id)
+        self.reporter.on_hedge(sid, elapsed, deadline)
+        return (sid, token, hedge_attempt)
 
     def _on_result(self, node_id: str, msg: Dict) -> None:
         sid, token = msg["shard_id"], msg["token"]
@@ -342,17 +445,50 @@ class Coordinator:
         except ResultCorrupt:
             with self._lock:
                 self.reporter.on_corrupt_result(sid)
-                self.table.fail(sid, token, node_id, time.time(),
-                                "result failed its CRC check")
+                shadow = self._shadow.get(sid)
+                if shadow is not None and shadow[0] == token:
+                    # A corrupt duplicate just retires the hedge; the
+                    # primary lease is untouched.
+                    del self._shadow[sid]
+                else:
+                    self.table.fail(sid, token, node_id, time.time(),
+                                    "result failed its CRC check")
             return
         with self._lock:
+            shadow = self._shadow.get(sid)
+            if shadow is not None and shadow[0] == token:
+                del self._shadow[sid]
+                if sid in self.results:
+                    # The primary beat its duplicate home; the hedge's
+                    # price is known once the loser lands.
+                    self.reporter.summary.hedge_wasted_execs += \
+                        report.executions
+                    return
+                # The duplicate wins: popping the primary lease is what
+                # fences the straggler — its later submission matches no
+                # current lease and is rejected STALE below.
+                self.table.mark_done(sid)
+                self._hedge_won.add(sid)
+                self.reporter.on_hedge_win(sid)
+                self._complete(sid, report, entries,
+                               int(msg.get("pid", 0)), token, node_id)
+                return
             verdict = self.table.complete(sid, token, node_id)
             if verdict != ACCEPTED:
-                # A resurrected node's stale submission: fence it off.
+                # A resurrected node's stale submission — or the fenced
+                # straggler of a won hedge: either way, counted once.
                 self.reporter.on_fenced(sid, node_id)
+                if sid in self._hedge_won:
+                    self._hedge_won.discard(sid)
+                    self.reporter.summary.hedge_wasted_execs += \
+                        report.executions
                 return
+            if sid in self._shadow:
+                # The original dispatch won after all; the duplicate in
+                # flight is a loser (its execs are charged on landing).
+                self.reporter.on_hedge_loss(sid)
             self._complete(sid, report, entries, int(msg.get("pid", 0)),
-                           token)
+                           token, node_id)
 
     def _on_fail(self, node_id: str, msg: Dict) -> None:
         sid, token = msg["shard_id"], msg["token"]
@@ -366,10 +502,13 @@ class Coordinator:
 
     def _complete(self, sid: int, report: ScenarioReport,
                   entries: List[CorpusEntry], pid: int,
-                  token: int = 0) -> None:
+                  token: int = 0, node_id: str = "") -> None:
         self._on_event("merge", shard=sid, token=token,
                        executions=report.executions)
         self.results[sid] = (report, entries)
+        started = self._lease_started.pop((sid, token), None)
+        if self._hedger is not None and started is not None:
+            self._hedger.observe(time.time() - started)
         if report.budget_exhausted:
             # Not checkpointed: a later, better-funded resume should
             # re-explore a truncated shard rather than trust its stub.
@@ -378,6 +517,59 @@ class Coordinator:
             self._writer.write_shard(sid, report, entries)
         self.reporter.on_shard_done(sid, pid, report.executions,
                                     report.steps, report.pruned_subtrees)
+        if self._audit_log is not None \
+                and self._audit_log.sampler.should_audit(sid):
+            self._audit_queue.append((sid, report, node_id))
+
+    def _run_audits(self) -> None:
+        """Re-execute queued sampled shards in this (trusted) process.
+
+        Runs on the serve thread with the lock dropped around each
+        re-execution — exploration can take seconds, and heartbeat
+        renewals must keep flowing meanwhile.  A divergence convicts
+        the origin node: the trusted result replaces its lie in the
+        merge (and in the checkpoint — replay is last-record-wins), the
+        node is quarantined from further grants, and a replayable
+        witness is registered for the corpus.
+        """
+        if self._audit_log is None:
+            return
+        while True:
+            with self._lock:
+                if not self._audit_queue:
+                    return
+                sid, report, node_id = self._audit_queue.pop(0)
+            observed_fp = report_fingerprint(report)
+            trusted, finding = audit_shard(
+                self.scenario, self.spec, self.shards[sid], self.params,
+                sid, report, observed_fp,
+                worker=f"node {node_id or '?'}")
+            with self._lock:
+                self._audit_log.audits_done += 1
+                self.reporter.on_audit(sid, finding is not None)
+                if finding is None:
+                    continue
+                self._audit_log.findings.append(finding)
+                self._audit_log.witnesses.append(
+                    divergence_witness(finding, self.spec, self.params))
+                self._on_event("divergence", shard=sid, node=node_id,
+                               finding=finding.to_json())
+                t_report, t_entries = trusted
+                self.results[sid] = (t_report, t_entries)
+                if self._writer is not None \
+                        and not t_report.budget_exhausted:
+                    # Re-append the trusted record: checkpoint replay is
+                    # last-record-wins, so later resumes are healed too.
+                    self._writer.write_shard(sid, t_report, t_entries)
+                if node_id and node_id not in self._quarantined:
+                    self._quarantined.add(node_id)
+                    self._audit_log.quarantined.append(node_id)
+                    self.reporter.on_worker_quarantined(
+                        f"node {node_id}", finding.describe())
+                    for lease in self.table.release_node(node_id,
+                                                         time.time()):
+                        self.reporter.on_lease_expired(lease.shard_id,
+                                                       node_id)
 
 
 def serve_scenario(params: EngineParams, spec: ScenarioSpec,

@@ -1,0 +1,78 @@
+"""Node-compatibility handshake: refuse version skew before it corrupts.
+
+A worker node built from different code is the *preventable* silent-
+corruption channel: a node whose scenario catalogue builds a slightly
+different program, whose memory-model set lacks the run's model, or
+whose DPOR implementation prunes differently will return well-formed,
+CRC-consistent shard reports that are simply wrong.  The audit layer
+(`repro.engine.audit`) would eventually catch a sample of that; far
+cheaper to close the channel at connect time.
+
+Every node's ``hello`` therefore carries an **engine fingerprint** —
+the capability surface that determines shard results:
+
+* ``models`` — the memory-model ids this build ships
+  (`repro.models.model_ids`); the coordinator's ``params.model`` must
+  be among them;
+* ``catalog`` — a hash over the registered scenario-builder names
+  (`repro.engine.registry.registered_builders`): builders are required
+  to be deterministic, so two builds that *name* the same catalogue are
+  taken to build the same scenarios, and a build with a different
+  catalogue is refused outright;
+* ``dpor`` — whether sleep-set DPOR is available (a DPOR run granted to
+  a non-DPOR node would explore a different tree).
+
+The coordinator answers an incompatible hello with a ``refuse`` message
+carrying a one-line reason; the node logs it and exits with
+`REFUSED_EXIT` (no reconnect — a refused node stays refused).  A hello
+with *no* fingerprint is refused too: an old build that cannot state
+its capabilities is exactly the skew this check exists to stop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional
+
+from ...models import model_ids
+from ..registry import registered_builders
+
+#: Exit code of a node refused at handshake (`repro.engine.dist.node`).
+REFUSED_EXIT = 3
+
+
+def catalog_hash() -> str:
+    """Hash of the registered scenario-builder names, sorted."""
+    names = "\n".join(registered_builders())
+    return hashlib.sha256(names.encode("utf-8")).hexdigest()[:16]
+
+
+def engine_fingerprint() -> Dict:
+    """This build's capability surface, as presented in ``hello``."""
+    return {"models": sorted(model_ids()),
+            "catalog": catalog_hash(),
+            "dpor": True}
+
+
+def handshake_mismatch(params, fp) -> Optional[str]:
+    """Why ``params`` cannot be served by a node presenting ``fp``.
+
+    Returns a one-line human-readable reason, or None when the node is
+    compatible.  ``params`` is the coordinator's `EngineParams`.
+    """
+    if not isinstance(fp, dict):
+        return ("no engine fingerprint presented (node build predates "
+                "the handshake check)")
+    models = fp.get("models")
+    if not isinstance(models, list) or params.model not in models:
+        have = ", ".join(models) if isinstance(models, list) else "none"
+        return (f"node lacks memory model {params.model!r} "
+                f"(node has: {have})")
+    ours = catalog_hash()
+    theirs = fp.get("catalog")
+    if theirs != ours:
+        return (f"scenario catalog mismatch (node {str(theirs)[:8]} != "
+                f"coordinator {ours[:8]})")
+    if params.dpor_on() and not fp.get("dpor", False):
+        return "run requires DPOR but the node build lacks it"
+    return None

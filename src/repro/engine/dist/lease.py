@@ -123,9 +123,27 @@ class LeaseTable:
     # ------------------------------------------------------------------
 
     def mark_done(self, shard_id: int) -> None:
-        """Settle a shard without a lease (checkpoint-resumed)."""
+        """Settle a shard without a lease (checkpoint-resumed, or won by
+        a hedged shadow grant).  Popping the lease is what fences the
+        loser: its later submission no longer matches a current lease
+        and is rejected STALE."""
         self._status[shard_id] = DONE
         self._leases.pop(shard_id, None)
+
+    def issue_token(self) -> int:
+        """Draw a fresh fencing token without creating a lease.
+
+        Shadow grants — hedged duplicates (`repro.engine.hedge`) —
+        dispatch work *outside* the lease table: the primary lease stays
+        the shard's only lease, so whichever copy submits second fails
+        the exact-(node, token) check and is fenced.  Drawing from the
+        single monotonic counter keeps every token unique, and the
+        campaign service WAL records shadow tokens like any grant, so a
+        restarted coordinator's token floor clears them too.
+        """
+        token = self._next_token
+        self._next_token += 1
+        return token
 
     def grant(self, node_id: str, now: float, lenient: bool = False,
               live_nodes: Optional[Set[str]] = None) -> Optional[Lease]:

@@ -30,15 +30,20 @@ import time
 import zlib
 from typing import Callable, Optional
 
-from ..faults import mutate_blob
+from ..faults import flip_result_digit, mutate_blob
 from ..merge import report_to_json
 from ..pool import EngineParams, _explore_shard
 from ..registry import ScenarioSpec, build_scenario
 from ..retry import RetryPolicy
 from ..shard import Shard
+from .handshake import REFUSED_EXIT, engine_fingerprint
 from .protocol import (MSG_BEAT, MSG_DONE, MSG_FAIL, MSG_GRANT, MSG_HELLO,
-                       MSG_IDLE, MSG_RESULT, MSG_WANT, MSG_WELCOME,
-                       PROTOCOL_VERSION, Channel)
+                       MSG_IDLE, MSG_REFUSE, MSG_RESULT, MSG_WANT,
+                       MSG_WELCOME, PROTOCOL_VERSION, Channel)
+
+
+class Refused(Exception):
+    """The coordinator refused this node at handshake (version skew)."""
 
 
 class NetBeat:
@@ -70,8 +75,10 @@ def _default_node_id() -> str:
 def _serve_grants(ch: Channel, node_id: str, emit: Callable) -> bool:
     """Work one connection until ``done``; True means run finished."""
     ch.send(MSG_HELLO, node=node_id, pid=os.getpid(),
-            proto=PROTOCOL_VERSION)
+            proto=PROTOCOL_VERSION, fp=engine_fingerprint())
     welcome = ch.recv(timeout=10.0)
+    if welcome is not None and welcome.get("t") == MSG_REFUSE:
+        raise Refused(str(welcome.get("reason", "incompatible node")))
     if welcome is None or welcome.get("t") != MSG_WELCOME:
         raise ConnectionError("no welcome from coordinator")
     spec = ScenarioSpec.from_json(welcome["spec"])
@@ -115,6 +122,11 @@ def _serve_grants(ch: Channel, node_id: str, emit: Callable) -> bool:
         payload = {"report": report_to_json(report),
                    "corpus": [e.to_json() for e in entries]}
         blob = json.dumps(payload, sort_keys=True)
+        # The lying-executor fault site: the blob is damaged *before*
+        # the CRC is taken, so the frame and the integrity check both
+        # pass — only the audit layer's re-execution can catch it.
+        blob = flip_result_digit("pool.flip_result_byte", blob,
+                                 shard=sid, attempt=attempt)
         crc = zlib.crc32(blob.encode("utf-8"))
         # Same in-flight-damage fault site as the local pool's workers:
         # the CRC is taken first, so injected corruption must be caught
@@ -134,7 +146,9 @@ def run_node(host: str, port: int, node_id: Optional[str] = None,
     Reconnects with jittered exponential backoff on any connection
     failure (including injected ``sever`` faults); gives up — exit
     code 1 — once ``max_reconnects`` consecutive attempts fail to
-    reach a coordinator.
+    reach a coordinator.  A handshake refusal (engine-fingerprint
+    mismatch) exits immediately with `REFUSED_EXIT` and no reconnect:
+    a refused build stays refused.
     """
     node_id = node_id or _default_node_id()
     # The same reconnect discipline the service client uses
@@ -163,6 +177,9 @@ def run_node(host: str, port: int, node_id: Optional[str] = None,
             if _serve_grants(ch, node_id, emit):
                 emit(f"[node {node_id}] coordinator done; exiting")
                 return 0
+        except Refused as err:
+            emit(f"[node {node_id}] refused by coordinator: {err}")
+            return REFUSED_EXIT
         except ConnectionError as err:
             failures += 1
             emit(f"[node {node_id}] connection lost ({err}); "

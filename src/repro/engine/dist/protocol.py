@@ -12,7 +12,8 @@ Message types (``"t"`` field)::
 
     node -> coordinator          coordinator -> node
     -------------------         --------------------
-    hello  {node, pid, proto}    welcome {spec, params, lease, heartbeat}
+    hello  {node, pid, proto,    welcome {spec, params, lease, heartbeat}
+            fp}                  refuse {reason}
     want   {node}                grant {shard_id, shard, token, attempt}
     beat   {node, shard_id,      idle  {wait}
             token, execs}        done  {}
@@ -21,6 +22,10 @@ Message types (``"t"`` field)::
             blob, blob_crc, pid}
     fail   {node, shard_id,
             token, error}
+
+``hello.fp`` is the node's engine fingerprint
+(`repro.engine.dist.handshake`); an incompatible node is answered with
+``refuse`` and a one-line reason instead of ``welcome``.
 
 Every send consults the deterministic fault plan
 (`repro.engine.faults.net_fault_actions`) at site ``net.send.<type>``
@@ -44,6 +49,7 @@ PROTOCOL_VERSION = 1
 
 MSG_HELLO = "hello"
 MSG_WELCOME = "welcome"
+MSG_REFUSE = "refuse"
 MSG_WANT = "want"
 MSG_GRANT = "grant"
 MSG_IDLE = "idle"

@@ -13,6 +13,13 @@ site                  instrumented where
 ``worker.explore``    once per execution inside a shard (crash/hang/raise)
 ``worker.result``     the serialized shard result before it crosses the
                       pipe back to the driver (corrupt)
+``hedge.slow_worker``  the top of a shard exploration: an injected
+                      per-shard delay, the straggler a hedged dispatch
+                      must rescue (delay; `repro.engine.hedge`)
+``pool.flip_result_byte``  the serialized shard result *before* its CRC
+                      is taken — a lying executor whose corruption is
+                      framing-consistent, catchable only by the audit
+                      layer (corrupt; `repro.engine.audit`)
 ``checkpoint.append``  each checkpoint JSONL line (torn write)
 ``corpus.append``     each corpus JSONL line (torn write)
 ``net.send.<type>``   each distributed-protocol message send
@@ -239,6 +246,58 @@ def mutate_blob(site: str, blob: str, shard: Optional[int] = None,
         pos = digest[0] % max(len(blob), 1)
         flipped = chr((ord(blob[pos]) ^ 0x20) or 0x21)
         blob = blob[:pos] + flipped + blob[pos + 1:]
+    return blob
+
+
+def injected_delay(site: str, shard: Optional[int] = None,
+                   attempt: Optional[int] = None) -> float:
+    """Total seconds of ``delay`` faults matching this site (0.0 = none).
+
+    The compute-side sibling of the network ``delay`` kind: the
+    ``hedge.slow_worker`` site calls this at the top of a shard
+    exploration and sleeps the returned amount *in heartbeat-sized
+    chunks* — a straggler, not a hung worker — so the hedging layer
+    (`repro.engine.hedge`), not the watchdog, is what must rescue the
+    shard.  One-shot per coordinates, like every exact fault: the
+    hedged duplicate runs under a different attempt number and is never
+    slowed.
+    """
+    total = 0.0
+    for _plan, fault in _iter_matching(site, ("delay",), shard, attempt,
+                                       None):
+        total += fault.delay_seconds
+    return total
+
+
+def flip_result_digit(site: str, blob: str, shard: Optional[int] = None,
+                      attempt: Optional[int] = None) -> str:
+    """Rotate one digit of the serialized ``executions`` count.
+
+    The silent-corruption fault: unlike :func:`mutate_blob`'s character
+    flip (which breaks the JSON and is caught by the CRC/decode path),
+    this keeps the blob structurally valid and fires *before* the CRC
+    is taken — modelling an executor that computed the wrong answer and
+    framed it honestly.  Nothing on the ingest path can object; only a
+    fingerprint comparison against a trusted re-execution
+    (`repro.engine.audit`) catches it.
+    """
+    for _plan, _fault in _iter_matching(site, ("corrupt",), shard, attempt,
+                                        None):
+        marker = '"executions": '
+        start = blob.find(marker)
+        if start < 0:
+            marker = '"executions":'
+            start = blob.find(marker)
+        if start < 0:
+            continue
+        pos = start + len(marker)
+        end = pos
+        while end < len(blob) and blob[end].isdigit():
+            end += 1
+        if end == pos:
+            continue
+        rotated = str((int(blob[end - 1]) + 1) % 10)
+        blob = blob[:end - 1] + rotated + blob[end:]
     return blob
 
 

@@ -54,9 +54,12 @@ from .corpus import CorpusEntry
 from .durable import (REJECTED_SUFFIX, CorruptLine, _quarantine,
                       decode_line, encode_line)
 
-#: WAL record kinds `repro.service.store` writes.
-WAL_KINDS = ("submit", "running", "grant", "merge", "done", "failed",
-             "cancel")
+#: WAL record kinds `repro.service.store` writes.  Keep this in sync
+#: with `JobStore._apply`: a kind missing here makes ``--repair``
+#: quarantine *valid* records, so a healthy tree is no longer a no-op —
+#: the audit layer's ``divergence`` records were eaten exactly that way.
+WAL_KINDS = ("submit", "running", "grant", "merge", "divergence", "done",
+             "failed", "cancel")
 
 #: Files fsck treats as whole-file JSON summaries.
 SUMMARY_NAMES = ("report.json", "service.json")
@@ -134,6 +137,10 @@ def _validate(kind: str, payload: Dict) -> Optional[str]:
                 if fld not in payload:
                     return (f"WAL {payload['rec']} record missing "
                             f"{fld!r}")
+        if payload["rec"] == "divergence":
+            for fld in ("job", "shard"):
+                if fld not in payload:
+                    return (f"WAL divergence record missing {fld!r}")
     elif kind == "checkpoint":
         if "marker" in payload:
             return None
@@ -294,6 +301,12 @@ def audit_wal_invariants(path: str, records: List[Dict]) \
                 findings.append(Finding(
                     path, f"shard {shard} merged twice"))
             merged.add(key)
+        elif kind == "divergence":
+            shard = int(rec["shard"])
+            if (job, shard) not in granted:
+                findings.append(Finding(
+                    path, f"divergence record for shard {shard} that "
+                          f"no grant record granted"))
     return findings
 
 

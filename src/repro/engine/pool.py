@@ -46,12 +46,16 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..checking.runner import (Scenario, ScenarioReport, StyleTally,
                                record_result)
 from ..core.spec_styles import SpecStyle
+from .audit import (AuditLog, AuditSampler, audit_shard,
+                    divergence_witness, report_fingerprint)
 from .budget import BudgetSpec, BudgetTracker, Coverage
 from .checkpoint import (CheckpointWriter, load_completed_ex,
                          run_fingerprint)
 from .corpus import (CORPUS_CAP, CorpusEntry, CorpusSink, append_entries,
                      entry_hash)
-from .faults import fault_point, mutate_blob
+from .faults import (fault_point, flip_result_digit, injected_delay,
+                     mutate_blob)
+from .hedge import HEDGE_ATTEMPT_BASE, DeadlineEstimator
 from .health import (HeartbeatMonitor, HeartbeatWriter, kill_worker,
                      sweep_stale)
 from .merge import merge_reports, report_from_json, report_to_json
@@ -120,6 +124,20 @@ class EngineParams:
     #: outcome sets differ across models, so checkpoints and corpus
     #: records must never mix models.
     model: str = "orc11"
+    #: Hedged execution (`repro.engine.hedge`): once a shard runs past
+    #: ``quantile(observed durations) × factor`` (never below
+    #: ``hedge_floor`` seconds), dispatch a speculative duplicate; the
+    #: first structurally-valid result wins.  Deliberately *not* part of
+    #: the fingerprint: hedging changes who delivers a result, never
+    #: what it contains.
+    hedge: bool = False
+    hedge_quantile: float = 0.95
+    hedge_factor: float = 3.0
+    hedge_floor: float = 0.5
+    #: Fraction of completed shards re-executed by the trusted driver
+    #: process and fingerprint-compared (`repro.engine.audit`); 0 = off.
+    #: Also excluded from the fingerprint for the same reason.
+    audit_fraction: float = 0.0
 
     def dpor_on(self) -> bool:
         """The resolved DPOR switch: defaults to on for exhaustive mode."""
@@ -159,6 +177,11 @@ class EngineParams:
         data = self.fingerprint_json()
         data["corpus_cap"] = self.corpus_cap
         data["heartbeat_interval"] = self.heartbeat_interval
+        data["hedge"] = self.hedge
+        data["hedge_quantile"] = self.hedge_quantile
+        data["hedge_factor"] = self.hedge_factor
+        data["hedge_floor"] = self.hedge_floor
+        data["audit_fraction"] = self.audit_fraction
         return data
 
     @staticmethod
@@ -171,7 +194,12 @@ class EngineParams:
             max_executions=data["max_executions"], dpor=data["dpor"],
             model=data.get("model", "orc11"),
             corpus_cap=data.get("corpus_cap", CORPUS_CAP),
-            heartbeat_interval=data.get("heartbeat_interval", 0.25))
+            heartbeat_interval=data.get("heartbeat_interval", 0.25),
+            hedge=data.get("hedge", False),
+            hedge_quantile=data.get("hedge_quantile", 0.95),
+            hedge_factor=data.get("hedge_factor", 3.0),
+            hedge_floor=data.get("hedge_floor", 0.5),
+            audit_fraction=data.get("audit_fraction", 0.0))
 
 
 @dataclass
@@ -209,6 +237,17 @@ def _explore_shard(scenario: Scenario, spec: Optional[ScenarioSpec],
     budget = BudgetTracker(params.budget_spec(deadline))
     if beat is not None:
         beat.beat(shard_id, 0, force=True)
+    # The straggler site: an injected delay that keeps beating — a slow
+    # worker, not a hung one, so the watchdog must stay quiet and the
+    # hedging layer is what rescues the shard.
+    delay = injected_delay("hedge.slow_worker", shard=shard_id,
+                           attempt=attempt)
+    while delay > 0:
+        chunk = min(delay, 0.05)
+        time.sleep(chunk)
+        delay -= chunk
+        if beat is not None:
+            beat.beat(shard_id, 0)
     start = time.perf_counter()
     dstats = DporStats()
     for result in iter_shard(scenario.factory, shard, params.max_steps,
@@ -262,6 +301,11 @@ def _run_shard_task(shard_id: int, shard: Shard, attempt: int = 1):
     payload = {"report": report_to_json(report),
                "corpus": [e.to_json() for e in entries]}
     blob = json.dumps(payload, sort_keys=True)
+    # The lying-executor site sits *before* the CRC is taken and keeps
+    # the JSON valid: framing-consistent silent corruption that only the
+    # audit layer's trusted re-execution can catch.
+    blob = flip_result_digit("pool.flip_result_byte", blob,
+                             shard=shard_id, attempt=attempt)
     crc = zlib.crc32(blob.encode("utf-8"))
     # The corrupt-fault site sits *after* the CRC is taken, modelling
     # damage in flight — which the driver-side check must catch.
@@ -370,15 +414,29 @@ def run_scenario(scenario: Optional[Scenario], params: EngineParams,
         reporter.on_shard_done(sid, pid, report.executions, report.steps,
                                report.pruned_subtrees)
 
+    def replace(sid: int, report: ScenarioReport,
+                entries: List[CorpusEntry]) -> None:
+        # Audit repair: substitute the trusted re-execution for a
+        # divergent result without re-counting the shard.  Checkpoint
+        # replay is last-record-wins, so appending the trusted record
+        # heals a later resume too.
+        results[sid] = (report, entries)
+        if writer is not None and not report.budget_exhausted:
+            writer.write_shard(sid, report, entries)
+
+    audit_log = AuditLog(AuditSampler(params.audit_fraction, params.seed)) \
+        if params.audit_fraction > 0 else None
+
     if params.workers > 1 and len(pending) > 1:
         _run_pool(scenario, spec, params, pending, complete, reporter,
-                  deadline)
+                  deadline, replace=replace, audit_log=audit_log)
     else:
         _run_inline(scenario, spec, params, pending, complete, reporter,
                     deadline)
 
     return finalize_run(scenario.name, params, shards, planner_pruned,
-                        results, markers, reporter, writer)
+                        results, markers, reporter, writer,
+                        audit_log=audit_log)
 
 
 def finalize_run(scenario_name: str, params: EngineParams,
@@ -386,7 +444,8 @@ def finalize_run(scenario_name: str, params: EngineParams,
                  results: Dict[int, Tuple[ScenarioReport,
                                           List[CorpusEntry]]],
                  markers: set, reporter: ProgressReporter,
-                 writer: Optional[CheckpointWriter]) -> EngineResult:
+                 writer: Optional[CheckpointWriter],
+                 audit_log: Optional[AuditLog] = None) -> EngineResult:
     """Merge per-shard results into one honest `EngineResult`.
 
     The shared tail of every driver — the local pool above and the
@@ -413,6 +472,14 @@ def finalize_run(scenario_name: str, params: EngineParams,
                 seen_hashes.add(key)
                 entries.append(entry)
     del entries[params.corpus_cap:]
+    if audit_log is not None:
+        # Divergence witnesses ride above the per-run cap: there are at
+        # most a handful and each one names a provably-lying executor.
+        for witness in audit_log.witnesses:
+            key = entry_hash(witness.to_json())
+            if key not in seen_hashes:
+                seen_hashes.add(key)
+                entries.append(witness)
     flush_errors: List[str] = []
     if params.corpus_path:
         # Content-hash dedupe makes the flush idempotent, so a crash
@@ -435,7 +502,8 @@ def finalize_run(scenario_name: str, params: EngineParams,
         shards_complete=len(complete_sids),
         truncated=[shards[sid].describe() for sid in range(len(shards))
                    if sid not in complete_sids],
-        durable_errors=len(durable_errors))
+        durable_errors=len(durable_errors),
+        divergences=audit_log.divergences if audit_log else 0)
     report.coverage = coverage
     if coverage.degraded:
         # A degraded run must never claim a universal result — whether
@@ -528,7 +596,8 @@ def _teardown_executor(executor) -> None:
 
 
 def _run_pool(scenario, spec, params, pending, complete, reporter,
-              deadline=None) -> None:
+              deadline=None, replace=None,
+              audit_log: Optional[AuditLog] = None) -> None:
     heartbeat_dir = os.environ.get("REPRO_HB_DIR") \
         or tempfile.mkdtemp(prefix="repro-hb-")
     owns_hb_dir = "REPRO_HB_DIR" not in os.environ
@@ -549,12 +618,28 @@ def _run_pool(scenario, spec, params, pending, complete, reporter,
     shard_by_id = dict(pending)
     attempts = {sid: 0 for sid, _ in pending}
     futures: Dict = {}
+    # Hedging state: when the first dispatch of each still-open shard
+    # went out, which shards have a live speculative duplicate, and
+    # which futures *are* duplicates (`repro.engine.hedge`).
+    hedger = DeadlineEstimator(params.hedge_quantile, params.hedge_factor,
+                               params.hedge_floor, params.seed) \
+        if params.hedge else None
+    dispatched: Dict[int, float] = {}
+    hedged: Set[int] = set()
+    hedge_futs: Set = set()
+    done_sids: Set[int] = set()
+    # Completed shards awaiting a trusted audit re-execution
+    # (`repro.engine.audit`): drained opportunistically between polls so
+    # the audits overlap with the workers still exploring.
+    audit_queue: List[Tuple] = []
 
     def submit(sid: int, charge: bool = True) -> None:
         if charge:
             attempts[sid] += 1
         futures[executor.submit(_run_shard_task, sid, shard_by_id[sid],
                                 attempts[sid])] = sid
+        dispatched[sid] = time.time()
+        hedged.discard(sid)
 
     def fail_if_spent(sid: int, reason: str) -> None:
         if attempts[sid] > params.max_retries:
@@ -565,11 +650,13 @@ def _run_pool(scenario, spec, params, pending, complete, reporter,
     def recycle_pool(reason: str, charged: Set[int],
                      extra: Set[int] = frozenset()) -> None:
         """Replace a broken/stalled pool.  Only ``charged`` shards spend
-        retry budget; innocent in-flight shards are requeued for free."""
+        retry budget; innocent in-flight shards are requeued for free.
+        In-flight duplicates of already-settled shards just vanish."""
         nonlocal executor
-        lost = sorted(set(futures.values()) | set(extra))
+        lost = sorted((set(futures.values()) | set(extra)) - done_sids)
         _teardown_executor(executor)
         futures.clear()
+        hedge_futs.clear()
         executor = _make_executor(scenario, spec, params, len(lost),
                                   deadline, heartbeat_dir)
         for sid in lost:
@@ -579,6 +666,86 @@ def _run_pool(scenario, spec, params, pending, complete, reporter,
                 submit(sid, charge=True)
             else:
                 submit(sid, charge=False)
+
+    def in_flight_futs(sid: int) -> List:
+        return [f for f, s in futures.items() if s == sid]
+
+    def maybe_hedge(now: float) -> None:
+        if hedger is None:
+            return
+        hedge_deadline = hedger.deadline()
+        if hedge_deadline is None:
+            return
+        for sid in set(futures.values()):
+            if sid in hedged or sid in done_sids:
+                continue
+            sibs = in_flight_futs(sid)
+            # Only hedge a shard that is actually *running* somewhere —
+            # a queued shard is waiting for a worker, and its duplicate
+            # would wait in the same queue behind it.
+            if not any(f.running() for f in sibs):
+                continue
+            elapsed = now - dispatched.get(sid, now)
+            if elapsed <= hedge_deadline:
+                continue
+            reporter.on_hedge(sid, elapsed, hedge_deadline)
+            hedged.add(sid)
+            fut = executor.submit(_run_shard_task, sid, shard_by_id[sid],
+                                  HEDGE_ATTEMPT_BASE + attempts[sid])
+            futures[fut] = sid
+            hedge_futs.add(fut)
+
+    def settle(fut, rid: int, report, entries, pid: int,
+               now: float, is_hedge: bool = False) -> None:
+        """First structurally-valid result wins; cancel the sibling.
+
+        ``is_hedge`` is captured by the caller *before* it removes the
+        future from ``hedge_futs`` — checking membership here would
+        always see the already-discarded future and call every win a
+        loss."""
+        complete(rid, report, entries, pid)
+        done_sids.add(rid)
+        if hedger is not None:
+            hedger.observe(now - dispatched.get(rid, now))
+        if rid in hedged:
+            if is_hedge:
+                reporter.on_hedge_win(rid)
+            else:
+                reporter.on_hedge_loss(rid)
+        for sib in in_flight_futs(rid):
+            if sib is not fut and sib.cancel():
+                futures.pop(sib, None)
+                hedge_futs.discard(sib)
+        if audit_log is not None and audit_log.sampler.should_audit(rid):
+            audit_queue.append((rid, report, entries, pid))
+
+    def run_audits() -> None:
+        """Trusted re-execution of sampled shards, in *this* process —
+        the interpreter that defines the serial baseline.  A divergence
+        convicts the origin worker outright: quarantine it (recycle the
+        whole pool — process identity is not recoverable after that),
+        repair the merge with the trusted result, and persist a
+        replayable witness."""
+        while audit_queue:
+            sid, report, entries, pid = audit_queue.pop(0)
+            observed_fp = report_fingerprint(report)
+            who = f"worker pid {pid}"
+            trusted, finding = audit_shard(scenario, spec,
+                                           shard_by_id[sid], params, sid,
+                                           report, observed_fp, who)
+            reporter.on_audit(sid, finding is not None)
+            if finding is None:
+                continue
+            audit_log.findings.append(finding)
+            audit_log.witnesses.append(
+                divergence_witness(finding, spec, params))
+            if replace is not None:
+                replace(sid, trusted[0], trusted[1])
+            audit_log.quarantined.append(who)
+            reporter.on_worker_quarantined(who, finding.describe())
+            if futures:
+                recycle_pool("pool quarantined after result divergence",
+                             charged=set())
 
     # Poll fast enough for the watchdog to be responsive, but never
     # faster than the heartbeat cadence makes meaningful.
@@ -600,13 +767,19 @@ def _run_pool(scenario, spec, params, pending, complete, reporter,
             if deadline is not None and now >= deadline:
                 # Run budget spent: shed everything not yet running;
                 # running shards stop themselves at the same deadline.
+                shed_sids: Set[int] = set()
                 for fut in [f for f in list(futures) if f.cancel()]:
-                    reporter.on_skipped(futures.pop(fut),
-                                        "run budget exhausted")
+                    sid = futures.pop(fut)
+                    hedge_futs.discard(fut)
+                    if sid not in done_sids and sid not in shed_sids:
+                        shed_sids.add(sid)
+                        reporter.on_skipped(sid, "run budget exhausted")
+            maybe_hedge(now)
             if not done:
+                run_audits()
                 if params.shard_timeout is None:
                     continue
-                in_flight = set(futures.values())
+                in_flight = set(futures.values()) - done_sids
                 beats = monitor.read()
                 hung = monitor.hung(beats, in_flight,
                                     _worker_pids(executor))
@@ -634,8 +807,22 @@ def _run_pool(scenario, spec, params, pending, complete, reporter,
                 sid = futures.pop(fut, None)
                 if sid is None:
                     continue  # already shed by a recycle or cancel
+                is_hedge = fut in hedge_futs
+                hedge_futs.discard(fut)
                 if fut.cancelled():
-                    reporter.on_skipped(sid, "run budget exhausted")
+                    if sid not in done_sids:
+                        reporter.on_skipped(sid, "run budget exhausted")
+                    continue
+                if sid in done_sids:
+                    # The losing duplicate of a settled shard: its late
+                    # result is discarded, only its cost is recorded.
+                    try:
+                        rid, blob, crc, _pid = fut.result()
+                        late, _ = _decode_result(rid, blob, crc)
+                        reporter.summary.hedge_wasted_execs += \
+                            late.executions
+                    except Exception:  # noqa: BLE001 — already settled
+                        pass
                     continue
                 try:
                     rid, blob, crc, pid = fut.result()
@@ -652,6 +839,10 @@ def _run_pool(scenario, spec, params, pending, complete, reporter,
                                  extra={sid})
                     break
                 except Exception as err:  # noqa: BLE001 — requeue
+                    if in_flight_futs(sid):
+                        # A duplicate of this shard is still running —
+                        # it *is* the retry; no need to charge one.
+                        continue
                     if isinstance(err, ResultCorrupt):
                         reporter.on_corrupt_result(sid)
                     reporter.on_retry(sid, attempts[sid], repr(err))
@@ -662,7 +853,9 @@ def _run_pool(scenario, spec, params, pending, complete, reporter,
                     _retry_sleep(params, sid, attempts[sid] + 1)
                     submit(sid)
                 else:
-                    complete(rid, report, entries, pid)
+                    settle(fut, rid, report, entries, pid, now, is_hedge)
+            run_audits()
+        run_audits()
     finally:
         # Sweep the pool on every exit path; kill+join guarantees no
         # leaked children even when a worker is wedged.

@@ -44,6 +44,8 @@ class TelemetrySummary:
     nodes_joined: int = 0
     #: Nodes declared lost (connection gone or heartbeats stopped).
     nodes_lost: int = 0
+    #: Nodes refused at handshake (engine fingerprint mismatch).
+    nodes_refused: int = 0
     #: Leases that expired and were requeued to another node.
     leases_expired: int = 0
     #: Stale results rejected by fencing-token checks (never merged).
@@ -51,6 +53,23 @@ class TelemetrySummary:
     #: The run ended by a graceful drain (campaign service SIGTERM):
     #: in-flight leases finished, nothing new was granted.
     drained: bool = False
+    #: Hedged re-dispatches issued for shards past their adaptive
+    #: deadline (`repro.engine.hedge`).
+    hedges_issued: int = 0
+    #: Hedges whose duplicate delivered the winning result.
+    hedge_wins: int = 0
+    #: Hedges where the original dispatch won after all.
+    hedge_losses: int = 0
+    #: Executions spent by losing duplicates (the price of hedging).
+    hedge_wasted_execs: int = 0
+    #: Completed shards re-executed by the audit layer
+    #: (`repro.engine.audit`).
+    audits_done: int = 0
+    #: Audited shards whose origin result diverged from the trusted
+    #: re-execution (each one also quarantined its origin).
+    audit_divergences: int = 0
+    #: Workers/nodes quarantined after a confirmed divergence.
+    workers_quarantined: int = 0
     wall_seconds: float = 0.0
     #: shards completed per worker pid (pid 0 = inline/resumed).
     worker_shards: Dict[int, int] = field(default_factory=dict)
@@ -153,6 +172,12 @@ class ProgressReporter:
             print(f"[{self.label}] node {node_id} lost: {reason}",
                   file=self.out, flush=True)
 
+    def on_node_refused(self, node_id: str, reason: str) -> None:
+        self.summary.nodes_refused += 1
+        if self.enabled:
+            print(f"[{self.label}] node {node_id} refused: {reason}",
+                  file=self.out, flush=True)
+
     def on_lease_expired(self, shard_id: int, node_id: str) -> None:
         self.summary.leases_expired += 1
         if self.enabled:
@@ -177,6 +202,39 @@ class ProgressReporter:
         if self.enabled:
             print(f"[{self.label}] durable write failed ({detail}); "
                   f"continuing in-memory with degraded coverage",
+                  file=self.out, flush=True)
+
+    def on_hedge(self, shard_id: int, elapsed: float,
+                 deadline: float) -> None:
+        self.summary.hedges_issued += 1
+        if self.enabled:
+            print(f"[{self.label}] shard {shard_id} past its hedge "
+                  f"deadline ({elapsed:.1f}s > {deadline:.1f}s); "
+                  f"speculatively re-dispatched", file=self.out, flush=True)
+
+    def on_hedge_win(self, shard_id: int) -> None:
+        self.summary.hedge_wins += 1
+        if self.enabled:
+            print(f"[{self.label}] hedge won shard {shard_id}; original "
+                  f"dispatch abandoned", file=self.out, flush=True)
+
+    def on_hedge_loss(self, shard_id: int, wasted_execs: int = 0) -> None:
+        self.summary.hedge_losses += 1
+        self.summary.hedge_wasted_execs += wasted_execs
+
+    def on_audit(self, shard_id: int, diverged: bool) -> None:
+        self.summary.audits_done += 1
+        if diverged:
+            self.summary.audit_divergences += 1
+            if self.enabled:
+                print(f"[{self.label}] audit: shard {shard_id} diverged "
+                      f"from trusted re-execution", file=self.out,
+                      flush=True)
+
+    def on_worker_quarantined(self, who: str, reason: str) -> None:
+        self.summary.workers_quarantined += 1
+        if self.enabled:
+            print(f"[{self.label}] quarantined {who}: {reason}",
                   file=self.out, flush=True)
 
     def on_drain(self) -> None:
@@ -213,7 +271,17 @@ class ProgressReporter:
         dpor_txt = (f" | pruned {s.pruned_subtrees} "
                     f"(tree {s.effective_tree_size})"
                     if s.pruned_subtrees else "")
+        hedge_txt = (f" | hedges {s.hedges_issued} "
+                     f"({s.hedge_wins}w/{s.hedge_losses}l, "
+                     f"{s.hedge_wasted_execs} wasted exec)"
+                     if s.hedges_issued else "")
+        audit_txt = (f" | audits {s.audits_done}"
+                     + (f" ({s.audit_divergences} diverged, "
+                        f"{s.workers_quarantined} quarantined)"
+                        if s.audit_divergences else "")
+                     if s.audits_done else "")
         print(f"[{self.label}] {tag}: shards {s.shards_done}/"
               f"{s.shards_total} ({s.shards_resumed} resumed) | "
               f"{s.executions} exec ({rate:,.0f}/s) | {s.steps} steps"
-              f"{dpor_txt}{eta_txt} | {workers}", file=self.out, flush=True)
+              f"{dpor_txt}{hedge_txt}{audit_txt}{eta_txt} | {workers}",
+              file=self.out, flush=True)

@@ -189,6 +189,11 @@ class ServiceClient:
     def cancel(self, job_id: str) -> Dict:
         return self.request("cancel", job=job_id)
 
+    def findings(self, job_id: Optional[str] = None) -> Dict:
+        """Confirmed `result-divergence` audit findings, per job."""
+        fields = {"job": job_id} if job_id else {}
+        return self.request("findings", **fields)
+
     def drain(self) -> Dict:
         return self.request("drain")
 

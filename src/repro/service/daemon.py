@@ -304,6 +304,10 @@ class CampaignDaemon:
             elif kind == "merge":
                 guarded(self.store.record_merge, job_id, fields["shard"],
                         fields["token"], fields["executions"])
+            elif kind == "divergence":
+                guarded(self.store.record_divergence, job_id,
+                        fields["shard"], fields["node"],
+                        fields["finding"])
             elif kind == "settled":
                 fault_point("service.pre_merge")
 
@@ -363,6 +367,7 @@ class CampaignDaemon:
                    "degraded": degraded,
                    "exhausted": result.report.exhausted and not degraded,
                    "wal_errors": len(wal_errors),
+                   "divergences": cov.divergences,
                    "report": report_path}
         try:
             self.store.finish(job_id, ok=not degraded, summary=summary)
@@ -429,6 +434,8 @@ class CampaignDaemon:
             return self._handle_status(payload)
         if verb == "cancel":
             return self._handle_cancel(payload)
+        if verb == "findings":
+            return self._handle_findings(payload)
         if verb == "drain":
             self.drain()
             return {"draining": True}
@@ -468,6 +475,20 @@ class CampaignDaemon:
                     "draining": self._draining.is_set()}
         return {"jobs": [j.to_json() for j in self.store.jobs()],
                 "draining": self._draining.is_set()}
+
+    def _handle_findings(self, payload: Dict) -> Dict:
+        """Audit convictions for one job (or every job): the replayed
+        ``divergence`` WAL records, structured and restart-durable."""
+        job_id = payload.get("job")
+        if job_id:
+            job = self.store.job(str(job_id))
+            if job is None:
+                raise ServiceError(f"no such job: {job_id}")
+            jobs = [job]
+        else:
+            jobs = self.store.jobs()
+        return {"findings": [
+            {"job": j.job_id, **d} for j in jobs for d in j.divergences]}
 
     def _handle_cancel(self, payload: Dict) -> Dict:
         job_id = str(payload.get("job", ""))

@@ -15,9 +15,16 @@ Record kinds (the ``rec`` field)::
     running {job}
     grant   {job, shard, token, attempt, node}
     merge   {job, shard, token, executions}
+    divergence {job, shard, node, finding}
     done    {job, ok, summary}
     failed  {job, error}
     cancel  {job}
+
+``divergence`` records a confirmed `result-divergence` audit finding
+(`repro.engine.audit`): the named node returned a well-formed but wrong
+shard result, the coordinator repaired the merge from its trusted
+re-execution and quarantined the node.  The record survives restarts so
+``status``/``findings`` can report convictions after the run is gone.
 
 Two records exist purely so restarts cannot lie:
 
@@ -72,6 +79,8 @@ class Job:
     merged_shards: Set[int] = field(default_factory=set)
     error: str = ""
     summary: Dict = field(default_factory=dict)
+    #: Confirmed audit findings (`result-divergence` WAL records).
+    divergences: List[Dict] = field(default_factory=list)
 
     @property
     def token_floor(self) -> int:
@@ -89,6 +98,7 @@ class Job:
             "grants": len(self.grants), "merged": len(self.merged_shards),
             "token_floor": self.token_floor, "error": self.error,
             "summary": dict(self.summary),
+            "divergences": len(self.divergences),
         }
 
 
@@ -144,6 +154,11 @@ class JobStore:
             job.grants[shard] = max(job.grants.get(shard, 0), token)
         elif kind == "merge":
             job.merged_shards.add(int(rec["shard"]))
+        elif kind == "divergence":
+            job.divergences.append({
+                "shard": int(rec["shard"]),
+                "node": str(rec.get("node", "")),
+                "finding": dict(rec.get("finding", {}))})
         elif kind == "done":
             job.state = DONE
             job.summary = dict(rec.get("summary", {}))
@@ -207,6 +222,13 @@ class JobStore:
                 return  # replayed or re-completed: charged exactly once
             self._log({"rec": "merge", "job": job_id, "shard": shard,
                        "token": token, "executions": executions})
+
+    def record_divergence(self, job_id: str, shard: int, node: str,
+                          finding: Dict) -> None:
+        """One confirmed audit conviction, durable before any reply."""
+        with self._lock:
+            self._log({"rec": "divergence", "job": job_id, "shard": shard,
+                       "node": node, "finding": dict(finding)})
 
     def finish(self, job_id: str, ok: bool, summary: Dict) -> None:
         with self._lock:

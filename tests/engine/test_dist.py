@@ -23,6 +23,8 @@ from repro.engine import EngineParams, run_scenario
 from repro.engine.chaos import _dist_node_main
 from repro.engine.dist import (Channel, Coordinator, DistParams, LeaseTable,
                                Severed, run_node)
+from repro.engine.dist.handshake import (REFUSED_EXIT, engine_fingerprint,
+                                         handshake_mismatch)
 from repro.engine.dist.lease import ACCEPTED, DONE, FAILED, PENDING, STALE
 from repro.engine.dist.protocol import PROTOCOL_VERSION, parse_hostport
 from repro.engine.faults import Fault, FaultPlan
@@ -259,13 +261,15 @@ class TestCoordinatorConnections:
         try:
             old = Channel(socket.create_connection(
                 (coord.host, coord.port), timeout=5.0))
-            old.send("hello", node="n0", pid=1, proto=PROTOCOL_VERSION)
+            old.send("hello", node="n0", pid=1, proto=PROTOCOL_VERSION,
+                     fp=engine_fingerprint())
             assert old.recv(timeout=5.0)["t"] == "welcome"
             # Same node id reconnects (sever fault, TCP reset) and
             # leases a shard on the fresh connection.
             new = Channel(socket.create_connection(
                 (coord.host, coord.port), timeout=5.0))
-            new.send("hello", node="n0", pid=1, proto=PROTOCOL_VERSION)
+            new.send("hello", node="n0", pid=1, proto=PROTOCOL_VERSION,
+                     fp=engine_fingerprint())
             assert new.recv(timeout=5.0)["t"] == "welcome"
             new.send("want", node="n0")
             grant = new.recv(timeout=5.0)
@@ -297,6 +301,92 @@ class TestCoordinatorConnections:
                     ch.close()
 
 
+class TestHandshake:
+    def test_matching_fingerprint_is_accepted(self):
+        assert handshake_mismatch(_engine_params(),
+                                  engine_fingerprint()) is None
+
+    def test_mismatch_reasons_are_one_line(self):
+        params = _engine_params()
+        fp = engine_fingerprint()
+        for bad in (None,
+                    {**fp, "models": [m for m in fp["models"]
+                                      if m != params.model]},
+                    {**fp, "catalog": "deadbeefdeadbeef"},
+                    {**fp, "dpor": False}):
+            reason = handshake_mismatch(params, bad)
+            assert reason, f"expected a refusal for {bad!r}"
+            assert "\n" not in reason
+
+    def test_coordinator_refuses_incompatible_node(self):
+        """A node presenting a stale catalog hash must be refused at
+        connect with a one-line reason, never granted work."""
+        coord = Coordinator(_engine_params(), hw_spec(),
+                            DistParams(lease_seconds=30.0,
+                                       node_wait_seconds=30.0))
+        acceptor = threading.Thread(target=coord._accept_loop,
+                                    daemon=True)
+        acceptor.start()
+        ch = legacy = None
+        try:
+            fp = dict(engine_fingerprint())
+            fp["catalog"] = "0000000000000000"
+            ch = Channel(socket.create_connection(
+                (coord.host, coord.port), timeout=5.0))
+            ch.send("hello", node="bad0", pid=1, proto=PROTOCOL_VERSION,
+                    fp=fp)
+            resp = ch.recv(timeout=5.0)
+            assert resp["t"] == "refuse"
+            assert "catalog" in resp["reason"]
+            # A legacy hello with no fingerprint at all is refused too:
+            # no evidence of compatibility is not compatibility.
+            legacy = Channel(socket.create_connection(
+                (coord.host, coord.port), timeout=5.0))
+            legacy.send("hello", node="old0", pid=1,
+                        proto=PROTOCOL_VERSION)
+            resp = legacy.recv(timeout=5.0)
+            assert resp["t"] == "refuse"
+            with coord._lock:
+                assert "bad0" not in coord._nodes
+                assert "old0" not in coord._nodes
+            assert coord.reporter.summary.nodes_refused == 2
+        finally:
+            coord._stop.set()
+            try:
+                coord._listener.close()
+            except OSError:
+                pass
+            for c in (ch, legacy):
+                if c is not None:
+                    c.close()
+
+    def test_refused_node_exits_with_refused_exit(self, monkeypatch):
+        """`run_node` on a refusal: report the reason once and exit
+        `REFUSED_EXIT` immediately — no reconnect storm."""
+        import repro.engine.dist.node as node_mod
+        stale = dict(engine_fingerprint())
+        stale["dpor"] = False
+        monkeypatch.setattr(node_mod, "engine_fingerprint", lambda: stale)
+        coord = Coordinator(_engine_params(), hw_spec(),
+                            DistParams(lease_seconds=30.0,
+                                       node_wait_seconds=30.0))
+        acceptor = threading.Thread(target=coord._accept_loop,
+                                    daemon=True)
+        acceptor.start()
+        lines = []
+        try:
+            rc = run_node(coord.host, coord.port, node_id="stale0",
+                          emit=lines.append)
+        finally:
+            coord._stop.set()
+            try:
+                coord._listener.close()
+            except OSError:
+                pass
+        assert rc == REFUSED_EXIT
+        assert any("refused" in line for line in lines)
+
+
 class TestDistEquivalence:
     def test_two_nodes_match_serial(self):
         serial = _serial_report()
@@ -316,6 +406,93 @@ class TestDistEquivalence:
         assert_reports_equal(result.report, serial)
         assert not result.coverage.degraded
         assert result.telemetry.nodes_joined == 2
+
+    def test_two_nodes_full_audit_match_serial(self):
+        """Audit smoke: every completed shard re-executed in the
+        coordinator's trusted process; a clean fleet yields zero
+        findings and a byte-equal merge."""
+        serial = _serial_report()
+        coord = Coordinator(_engine_params(audit_fraction=1.0), hw_spec(),
+                            DistParams(lease_seconds=5.0,
+                                       node_wait_seconds=20.0))
+        thread, box = _serve_async(coord)
+        workers = [threading.Thread(
+            target=run_node, args=(coord.host, coord.port),
+            kwargs={"node_id": f"n{i}", "emit": lambda *_: None},
+            daemon=True) for i in range(2)]
+        for w in workers:
+            w.start()
+        thread.join(timeout=JOIN_TIMEOUT)
+        assert "result" in box, "coordinator never settled"
+        result = box["result"]
+        assert_reports_equal(result.report, serial)
+        tel = result.telemetry
+        assert tel.audits_done >= 4
+        assert tel.audit_divergences == 0
+        assert not result.coverage.degraded
+
+    def test_straggling_node_rescued_by_shadow_grant(self):
+        """Dist hedging: one node pinned inside shard 1 by a slow-worker
+        delay; once its lease runs past the adaptive deadline the other
+        node gets a shadow grant under a fresh token, wins, and the
+        merge stays byte-equal to serial."""
+        serial = _serial_report()
+        plan = FaultPlan((Fault("hedge.slow_worker", "delay", shard=1,
+                                attempt=1, delay_seconds=2.5),))
+        with plan:
+            coord = Coordinator(
+                _engine_params(hedge=True, hedge_floor=0.25,
+                               hedge_factor=1.5), hw_spec(),
+                DistParams(lease_seconds=10.0, node_wait_seconds=20.0,
+                           tick=0.05))
+            thread, box = _serve_async(coord)
+            workers = [threading.Thread(
+                target=run_node, args=(coord.host, coord.port),
+                kwargs={"node_id": f"n{i}", "emit": lambda *_: None},
+                daemon=True) for i in range(2)]
+            for w in workers:
+                w.start()
+            thread.join(timeout=JOIN_TIMEOUT)
+        assert "result" in box, "coordinator never settled"
+        result = box["result"]
+        assert_reports_equal(result.report, serial)
+        tel = result.telemetry
+        assert tel.hedges_issued >= 1
+        assert tel.hedge_wins >= 1
+        assert tel.leases_expired == 0
+
+    def test_lying_node_convicted_and_quarantined(self):
+        """Dist audit conviction: a node's result blob has a digit
+        rotated before the CRC (framing-consistent lie).  The trusted
+        re-execution convicts it, the node is refused further grants,
+        the trusted result is substituted, and coverage degrades."""
+        serial = _serial_report()
+        plan = FaultPlan((Fault("pool.flip_result_byte", "corrupt",
+                                shard=1, attempt=1),))
+        with plan:
+            coord = Coordinator(
+                _engine_params(audit_fraction=1.0), hw_spec(),
+                DistParams(lease_seconds=5.0, node_wait_seconds=20.0,
+                           tick=0.05))
+            thread, box = _serve_async(coord)
+            workers = [threading.Thread(
+                target=run_node, args=(coord.host, coord.port),
+                kwargs={"node_id": f"n{i}", "emit": lambda *_: None},
+                daemon=True) for i in range(2)]
+            for w in workers:
+                w.start()
+            thread.join(timeout=JOIN_TIMEOUT)
+        assert "result" in box, "coordinator never settled"
+        result = box["result"]
+        tel = result.telemetry
+        assert tel.audit_divergences == 1
+        assert tel.workers_quarantined == 1
+        assert result.coverage.divergences == 1
+        assert result.coverage.degraded
+        repaired = result.report
+        assert repaired.exhausted is False
+        repaired.exhausted = serial.exhausted
+        assert_reports_equal(repaired, serial)
 
     def test_node_sigkilled_mid_shard_merges_exactly(self):
         """The headline invariant: kill a node mid-shard; the lease

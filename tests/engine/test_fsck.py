@@ -178,3 +178,59 @@ class TestRepairThenResume:
         assert FsckReport(findings=[
             Finding("p", "w", repairable=True, repaired=True)
         ]).exit_code() == 3
+
+
+class TestRepairIdempotency:
+    """``fsck --repair`` must converge: once a tree is healed, every
+    further repair run is a no-op exiting 0.
+
+    Regression: the WAL whitelist lagged `JobStore._apply` — the audit
+    layer's ``divergence`` records were "unknown kind" to fsck, so
+    repairing a perfectly healthy tree quarantined valid records and
+    never reached a fixed point.
+    """
+
+    FULL_WAL = WAL + [
+        {"rec": "running", "job": "job-0001"},
+        {"rec": "divergence", "job": "job-0001", "shard": 1,
+         "node": "n0", "finding": {"kind": "result-divergence",
+                                   "shard": 1, "worker": "node n0"}},
+        {"rec": "merge", "job": "job-0001", "shard": 1, "token": 2,
+         "executions": 4},
+        {"rec": "done", "job": "job-0001", "ok": True, "summary": {}},
+    ]
+
+    def test_repair_of_a_healthy_tree_is_a_noop(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        _write(path, self.FULL_WAL)
+        before = path.read_bytes()
+        report = run_fsck(str(path), repair=True)
+        assert report.exit_code() == 0 and not report.findings
+        assert path.read_bytes() == before
+        assert not (tmp_path / "wal.jsonl.rejected").exists()
+
+    def test_second_repair_after_damage_is_a_noop(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        _write(path, self.FULL_WAL[:3])
+        with open(path, "a") as fh:
+            fh.write("MID-FILE GARBAGE\n")
+        _write(path, self.FULL_WAL[3:])
+        assert run_fsck(str(path), repair=True).exit_code() == 3
+        records, _ = read_records(str(path))
+        # Every valid record — the divergence one included — survived.
+        assert records == self.FULL_WAL
+        healed = path.read_bytes()
+        again = run_fsck(str(path), repair=True)
+        assert again.exit_code() == 0 and not again.findings
+        assert path.read_bytes() == healed
+
+    def test_divergence_without_grant_is_flagged_not_eaten(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        orphan = [WAL[0], {"rec": "divergence", "job": "job-0001",
+                           "shard": 7, "node": "n0", "finding": {}}]
+        _write(path, orphan)
+        report = run_fsck(str(path), repair=True)
+        assert report.exit_code() == 1  # evidence, not damage
+        assert any("no grant" in f.what for f in report.findings)
+        records, _ = read_records(str(path))
+        assert records == orphan

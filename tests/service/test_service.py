@@ -347,3 +347,59 @@ class TestRunningState:
         replayed = JobStore(wal)
         assert replayed.job(job.job_id).state == RUNNING
         assert replayed.next_runnable().job_id == job.job_id
+
+
+class TestAuditFindings:
+    def test_lying_node_surfaces_as_a_findings_record(self, tmp_path):
+        """End-to-end conviction through the service: a local node's
+        result blob is corrupted before its CRC (framing-consistent),
+        the job runs with every shard audited, and the divergence must
+        land durably in the WAL and come back over the `findings` verb
+        with the origin node named."""
+        data_dir = str(tmp_path / "svc")
+        plan = FaultPlan((Fault("pool.flip_result_byte", "corrupt",
+                                shard=1, attempt=1),))
+        daemon = _start_daemon(data_dir, plan=plan)
+        try:
+            client = _client_for(data_dir, daemon)
+            params = _hw_params()
+            params["audit_fraction"] = 1.0
+            resp = client.submit(name="audited", spec_json=hw_spec().to_json(),
+                                 params_json=params, dedupe_key="aud-1")
+            job_id = resp["job"]
+            job = _wait_done(client, job_id)
+            assert job["state"] == "done"
+            assert job["divergences"] == 1
+            summary = job.get("summary") or {}
+            assert summary.get("divergences") == 1
+            found = client.findings(job_id)["findings"]
+            assert len(found) == 1
+            assert found[0]["job"] == job_id
+            assert found[0]["shard"] == 1
+            assert found[0]["node"]
+            detail = (found[0].get("finding") or {}).get("detail", "")
+            assert "result-divergence" in detail
+            # Durable, not just in-memory: the WAL carries the record.
+            records, _diag = read_records(
+                os.path.join(data_dir, "wal.jsonl"), quarantine=False)
+            assert any(r.get("rec") == "divergence" for r in records)
+            # Unknown jobs are a clean error, not an empty list.
+            with pytest.raises(ServiceError):
+                client.findings("job-9999")
+        finally:
+            _reap(daemon)
+
+    def test_findings_empty_on_a_clean_job(self, tmp_path):
+        data_dir = str(tmp_path / "svc")
+        daemon = _start_daemon(data_dir)
+        try:
+            client = _client_for(data_dir, daemon)
+            resp = client.submit(name="clean", spec_json=hw_spec().to_json(),
+                                 params_json=_hw_params(),
+                                 dedupe_key="clean-1")
+            job = _wait_done(client, resp["job"])
+            assert job["state"] == "done"
+            assert job["divergences"] == 0
+            assert client.findings(resp["job"])["findings"] == []
+        finally:
+            _reap(daemon)

@@ -189,3 +189,26 @@ class TestScheduling:
         ids = [store.submit(f"j{i}", SPEC, PARAMS, f"k{i}")[0].job_id
                for i in range(3)]
         assert [j.job_id for j in store.jobs()] == ids
+
+
+class TestDivergenceRecords:
+    def test_divergence_records_replay_onto_the_job(self, tmp_path):
+        store = _store(tmp_path)
+        job, _ = store.submit("camp", SPEC, PARAMS, "k")
+        store.record_grant(job.job_id, shard=1, token=2, attempt=1,
+                           node="n0")
+        finding = {"kind": "result-divergence", "shard": 1,
+                   "worker": "node n0", "detail": "diverged"}
+        store.record_divergence(job.job_id, shard=1, node="n0",
+                                finding=finding)
+        for current in (store.job(job.job_id),
+                        _store(tmp_path).job(job.job_id)):
+            assert current.divergences == [
+                {"shard": 1, "node": "n0", "finding": finding}]
+            assert current.to_json()["divergences"] == 1
+
+    def test_jobs_without_divergences_report_zero(self, tmp_path):
+        store = _store(tmp_path)
+        job, _ = store.submit("camp", SPEC, PARAMS, "k")
+        assert job.divergences == []
+        assert job.to_json()["divergences"] == 0
